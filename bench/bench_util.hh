@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shared infrastructure for the experiment benchmarks: run one
+ * workload under one configuration, verify correctness, and collect
+ * the statistics the paper-style tables report.
+ */
+
+#ifndef TS_BENCH_BENCH_UTIL_HH
+#define TS_BENCH_BENCH_UTIL_HH
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "workloads/workload.hh"
+
+namespace ts::bench
+{
+
+/** Outcome of one simulated run. */
+struct RunResult
+{
+    double cycles = 0;
+    bool correct = false;
+    StatSet stats;
+};
+
+/** Build and simulate one workload under one configuration. */
+inline RunResult
+runOnce(Wk w, const DeltaConfig& cfg, const SuiteParams& sp)
+{
+    auto wl = makeWorkload(w, sp);
+    Delta delta(cfg);
+    TaskGraph graph;
+    wl->build(delta, graph);
+    RunResult r;
+    r.stats = delta.run(graph);
+    r.cycles = r.stats.get("delta.cycles");
+    r.correct = wl->check(delta.image());
+    return r;
+}
+
+/** Print a horizontal rule sized for our tables. */
+inline void
+rule(int width = 72)
+{
+    std::puts(std::string(static_cast<std::size_t>(width), '-').c_str());
+}
+
+/** Geometric mean of a vector of ratios. */
+inline double
+geomean(const std::vector<double>& v)
+{
+    if (v.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (const double x : v)
+        logSum += std::log(x);
+    return std::exp(logSum / static_cast<double>(v.size()));
+}
+
+} // namespace ts::bench
+
+#endif // TS_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Fig-8 (extension): modeled energy, Delta vs static-parallel.
+ *
+ * The abstract's headline is performance, but structure recovery is
+ * also an energy story: multicast removes DRAM fetches (the dominant
+ * per-event cost) and pipelining removes memory round trips.  This
+ * figure breaks modeled energy down by component for both designs.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "accel/energy_model.hh"
+#include "bench_util.hh"
+
+namespace
+{
+
+using namespace ts;
+using namespace ts::bench;
+
+std::map<Wk, std::pair<EnergyReport, EnergyReport>> gRows;
+
+void
+runWorkload(benchmark::State& state, Wk w)
+{
+    SuiteParams sp;
+    for (auto _ : state) {
+        const RunResult st =
+            runOnce(w, DeltaConfig::staticBaseline(8), sp);
+        const RunResult dy = runOnce(w, DeltaConfig::delta(8), sp);
+        if (!st.correct || !dy.correct)
+            state.SkipWithError("incorrect result");
+        gRows[w] = {computeEnergy(st.stats, 8),
+                    computeEnergy(dy.stats, 8)};
+        state.counters["energy_ratio"] =
+            gRows[w].first.totalNanojoules() /
+            gRows[w].second.totalNanojoules();
+    }
+}
+
+void
+printTable()
+{
+    std::puts("");
+    std::puts("Fig-8  Modeled energy (uJ), static vs Delta, 8 lanes");
+    rule(78);
+    std::printf("%-10s %12s %12s %8s   %s\n", "workload", "static(uJ)",
+                "delta(uJ)", "ratio", "largest static component");
+    rule(78);
+    std::vector<double> ratios;
+    for (const Wk w : allWorkloads()) {
+        const auto& [st, dy] = gRows.at(w);
+        const EnergyEntry* biggest = &st.entries.front();
+        for (const auto& e : st.entries) {
+            if (e.nanojoules > biggest->nanojoules)
+                biggest = &e;
+        }
+        const double ratio =
+            st.totalNanojoules() / dy.totalNanojoules();
+        ratios.push_back(ratio);
+        std::printf("%-10s %12.1f %12.1f %7.2fx   %s\n", wkName(w),
+                    st.totalNanojoules() / 1000.0,
+                    dy.totalNanojoules() / 1000.0, ratio,
+                    biggest->name.c_str());
+    }
+    rule(78);
+    std::printf("%-10s %12s %12s %7.2fx\n", "geomean", "", "",
+                geomean(ratios));
+    std::puts("expected shape: energy savings track the DRAM-traffic "
+              "savings (Fig-5) plus shorter runtime (less static "
+              "energy)");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    for (const Wk w : allWorkloads()) {
+        benchmark::RegisterBenchmark(
+            (std::string("fig8/") + wkName(w)).c_str(),
+            [w](benchmark::State& s) { runWorkload(s, w); })
+            ->Iterations(1);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    printTable();
+    return 0;
+}

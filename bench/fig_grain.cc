@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Fig-4: sensitivity to task granularity.
+ *
+ * SpMV row-block size and msort leaf size are swept.  Expected shape:
+ * very fine grains pay dispatch/reconfiguration overheads; very
+ * coarse grains starve the balancer (fewer tasks than needed to even
+ * out skew).  Delta's sweet spot is wider than the baseline's.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_util.hh"
+#include "workloads/msort.hh"
+#include "workloads/spmv.hh"
+
+namespace
+{
+
+using namespace ts;
+using namespace ts::bench;
+
+const std::vector<std::uint64_t> kRowsPerTask = {4, 8, 16, 32, 64};
+const std::vector<std::uint64_t> kLeafSizes = {256, 512, 1024, 2048};
+
+std::map<std::uint64_t, std::pair<double, double>> gSpmv;
+std::map<std::uint64_t, std::pair<double, double>> gMsort;
+
+template <typename WL, typename P>
+std::pair<double, double>
+pairFor(const P& params)
+{
+    double cycles[2];
+    for (const bool delta : {false, true}) {
+        WL wl(params);
+        Delta d(delta ? DeltaConfig::delta(8)
+                      : DeltaConfig::staticBaseline(8));
+        TaskGraph g;
+        wl.build(d, g);
+        const StatSet stats = d.run(g);
+        if (!wl.check(d.image()))
+            fatal("incorrect result in fig_grain");
+        cycles[delta ? 1 : 0] = stats.get("delta.cycles");
+    }
+    return {cycles[0], cycles[1]};
+}
+
+void
+runSpmv(benchmark::State& state, std::uint64_t rowsPerTask)
+{
+    SpmvParams p;
+    p.rows = 512;
+    p.cols = 1024;
+    p.rowsPerTask = rowsPerTask;
+    for (auto _ : state) {
+        gSpmv[rowsPerTask] = pairFor<SpmvWorkload>(p);
+        state.counters["speedup"] =
+            gSpmv[rowsPerTask].first / gSpmv[rowsPerTask].second;
+    }
+}
+
+void
+runMsort(benchmark::State& state, std::uint64_t leaf)
+{
+    MsortParams p;
+    p.n = 8192;
+    p.leafSize = leaf;
+    for (auto _ : state) {
+        gMsort[leaf] = pairFor<MsortWorkload>(p);
+        state.counters["speedup"] =
+            gMsort[leaf].first / gMsort[leaf].second;
+    }
+}
+
+void
+printTable()
+{
+    std::puts("");
+    std::puts("Fig-4  Task-granularity sensitivity (8 lanes)");
+    rule();
+    std::puts("spmv (512 rows): rows per task");
+    std::printf("  %10s %14s %14s %9s\n", "rows/task", "static(cyc)",
+                "delta(cyc)", "speedup");
+    for (const auto g : kRowsPerTask) {
+        const auto [st, dy] = gSpmv.at(g);
+        std::printf("  %10llu %14.0f %14.0f %8.2fx\n",
+                    static_cast<unsigned long long>(g), st, dy,
+                    st / dy);
+    }
+    rule();
+    std::puts("msort (8192 keys): leaf chunk size");
+    std::printf("  %10s %14s %14s %9s\n", "leaf", "static(cyc)",
+                "delta(cyc)", "speedup");
+    for (const auto g : kLeafSizes) {
+        const auto [st, dy] = gMsort.at(g);
+        std::printf("  %10llu %14.0f %14.0f %8.2fx\n",
+                    static_cast<unsigned long long>(g), st, dy,
+                    st / dy);
+    }
+    rule();
+    std::puts("expected shape: Delta tolerates a wider range of "
+              "grain sizes than the static design");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    for (const auto g : kRowsPerTask) {
+        benchmark::RegisterBenchmark(
+            ("fig4/spmv/rpt:" + std::to_string(g)).c_str(),
+            [g](benchmark::State& s) { runSpmv(s, g); })
+            ->Iterations(1);
+    }
+    for (const auto g : kLeafSizes) {
+        benchmark::RegisterBenchmark(
+            ("fig4/msort/leaf:" + std::to_string(g)).c_str(),
+            [g](benchmark::State& s) { runMsort(s, g); })
+            ->Iterations(1);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    printTable();
+    return 0;
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Fig-7: sensitivity to per-lane task-queue depth.
+ *
+ * Queue entries are the hardware cost of decoupling dispatch from
+ * execution.  Expected shape: one entry serializes dispatch with
+ * execution; a few entries recover nearly all performance (knee
+ * around 2-4), justifying the small queue in the area model.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_util.hh"
+
+namespace
+{
+
+using namespace ts;
+using namespace ts::bench;
+
+const std::vector<std::uint32_t> kCaps = {1, 2, 4, 8, 16};
+const std::vector<Wk> kWorkloads = {Wk::Spmv, Wk::Cholesky, Wk::Msort};
+
+std::map<std::pair<Wk, std::uint32_t>, double> gCycles;
+std::map<std::pair<SchedPolicy, std::uint32_t>, double> gPolicy;
+
+void
+runPoint(benchmark::State& state, Wk w, std::uint32_t cap)
+{
+    SuiteParams sp;
+    for (auto _ : state) {
+        DeltaConfig cfg = DeltaConfig::delta(8);
+        cfg.laneQueueCap = cap;
+        const RunResult r = runOnce(w, cfg, sp);
+        if (!r.correct)
+            state.SkipWithError("incorrect result");
+        gCycles[{w, cap}] = r.cycles;
+        state.counters["cycles"] = r.cycles;
+    }
+}
+
+void
+runPolicyPoint(benchmark::State& state, SchedPolicy p,
+               std::uint32_t cap)
+{
+    SuiteParams sp;
+    for (auto _ : state) {
+        DeltaConfig cfg = DeltaConfig::delta(8);
+        cfg.policy = p;
+        cfg.laneQueueCap = cap;
+        const RunResult r = runOnce(Wk::Join, cfg, sp);
+        if (!r.correct)
+            state.SkipWithError("incorrect result");
+        gPolicy[{p, cap}] = r.cycles;
+        state.counters["cycles"] = r.cycles;
+    }
+}
+
+void
+printTable()
+{
+    std::puts("");
+    std::puts("Fig-7  Task-queue depth sensitivity (Delta, 8 lanes; "
+              "cycles normalized to depth 16)");
+    rule();
+    std::printf("%-10s", "workload");
+    for (const auto c : kCaps)
+        std::printf(" %9u", c);
+    std::puts("");
+    rule();
+    for (const Wk w : kWorkloads) {
+        std::printf("%-10s", wkName(w));
+        const double best = gCycles.at({w, 16});
+        for (const auto c : kCaps)
+            std::printf(" %8.2fx", gCycles.at({w, c}) / best);
+        std::puts("");
+    }
+    rule();
+    std::puts("expected shape: knee at small depth; deep queues add "
+              "nothing (supports the small area budget in Tab-3)");
+
+    std::puts("");
+    std::puts("Fig-7b  Policy x depth interaction on the Zipf-skewed "
+              "join (cycles)");
+    rule();
+    std::printf("%-10s", "policy");
+    for (const auto c : kCaps)
+        std::printf(" %9u", c);
+    std::puts("");
+    rule();
+    for (const auto p : {SchedPolicy::DynCount, SchedPolicy::WorkAware}) {
+        std::printf("%-10s", schedPolicyName(p));
+        for (const auto c : kCaps)
+            std::printf(" %9.0f", gPolicy.at({p, c}));
+        std::puts("");
+    }
+    rule();
+    std::puts("expected shape: with shallow queues the policies tie "
+              "(late commitment adapts); with deep queues placement "
+              "commits early and the work-aware hint wins");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    for (const Wk w : kWorkloads) {
+        for (const auto c : kCaps) {
+            benchmark::RegisterBenchmark(
+                (std::string("fig7/") + wkName(w) + "/cap:" +
+                 std::to_string(c))
+                    .c_str(),
+                [w, c](benchmark::State& s) { runPoint(s, w, c); })
+                ->Iterations(1);
+        }
+    }
+    for (const auto p : {SchedPolicy::DynCount, SchedPolicy::WorkAware}) {
+        for (const auto c : kCaps) {
+            benchmark::RegisterBenchmark(
+                (std::string("fig7b/join/") + schedPolicyName(p) +
+                 "/cap:" + std::to_string(c))
+                    .c_str(),
+                [p, c](benchmark::State& s) {
+                    runPolicyPoint(s, p, c);
+                })
+                ->Iterations(1);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    printTable();
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Fig-1 (headline): Delta (TaskStream: work-aware balancing +
+ * pipelined dependences + shared-read multicast) versus the
+ * equivalent static-parallel design, per workload and geomean.
+ *
+ * Reproduction target (from the paper's abstract): the TaskStream
+ * execution model improves performance by ~2.2x over the equivalent
+ * static-parallel design.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_util.hh"
+
+namespace
+{
+
+using namespace ts;
+using namespace ts::bench;
+
+struct Row
+{
+    double staticCycles = 0;
+    double deltaCycles = 0;
+    bool correct = false;
+};
+
+std::map<Wk, Row> gRows;
+
+void
+runPair(benchmark::State& state, Wk w)
+{
+    SuiteParams sp;
+    sp.scale = 1.0;
+    for (auto _ : state) {
+        const RunResult stat =
+            runOnce(w, DeltaConfig::staticBaseline(8), sp);
+        const RunResult dyn = runOnce(w, DeltaConfig::delta(8), sp);
+        Row row;
+        row.staticCycles = stat.cycles;
+        row.deltaCycles = dyn.cycles;
+        row.correct = stat.correct && dyn.correct;
+        gRows[w] = row;
+        state.counters["static_cycles"] = stat.cycles;
+        state.counters["delta_cycles"] = dyn.cycles;
+        state.counters["speedup"] = stat.cycles / dyn.cycles;
+    }
+}
+
+void
+registerAll()
+{
+    for (const Wk w : allWorkloads()) {
+        benchmark::RegisterBenchmark(
+            (std::string("fig1/") + wkName(w)).c_str(),
+            [w](benchmark::State& s) { runPair(s, w); })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+}
+
+void
+printTable()
+{
+    std::puts("");
+    std::puts("Fig-1  Delta (TaskStream) vs equivalent static-parallel "
+              "design, 8 lanes");
+    rule();
+    std::printf("%-10s %14s %14s %9s %8s\n", "workload", "static(cyc)",
+                "delta(cyc)", "speedup", "correct");
+    rule();
+    std::vector<double> speedups;
+    for (const Wk w : allWorkloads()) {
+        const Row& r = gRows.at(w);
+        const double sp = r.staticCycles / r.deltaCycles;
+        speedups.push_back(sp);
+        std::printf("%-10s %14.0f %14.0f %8.2fx %8s\n", wkName(w),
+                    r.staticCycles, r.deltaCycles, sp,
+                    r.correct ? "yes" : "NO");
+    }
+    rule();
+    std::printf("%-10s %14s %14s %8.2fx\n", "geomean", "", "",
+                geomean(speedups));
+    std::puts("paper claim (abstract): ~2.2x overall improvement");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    printTable();
+    return 0;
+}

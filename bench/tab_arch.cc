@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tab-1: architecture parameters of the simulated Delta system.
+ * A configuration dump (no simulation) so the evaluation context is
+ * reproducible from the binary alone.  A one-task sanity run keeps
+ * the binary an honest google-benchmark target.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+
+namespace
+{
+
+using namespace ts;
+using namespace ts::bench;
+
+void
+sanity(benchmark::State& state)
+{
+    SuiteParams sp;
+    sp.scale = 0.25;
+    for (auto _ : state) {
+        const RunResult r =
+            runOnce(Wk::Spmv, DeltaConfig::delta(8), sp);
+        if (!r.correct)
+            state.SkipWithError("incorrect result");
+        state.counters["cycles"] = r.cycles;
+    }
+}
+
+void
+printTable()
+{
+    const DeltaConfig cfg = DeltaConfig::delta(8);
+    std::puts("");
+    std::puts("Tab-1  Simulated Delta architecture parameters");
+    rule();
+    auto row = [](const char* k, const std::string& v) {
+        std::printf("%-36s %s\n", k, v.c_str());
+    };
+    const auto& g = cfg.lane.fabric.geom;
+    row("lanes", std::to_string(cfg.lanes));
+    row("fabric per lane",
+        std::to_string(g.rows) + "x" + std::to_string(g.cols) +
+            " tiles, link multiplicity " +
+            std::to_string(g.linkMultiplicity));
+    row("fabric reconfiguration",
+        std::to_string(cfg.lane.fabric.configBaseCycles) + " + " +
+            std::to_string(cfg.lane.fabric.configPerNodeCycles) +
+            "/node cycles");
+    row("port FIFOs / operand FIFOs",
+        std::to_string(cfg.lane.fabric.portFifoDepth) + " / " +
+            std::to_string(cfg.lane.fabric.operandFifoDepth) +
+            " tokens");
+    row("stream engines per lane",
+        std::to_string(cfg.lane.numReadEngines) + " read, " +
+            std::to_string(cfg.lane.numWriteEngines) + " write");
+    row("memory-port MSHRs per lane",
+        std::to_string(cfg.lane.maxOutstandingLines) + " lines");
+    row("scratchpad per lane",
+        std::to_string(cfg.lane.spm.sizeWords * wordBytes / 1024) +
+            " KiB, " + std::to_string(cfg.lane.spm.portsPerCycle) +
+            " ports/cycle");
+    row("task queue per lane",
+        std::to_string(cfg.laneQueueCap) + " entries");
+    row("NoC", "2D mesh, XY routing, " +
+                   std::to_string(cfg.nocLinks.linkWords) +
+                   " words/cycle/link, multicast trees");
+    row("DRAM banks", std::to_string(cfg.mem.numBanks));
+    row("DRAM latency / bank occupancy",
+        std::to_string(cfg.mem.serviceLatency) + " / " +
+            std::to_string(cfg.mem.bankOccupancy) + " cycles");
+    row("DRAM issue width",
+        std::to_string(cfg.mem.issueWidth) + " lines/cycle");
+    row("scheduling policy (Delta)", schedPolicyName(cfg.policy));
+    row("baseline", "owner-compute static partition, "
+                    "bulk-synchronous levels");
+    rule();
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    benchmark::RegisterBenchmark("tab1/sanity", sanity)->Iterations(1);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    printTable();
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tab-2: workload characterization — task counts, dependence-edge
+ * kinds, shared groups, and the distribution of per-task work
+ * (mean and coefficient of variation), computed from the built task
+ * graphs without simulating.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <map>
+
+#include "bench_util.hh"
+
+namespace
+{
+
+using namespace ts;
+using namespace ts::bench;
+
+struct Row
+{
+    std::size_t tasks = 0;
+    std::size_t barriers = 0;
+    std::size_t pipelines = 0;
+    std::size_t groups = 0;
+    double meanWork = 0;
+    double cvWork = 0;
+};
+
+std::map<Wk, Row> gRows;
+
+Row
+characterize(Wk w)
+{
+    SuiteParams sp;
+    auto wl = makeWorkload(w, sp);
+    Delta delta(DeltaConfig::delta(8));
+    TaskGraph g;
+    wl->build(delta, g);
+
+    Row r;
+    r.tasks = g.numTasks();
+    for (const DepEdge& e : g.edges()) {
+        if (e.kind == DepKind::Barrier)
+            ++r.barriers;
+        else
+            ++r.pipelines;
+    }
+    r.groups = g.groups().size();
+
+    double sum = 0, sum2 = 0;
+    for (const TaskInstance& t : g.tasks()) {
+        const double wk =
+            delta.registry().estimateWork(delta.image(), t);
+        sum += wk;
+        sum2 += wk * wk;
+    }
+    r.meanWork = sum / static_cast<double>(r.tasks);
+    const double var =
+        sum2 / static_cast<double>(r.tasks) - r.meanWork * r.meanWork;
+    r.cvWork = r.meanWork > 0
+                   ? std::sqrt(std::max(0.0, var)) / r.meanWork
+                   : 0;
+    return r;
+}
+
+void
+runAll(benchmark::State& state)
+{
+    for (auto _ : state) {
+        for (const Wk w : allWorkloads())
+            gRows[w] = characterize(w);
+        state.counters["workloads"] =
+            static_cast<double>(gRows.size());
+    }
+}
+
+void
+printTable()
+{
+    std::puts("");
+    std::puts("Tab-2  Workload characterization (default scale)");
+    rule(78);
+    std::printf("%-10s %7s %9s %9s %7s %11s %7s\n", "workload",
+                "tasks", "barriers", "pipelines", "groups",
+                "mean work", "CV");
+    rule(78);
+    for (const Wk w : allWorkloads()) {
+        const Row& r = gRows.at(w);
+        std::printf("%-10s %7zu %9zu %9zu %7zu %11.0f %7.2f\n",
+                    wkName(w), r.tasks, r.barriers, r.pipelines,
+                    r.groups, r.meanWork, r.cvWork);
+    }
+    rule(78);
+    std::puts("CV = per-task work variation; the workloads with high "
+              "CV are the ones where work-aware balancing pays off");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    benchmark::RegisterBenchmark("tab2/characterize", runAll)
+        ->Iterations(1);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    printTable();
+    return 0;
+}

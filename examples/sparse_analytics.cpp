@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Sparse-analytics scenario: a skewed CSR SpMV, run under all three
+ * scheduling policies and under the bulk-synchronous static-parallel
+ * baseline, demonstrating the two TaskStream annotations that matter
+ * for sparse workloads:
+ *
+ *  - work hints: row-block tasks carry wildly different nonzero
+ *    counts, and the work-aware policy reads that straight from the
+ *    stream descriptors;
+ *  - shared reads: every task gathers from the same dense vector,
+ *    which the hardware multicasts into lane scratchpads once.
+ *
+ *   $ ./build/examples/sparse_analytics
+ */
+
+#include <cstdio>
+
+#include "workloads/spmv.hh"
+
+using namespace ts;
+
+namespace
+{
+
+double
+runConfig(const char* label, DeltaConfig cfg)
+{
+    SpmvParams params;
+    params.rows = 512;
+    params.cols = 1024;
+    SpmvWorkload wl(params);
+
+    Delta delta(cfg);
+    TaskGraph graph;
+    wl.build(delta, graph);
+    const StatSet stats = delta.run(graph);
+
+    std::printf("  %-28s %9.0f cycles  imbalance %.2f  "
+                "dram lines %7.0f  %s\n",
+                label, stats.get("delta.cycles"),
+                stats.get("delta.imbalance"),
+                stats.get("mem.linesRead"),
+                wl.check(delta.image()) ? "ok" : "WRONG");
+    return stats.get("delta.cycles");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("SpMV over a 512x1024 CSR matrix with heavy-row skew, "
+                "8 lanes\n\n");
+
+    const double base =
+        runConfig("static-parallel (baseline)",
+                  DeltaConfig::staticBaseline(8));
+
+    DeltaConfig count = DeltaConfig::delta(8);
+    count.policy = SchedPolicy::DynCount;
+    count.enableMulticast = false;
+    count.enablePipeline = false;
+    runConfig("dynamic, count-balanced", count);
+
+    DeltaConfig work = count;
+    work.policy = SchedPolicy::WorkAware;
+    runConfig("dynamic, work-aware", work);
+
+    const double full = runConfig("delta (work-aware + multicast)",
+                                  DeltaConfig::delta(8));
+
+    std::printf("\n  speedup over static-parallel: %.2fx\n",
+                base / full);
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Analytical area model for the TaskStream additions (Tab-3).
+ *
+ * The paper's area claim is that the structures TaskStream adds to an
+ * equivalent static-parallel design are small relative to a lane
+ * (fabric + scratchpad + stream engines).  We reproduce the *ratio*
+ * with an analytical model: per-structure entry counts and bit widths
+ * from the simulated configuration, times standard per-bit area
+ * constants for a generic 28nm-class process (documented in
+ * DESIGN.md as a substitution for RTL synthesis).
+ */
+
+#ifndef TS_ACCEL_AREA_MODEL_HH
+#define TS_ACCEL_AREA_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "accel/delta.hh"
+
+namespace ts
+{
+
+/** One row of the area table. */
+struct AreaEntry
+{
+    std::string name;
+    double mm2 = 0;
+    bool taskStreamAddition = false; ///< vs the static baseline
+};
+
+/** Area breakdown of one Delta configuration. */
+struct AreaReport
+{
+    std::vector<AreaEntry> entries;
+
+    double total() const;
+    double additions() const;
+    double overheadPercent() const;
+};
+
+/** Compute the analytical area breakdown for @p cfg. */
+AreaReport computeArea(const DeltaConfig& cfg);
+
+} // namespace ts
+
+#endif // TS_ACCEL_AREA_MODEL_HH

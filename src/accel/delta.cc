@@ -1,0 +1,121 @@
+#include "accel/delta.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace ts
+{
+
+DeltaConfig
+DeltaConfig::delta(std::uint32_t lanes)
+{
+    DeltaConfig cfg;
+    cfg.lanes = lanes;
+    cfg.policy = SchedPolicy::WorkAware;
+    cfg.enablePipeline = true;
+    cfg.enableMulticast = true;
+    return cfg;
+}
+
+DeltaConfig
+DeltaConfig::staticBaseline(std::uint32_t lanes)
+{
+    DeltaConfig cfg;
+    cfg.lanes = lanes;
+    cfg.policy = SchedPolicy::Static;
+    cfg.enablePipeline = false;
+    cfg.enableMulticast = false;
+    cfg.bulkSynchronous = true;
+    return cfg;
+}
+
+namespace
+{
+
+NocConfig
+meshFor(std::uint32_t lanes, NocConfig links)
+{
+    const std::uint32_t total = lanes + 2; // dispatcher + memory
+    auto w = static_cast<std::uint32_t>(
+        std::ceil(std::sqrt(static_cast<double>(total))));
+    links.width = w;
+    links.height = divCeil(total, w);
+    return links;
+}
+
+} // namespace
+
+Delta::Delta(const DeltaConfig& cfg)
+    : cfg_(cfg), registry_(cfg.lane.fabric.geom)
+{
+    if (cfg_.lanes == 0 || cfg_.lanes > 62)
+        fatal("Delta supports 1..62 lanes, got ", cfg_.lanes);
+
+    noc_ = std::make_unique<Noc>(sim_, meshFor(cfg_.lanes,
+                                               cfg_.nocLinks));
+
+    const std::uint32_t dispatcherNode = 0;
+    const std::uint32_t memNodeId = cfg_.lanes + 1;
+
+    memNode_ = std::make_unique<MemNode>(sim_, *noc_, memNodeId,
+                                         cfg_.mem);
+
+    for (std::uint32_t i = 0; i < cfg_.lanes; ++i) {
+        lanes_.push_back(std::make_unique<Lane>(
+            sim_, *noc_, img_, registry_, i, laneNode(i),
+            dispatcherNode, memNodeId, cfg_.lane));
+    }
+
+    DispatcherConfig dcfg;
+    dcfg.policy = cfg_.policy;
+    dcfg.enablePipeline = cfg_.enablePipeline;
+    dcfg.enableMulticast = cfg_.enableMulticast;
+    dcfg.bulkSynchronous = cfg_.bulkSynchronous;
+    dcfg.laneQueueCap = cfg_.laneQueueCap;
+    dcfg.spmLandingWords = cfg_.lane.spm.sizeWords;
+    dcfg.selfNode = dispatcherNode;
+    dcfg.memNode = memNodeId;
+    for (std::uint32_t i = 0; i < cfg_.lanes; ++i)
+        dcfg.laneNodes.push_back(laneNode(i));
+    dispatcher_ = std::make_unique<Dispatcher>(*noc_, img_, registry_,
+                                               dcfg);
+    sim_.add(dispatcher_.get());
+}
+
+Delta::~Delta() = default;
+
+StatSet
+Delta::run(const TaskGraph& graph)
+{
+    TS_ASSERT(!ran_, "a Delta instance runs one graph");
+    ran_ = true;
+
+    dispatcher_->loadGraph(graph);
+    const Tick cycles = sim_.run(cfg_.maxCycles);
+
+    if (!dispatcher_->allComplete())
+        panic("simulation quiesced with incomplete tasks");
+
+    StatSet stats;
+    sim_.reportStats(stats);
+    noc_->reportStats(stats);
+    stats.set("delta.cycles", static_cast<double>(cycles));
+    stats.set("delta.lanes", static_cast<double>(cfg_.lanes));
+
+    double busyMax = 0, busySum = 0;
+    for (const auto& lane : lanes_) {
+        const auto busy =
+            static_cast<double>(lane->taskUnit().busyCycles());
+        busyMax = std::max(busyMax, busy);
+        busySum += busy;
+    }
+    stats.set("delta.busyMax", busyMax);
+    stats.set("delta.busyMean",
+              busySum / static_cast<double>(cfg_.lanes));
+    stats.set("delta.imbalance",
+              busySum > 0 ? busyMax * cfg_.lanes / busySum : 1.0);
+    return stats;
+}
+
+} // namespace ts

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Delta: the full accelerator — N lanes on a mesh with a hardware
+ * task dispatcher and a banked memory controller — plus the
+ * host-facing API used by examples, tests, and benchmarks.
+ *
+ * The static-parallel baseline the paper compares against is the same
+ * hardware constructed with DeltaConfig::staticBaseline(): policy
+ * Static, pipeline recovery off, multicast recovery off.
+ */
+
+#ifndef TS_ACCEL_DELTA_HH
+#define TS_ACCEL_DELTA_HH
+
+#include <memory>
+
+#include "accel/lane.hh"
+#include "accel/mem_node.hh"
+#include "task/dispatcher.hh"
+
+namespace ts
+{
+
+/** Full-system configuration. */
+struct DeltaConfig
+{
+    std::uint32_t lanes = 8;
+
+    SchedPolicy policy = SchedPolicy::WorkAware;
+    bool enablePipeline = true;
+    bool enableMulticast = true;
+    /** Level-barrier execution (static-parallel designs only). */
+    bool bulkSynchronous = false;
+    std::uint32_t laneQueueCap = 2;
+
+    LaneConfig lane;
+    MainMemoryConfig mem;
+    NocConfig nocLinks; ///< width/height are derived from lanes
+
+    Tick maxCycles = 200'000'000;
+
+    /** TaskStream configuration (all mechanisms on). */
+    static DeltaConfig delta(std::uint32_t lanes = 8);
+
+    /** Equivalent static-parallel baseline. */
+    static DeltaConfig staticBaseline(std::uint32_t lanes = 8);
+};
+
+/** The accelerator instance. */
+class Delta
+{
+  public:
+    explicit Delta(const DeltaConfig& cfg);
+    ~Delta();
+
+    Delta(const Delta&) = delete;
+    Delta& operator=(const Delta&) = delete;
+
+    /** The functional memory image (workload setup and checking). */
+    MemImage& image() { return img_; }
+
+    /** Task-type registry (register DFGs/builtins before building
+     *  the task graph). */
+    TaskTypeRegistry& registry() { return registry_; }
+
+    /**
+     * Execute a task graph to completion and return the full
+     * statistics dump.  Key statistics:
+     *   delta.cycles          total execution cycles
+     *   delta.busyMax/Mean    lane busy-cycle imbalance
+     *   mem.linesRead         DRAM read traffic
+     *   noc.wordHops          network traffic
+     * One run per Delta instance.
+     */
+    StatSet run(const TaskGraph& graph);
+
+    std::uint32_t numLanes() const { return cfg_.lanes; }
+    const Lane& lane(std::uint32_t i) const { return *lanes_.at(i); }
+    const Dispatcher& dispatcher() const { return *dispatcher_; }
+    const Noc& noc() const { return *noc_; }
+    Simulator& sim() { return sim_; }
+    const DeltaConfig& config() const { return cfg_; }
+
+    /** NoC node hosting lane @p i. */
+    std::uint32_t laneNode(std::uint32_t i) const { return 1 + i; }
+
+  private:
+    DeltaConfig cfg_;
+    MemImage img_;
+    Simulator sim_;
+    std::unique_ptr<Noc> noc_;
+    TaskTypeRegistry registry_;
+    std::unique_ptr<MemNode> memNode_;
+    std::vector<std::unique_ptr<Lane>> lanes_;
+    std::unique_ptr<Dispatcher> dispatcher_;
+    bool ran_ = false;
+};
+
+} // namespace ts
+
+#endif // TS_ACCEL_DELTA_HH

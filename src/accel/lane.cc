@@ -1,0 +1,186 @@
+#include "accel/lane.hh"
+
+#include "mem/request.hh"
+#include "sim/logging.hh"
+
+namespace ts
+{
+
+Lane::Lane(Simulator& sim, Noc& noc, MemImage& img,
+           const TaskTypeRegistry& registry, std::uint32_t laneIndex,
+           std::uint32_t selfNode, std::uint32_t dispatcherNode,
+           std::uint32_t memNode, const LaneConfig& cfg)
+    : Ticked("lane" + std::to_string(laneIndex)), noc_(noc),
+      selfNode_(selfNode), memNode_(memNode), cfg_(cfg)
+{
+    const std::string prefix = name();
+
+    fabric_ = std::make_unique<Fabric>(prefix + ".fabric", cfg.fabric);
+    spm_ = std::make_unique<Scratchpad>(prefix + ".spm", cfg.spm);
+    landing_ = std::make_unique<SharedLanding>(img, *spm_);
+
+    for (std::uint32_t i = 0; i < cfg.numReadEngines; ++i) {
+        readEngines_.push_back(std::make_unique<ReadEngine>(
+            prefix + ".rd" + std::to_string(i), img, spm_.get(), this,
+            &pipes_, cfg.read));
+    }
+    for (std::uint32_t i = 0; i < cfg.numWriteEngines; ++i) {
+        writeEngines_.push_back(std::make_unique<WriteEngine>(
+            prefix + ".wr" + std::to_string(i), img, spm_.get(), this,
+            this, cfg.write));
+    }
+
+    TaskUnitPorts ports;
+    ports.fabric = fabric_.get();
+    for (auto& re : readEngines_)
+        ports.readEngines.push_back(re.get());
+    for (auto& we : writeEngines_)
+        ports.writeEngines.push_back(we.get());
+    ports.pipes = &pipes_;
+    ports.landing = landing_.get();
+    ports.memPort = this;
+    ports.image = &img;
+    ports.send = [this](Packet pkt) { return noc_.inject(pkt); };
+    ports.selfNode = selfNode;
+    ports.dispatcherNode = dispatcherNode;
+    ports.laneIndex = laneIndex;
+    taskUnit_ = std::make_unique<TaskUnit>(prefix + ".tu", registry,
+                                           std::move(ports));
+
+    // Registration order fixes intra-cycle evaluation order: the
+    // adapter (this) demuxes arrivals first, then the task unit makes
+    // control decisions, then the engines and fabric move data.
+    sim.add(this);
+    sim.add(taskUnit_.get());
+    sim.add(spm_.get());
+    for (auto& re : readEngines_)
+        sim.add(re.get());
+    for (auto& we : writeEngines_)
+        sim.add(we.get());
+    sim.add(fabric_.get());
+}
+
+bool
+Lane::requestLine(Addr lineAddr, std::function<void()> onData)
+{
+    if (inflight_.size() >= cfg_.maxOutstandingLines)
+        return false;
+    MemReq req;
+    req.lineAddr = lineAddr;
+    req.write = false;
+    req.srcNode = selfNode_;
+    req.tag = nextTag_;
+
+    Packet pkt;
+    pkt.src = selfNode_;
+    pkt.dstMask = Packet::unicast(memNode_);
+    pkt.kind = PktKind::MemReq;
+    pkt.sizeWords = 1;
+    pkt.payload = req;
+    if (!noc_.inject(std::move(pkt)))
+        return false;
+    inflight_.emplace(nextTag_, std::move(onData));
+    ++nextTag_;
+    ++lineReads_;
+    return true;
+}
+
+bool
+Lane::writeLine(Addr lineAddr)
+{
+    MemReq req;
+    req.lineAddr = lineAddr;
+    req.write = true;
+    req.srcNode = selfNode_;
+
+    Packet pkt;
+    pkt.src = selfNode_;
+    pkt.dstMask = Packet::unicast(memNode_);
+    pkt.kind = PktKind::MemReq;
+    pkt.sizeWords = 1 + lineWords; // command + line payload
+    pkt.payload = req;
+    if (!noc_.inject(std::move(pkt)))
+        return false;
+    ++lineWrites_;
+    return true;
+}
+
+bool
+Lane::sendChunk(std::uint64_t dstMask, std::uint64_t pipeId,
+                const std::vector<Token>& toks)
+{
+    Packet pkt;
+    pkt.src = selfNode_;
+    pkt.dstMask = dstMask;
+    pkt.kind = PktKind::PipeChunk;
+    pkt.sizeWords = static_cast<std::uint32_t>(toks.size());
+    pkt.payload = PipeChunkMsg{pipeId, toks};
+    if (!noc_.inject(std::move(pkt)))
+        return false;
+    ++chunksSent_;
+    return true;
+}
+
+void
+Lane::tick(Tick)
+{
+    auto& inbox = noc_.eject(selfNode_);
+    std::uint32_t budget = 8;
+    while (budget > 0 && !inbox.empty()) {
+        Packet pkt = inbox.pop();
+        --budget;
+        switch (pkt.kind) {
+          case PktKind::MemResp: {
+            const auto resp = std::any_cast<MemResp>(pkt.payload);
+            if (isSharedFillTag(resp.tag)) {
+                landing_->fill(sharedFillGroup(resp.tag),
+                               resp.lineAddr);
+                break;
+            }
+            auto it = inflight_.find(resp.tag);
+            TS_ASSERT(it != inflight_.end(),
+                      name(), ": response for unknown tag ", resp.tag);
+            auto cb = std::move(it->second);
+            inflight_.erase(it);
+            cb();
+            break;
+          }
+          case PktKind::TaskDispatch:
+            taskUnit_->deliver(
+                std::any_cast<DispatchMsg>(std::move(pkt.payload)));
+            break;
+          case PktKind::SharedFill:
+            landing_->setup(std::any_cast<GroupSetupMsg>(pkt.payload));
+            break;
+          case PktKind::PipeChunk: {
+            const auto msg =
+                std::any_cast<PipeChunkMsg>(std::move(pkt.payload));
+            pipes_.deliver(msg.pipeId, msg.toks);
+            break;
+          }
+          default:
+            panic(name(), ": unexpected packet kind");
+        }
+    }
+}
+
+bool
+Lane::busy() const
+{
+    // In-flight memory requests are visible through the memory model
+    // and NoC channels; the adapter itself holds no latent work.
+    return false;
+}
+
+void
+Lane::reportStats(StatSet& stats) const
+{
+    stats.set(name() + ".lineReads", static_cast<double>(lineReads_));
+    stats.set(name() + ".lineWrites", static_cast<double>(lineWrites_));
+    stats.set(name() + ".chunksSent", static_cast<double>(chunksSent_));
+    pipes_.reportStats(stats, name());
+    stats.set(name() + ".fillLinesLanded",
+              static_cast<double>(landing_->linesLanded()));
+}
+
+} // namespace ts

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * One Delta lane: a reconfigurable dataflow fabric, stream engines, a
+ * scratchpad, pipe buffers, a task unit, and the NoC adapter that
+ * stitches them to the mesh (memory port, pipe transmit, message
+ * demultiplexing).
+ */
+
+#ifndef TS_ACCEL_LANE_HH
+#define TS_ACCEL_LANE_HH
+
+#include <map>
+#include <memory>
+
+#include "cgra/fabric.hh"
+#include "mem/scratchpad.hh"
+#include "noc/noc.hh"
+#include "stream/read_engine.hh"
+#include "stream/write_engine.hh"
+#include "task/task_unit.hh"
+
+namespace ts
+{
+
+/** Per-lane configuration. */
+struct LaneConfig
+{
+    std::uint32_t numReadEngines = 4;
+    std::uint32_t numWriteEngines = 2;
+    std::uint32_t maxOutstandingLines = 16; ///< memory-port MSHRs
+    FabricConfig fabric;
+    ScratchpadConfig spm;
+    ReadEngineCfg read;
+    WriteEngineCfg write;
+};
+
+/** A lane and its NoC adapter. */
+class Lane : public Ticked, public MemPortIf, public PipeTxIf
+{
+  public:
+    Lane(Simulator& sim, Noc& noc, MemImage& img,
+         const TaskTypeRegistry& registry, std::uint32_t laneIndex,
+         std::uint32_t selfNode, std::uint32_t dispatcherNode,
+         std::uint32_t memNode, const LaneConfig& cfg);
+
+    // MemPortIf
+    bool requestLine(Addr lineAddr,
+                     std::function<void()> onData) override;
+    bool writeLine(Addr lineAddr) override;
+
+    // PipeTxIf
+    bool sendChunk(std::uint64_t dstMask, std::uint64_t pipeId,
+                   const std::vector<Token>& toks) override;
+
+    void tick(Tick now) override;
+    bool busy() const override;
+    void reportStats(StatSet& stats) const override;
+
+    TaskUnit& taskUnit() { return *taskUnit_; }
+    const TaskUnit& taskUnit() const { return *taskUnit_; }
+    Fabric& fabric() { return *fabric_; }
+    Scratchpad& scratchpad() { return *spm_; }
+    PipeSet& pipes() { return pipes_; }
+    const PipeSet& pipes() const { return pipes_; }
+
+  private:
+    Noc& noc_;
+    std::uint32_t selfNode_;
+    std::uint32_t memNode_;
+    LaneConfig cfg_;
+
+    std::unique_ptr<Fabric> fabric_;
+    std::unique_ptr<Scratchpad> spm_;
+    PipeSet pipes_;
+    std::unique_ptr<SharedLanding> landing_;
+    std::vector<std::unique_ptr<ReadEngine>> readEngines_;
+    std::vector<std::unique_ptr<WriteEngine>> writeEngines_;
+    std::unique_ptr<TaskUnit> taskUnit_;
+
+    std::uint64_t nextTag_ = 1;
+    std::map<std::uint64_t, std::function<void()>> inflight_;
+
+    std::uint64_t lineReads_ = 0;
+    std::uint64_t lineWrites_ = 0;
+    std::uint64_t chunksSent_ = 0;
+};
+
+} // namespace ts
+
+#endif // TS_ACCEL_LANE_HH

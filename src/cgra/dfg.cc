@@ -1,0 +1,297 @@
+#include "cgra/dfg.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace ts
+{
+
+std::uint32_t
+Dfg::addInput()
+{
+    Node n;
+    n.op = Op::Input;
+    n.portIdx = static_cast<std::uint32_t>(inputNodes_.size());
+    nodes_.push_back(n);
+    inputNodes_.push_back(numNodes() - 1);
+    return numNodes() - 1;
+}
+
+std::uint32_t
+Dfg::add(Op op, Operand a, Operand b, Operand c)
+{
+    TS_ASSERT(op != Op::Input && op != Op::Output,
+              "use addInput/addOutput for port nodes");
+    Node n;
+    n.op = op;
+    n.opnd = {a, b, c};
+    for (const Operand& o : n.opnd) {
+        if (o.kind == Operand::Kind::Node) {
+            TS_ASSERT(o.node < numNodes(),
+                      name_, ": operand references future node (cycle?)");
+        }
+    }
+    nodes_.push_back(n);
+    return numNodes() - 1;
+}
+
+std::uint32_t
+Dfg::addOutput(std::uint32_t src)
+{
+    TS_ASSERT(src < numNodes());
+    Node n;
+    n.op = Op::Output;
+    n.opnd[0] = Operand::ref(src);
+    n.portIdx = static_cast<std::uint32_t>(outputNodes_.size());
+    nodes_.push_back(n);
+    outputNodes_.push_back(numNodes() - 1);
+    return numNodes() - 1;
+}
+
+void
+Dfg::validate() const
+{
+    if (numInputs() == 0)
+        fatal(name_, ": DFG has no input ports");
+    if (numOutputs() == 0)
+        fatal(name_, ": DFG has no output ports");
+    for (std::uint32_t id = 0; id < numNodes(); ++id) {
+        const Node& n = nodes_[id];
+        const OpInfo& info = opInfo(n.op);
+        unsigned have = 0;
+        for (const Operand& o : n.opnd) {
+            if (o.kind != Operand::Kind::None)
+                ++have;
+        }
+        if (have != info.arity) {
+            fatal(name_, ": node ", id, " (", info.name, ") has ", have,
+                  " operands, needs ", unsigned(info.arity));
+        }
+        if (isStreamOp(n.op)) {
+            // Stream ops need both operands to be token streams.
+            for (unsigned s = 0; s < 2; ++s) {
+                if (n.opnd[s].kind != Operand::Kind::Node) {
+                    fatal(name_, ": stream op node ", id,
+                          " needs node operands");
+                }
+            }
+        }
+    }
+}
+
+std::vector<DfgEdge>
+Dfg::edges() const
+{
+    std::vector<DfgEdge> out;
+    for (std::uint32_t id = 0; id < numNodes(); ++id) {
+        const Node& n = nodes_[id];
+        for (std::uint8_t s = 0; s < 3; ++s) {
+            if (n.opnd[s].kind == Operand::Kind::Node)
+                out.push_back(DfgEdge{n.opnd[s].node, id, s});
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+using Stream = std::vector<Token>;
+
+Stream
+evalElementwiseStream(const Dfg::Node& n,
+                      const std::vector<const Stream*>& opnd)
+{
+    // Length = length of the node-referencing operands (must agree).
+    std::size_t len = 0;
+    bool haveLen = false;
+    for (unsigned s = 0; s < 3; ++s) {
+        if (n.opnd[s].kind == Operand::Kind::Node) {
+            if (!haveLen) {
+                len = opnd[s]->size();
+                haveLen = true;
+            } else if (opnd[s]->size() != len) {
+                fatal("elementwise op ", opName(n.op),
+                      ": operand stream lengths differ (", len, " vs ",
+                      opnd[s]->size(), ")");
+            }
+        }
+    }
+    TS_ASSERT(haveLen, "elementwise op with no stream operand");
+
+    Stream out;
+    out.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) {
+        Word w[3] = {0, 0, 0};
+        std::uint8_t flags = 0;
+        for (unsigned s = 0; s < 3; ++s) {
+            if (n.opnd[s].kind == Operand::Kind::Node) {
+                w[s] = (*opnd[s])[i].value;
+                flags |= (*opnd[s])[i].flags;
+            } else if (n.opnd[s].kind == Operand::Kind::Imm) {
+                w[s] = n.opnd[s].imm;
+            }
+        }
+        out.push_back(Token{evalElementwise(n.op, w[0], w[1], w[2]),
+                            flags});
+    }
+    return out;
+}
+
+Stream
+evalAccStream(Op op, const Stream& in)
+{
+    Stream out;
+    Word acc = accIdentity(op);
+    for (const Token& t : in) {
+        acc = evalAccStep(op, acc, t.value);
+        if (t.segEnd()) {
+            out.push_back(Token{acc, Token::demote(t.flags)});
+            acc = accIdentity(op);
+        }
+    }
+    return out;
+}
+
+Stream
+evalMerge2(const Stream& a, const Stream& b)
+{
+    Stream out;
+    std::size_t i = 0, j = 0;
+    while (i < a.size() || j < b.size()) {
+        Word v;
+        if (i >= a.size()) {
+            v = b[j++].value;
+        } else if (j >= b.size()) {
+            v = a[i++].value;
+        } else if (asInt(a[i].value) <= asInt(b[j].value)) {
+            v = a[i++].value;
+        } else {
+            v = b[j++].value;
+        }
+        out.push_back(Token{v, 0});
+    }
+    if (!out.empty())
+        out.back().flags = kSegEnd | kStreamEnd;
+    return out;
+}
+
+std::vector<Stream>
+splitSegments(const Stream& s)
+{
+    std::vector<Stream> segs;
+    Stream cur;
+    for (const Token& t : s) {
+        cur.push_back(t);
+        if (t.segEnd()) {
+            segs.push_back(std::move(cur));
+            cur.clear();
+        }
+    }
+    TS_ASSERT(cur.empty(), "stream does not end on a segment boundary");
+    return segs;
+}
+
+Stream
+evalIsectCount(const Stream& a, const Stream& b)
+{
+    const auto segA = splitSegments(a);
+    const auto segB = splitSegments(b);
+    if (segA.size() != segB.size()) {
+        fatal("isectcount: operand segment counts differ (", segA.size(),
+              " vs ", segB.size(), ")");
+    }
+    Stream out;
+    for (std::size_t k = 0; k < segA.size(); ++k) {
+        std::int64_t count = 0;
+        std::size_t i = 0, j = 0;
+        const Stream& sa = segA[k];
+        const Stream& sb = segB[k];
+        while (i < sa.size() && j < sb.size()) {
+            const std::int64_t va = asInt(sa[i].value);
+            const std::int64_t vb = asInt(sb[j].value);
+            if (va == vb) {
+                ++count;
+                ++i;
+                ++j;
+            } else if (va < vb) {
+                ++i;
+            } else {
+                ++j;
+            }
+        }
+        // Segments are never empty: each carries its boundary token.
+        std::uint8_t flags = kSegEnd;
+        if (sa.back().streamEnd() && sb.back().streamEnd())
+            flags |= kStreamEnd;
+        out.push_back(Token{fromInt(count), flags});
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<std::vector<Token>>
+evalDfg(const Dfg& dfg, const std::vector<std::vector<Token>>& inputs)
+{
+    if (inputs.size() != dfg.numInputs()) {
+        fatal(dfg.name(), ": expected ", dfg.numInputs(),
+              " input streams, got ", inputs.size());
+    }
+
+    std::vector<Stream> value(dfg.numNodes());
+    std::vector<Stream> outputs(dfg.numOutputs());
+
+    for (std::uint32_t id = 0; id < dfg.numNodes(); ++id) {
+        const Dfg::Node& n = dfg.node(id);
+        std::vector<const Stream*> opnd(3, nullptr);
+        for (unsigned s = 0; s < 3; ++s) {
+            if (n.opnd[s].kind == Operand::Kind::Node)
+                opnd[s] = &value[n.opnd[s].node];
+        }
+        if (n.op == Op::Input) {
+            value[id] = inputs[n.portIdx];
+        } else if (n.op == Op::Output) {
+            value[id] = *opnd[0];
+            outputs[n.portIdx] = value[id];
+        } else if (isElementwise(n.op)) {
+            value[id] = evalElementwiseStream(n, opnd);
+        } else if (isAccumulator(n.op)) {
+            value[id] = evalAccStream(n.op, *opnd[0]);
+        } else if (n.op == Op::Merge2) {
+            value[id] = evalMerge2(*opnd[0], *opnd[1]);
+        } else if (n.op == Op::IsectCount) {
+            value[id] = evalIsectCount(*opnd[0], *opnd[1]);
+        } else {
+            panic("evalDfg: unhandled op ", opName(n.op));
+        }
+    }
+    return outputs;
+}
+
+std::vector<Token>
+makeStream(const std::vector<Word>& words)
+{
+    std::vector<Token> out;
+    out.reserve(words.size());
+    for (std::size_t i = 0; i < words.size(); ++i) {
+        std::uint8_t flags = 0;
+        if (i + 1 == words.size())
+            flags = kSegEnd | kStreamEnd;
+        out.push_back(Token{words[i], flags});
+    }
+    return out;
+}
+
+std::vector<Word>
+streamValues(const std::vector<Token>& toks)
+{
+    std::vector<Word> out;
+    out.reserve(toks.size());
+    for (const Token& t : toks)
+        out.push_back(t.value);
+    return out;
+}
+
+} // namespace ts

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The dataflow-graph IR describing a task type's compute body, plus a
+ * functional interpreter used both as the golden reference in tests
+ * and as the semantic definition the cycle-level fabric must match.
+ *
+ * A Dfg is a DAG built in topological order: operands may only
+ * reference already-created nodes, so no cycles can be expressed
+ * (recurrences are expressed through accumulator ops instead).
+ */
+
+#ifndef TS_CGRA_DFG_HH
+#define TS_CGRA_DFG_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cgra/op.hh"
+#include "cgra/token.hh"
+
+namespace ts
+{
+
+/** A node operand: absent, a reference to another node, or an
+ *  immediate constant baked into the configuration. */
+struct Operand
+{
+    enum class Kind : std::uint8_t { None, Node, Imm };
+
+    Kind kind = Kind::None;
+    std::uint32_t node = 0;
+    Word imm = 0;
+
+    static Operand none() { return {}; }
+
+    static Operand
+    ref(std::uint32_t nodeId)
+    {
+        Operand o;
+        o.kind = Kind::Node;
+        o.node = nodeId;
+        return o;
+    }
+
+    static Operand
+    immW(Word w)
+    {
+        Operand o;
+        o.kind = Kind::Imm;
+        o.imm = w;
+        return o;
+    }
+
+    static Operand immI(std::int64_t v) { return immW(fromInt(v)); }
+    static Operand immF(double v) { return immW(fromDouble(v)); }
+};
+
+/** A producer-to-consumer edge (for mapping and routing). */
+struct DfgEdge
+{
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    std::uint8_t slot = 0;
+};
+
+/** A dataflow graph. */
+class Dfg
+{
+  public:
+    /** One operation node. */
+    struct Node
+    {
+        Op op = Op::Add;
+        std::array<Operand, 3> opnd{};
+        std::uint32_t portIdx = 0; ///< for Input/Output nodes
+    };
+
+    explicit Dfg(std::string name = "dfg") : name_(std::move(name)) {}
+
+    /** Append an input-port node; ports number in creation order. */
+    std::uint32_t addInput();
+
+    /** Append a compute node. */
+    std::uint32_t add(Op op, Operand a, Operand b = Operand::none(),
+                      Operand c = Operand::none());
+
+    /** Append an output-port node fed by @p src. */
+    std::uint32_t addOutput(std::uint32_t src);
+
+    /** Check structural invariants; fatal on violation. */
+    void validate() const;
+
+    const Node& node(std::uint32_t id) const { return nodes_.at(id); }
+    std::uint32_t numNodes() const
+    {
+        return static_cast<std::uint32_t>(nodes_.size());
+    }
+    std::uint32_t numInputs() const
+    {
+        return static_cast<std::uint32_t>(inputNodes_.size());
+    }
+    std::uint32_t numOutputs() const
+    {
+        return static_cast<std::uint32_t>(outputNodes_.size());
+    }
+    std::uint32_t inputNode(std::uint32_t port) const
+    {
+        return inputNodes_.at(port);
+    }
+    std::uint32_t outputNode(std::uint32_t port) const
+    {
+        return outputNodes_.at(port);
+    }
+
+    /** All node-to-node edges, in deterministic order. */
+    std::vector<DfgEdge> edges() const;
+
+    const std::string& name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::vector<Node> nodes_;
+    std::vector<std::uint32_t> inputNodes_;
+    std::vector<std::uint32_t> outputNodes_;
+};
+
+/**
+ * Functional reference semantics: evaluate a DFG over complete input
+ * token streams, producing complete output streams.
+ *
+ * @param dfg the graph (validated).
+ * @param inputs one token sequence per input port.
+ * @return one token sequence per output port.
+ */
+std::vector<std::vector<Token>>
+evalDfg(const Dfg& dfg, const std::vector<std::vector<Token>>& inputs);
+
+/** Wrap a vector of words as a single-segment token stream. */
+std::vector<Token> makeStream(const std::vector<Word>& words);
+
+/** Extract the values of a token stream. */
+std::vector<Word> streamValues(const std::vector<Token>& toks);
+
+} // namespace ts
+
+#endif // TS_CGRA_DFG_HH

@@ -1,0 +1,265 @@
+#include "cgra/mapping.hh"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <queue>
+
+#include "sim/logging.hh"
+
+namespace ts
+{
+
+std::uint32_t
+MappedDfg::maxRouteHops() const
+{
+    std::uint32_t m = 0;
+    for (const Route& r : routes) {
+        m = std::max(m,
+                     static_cast<std::uint32_t>(r.path.size()) - 1);
+    }
+    return m;
+}
+
+std::uint32_t
+MappedDfg::totalLinks() const
+{
+    std::uint32_t n = 0;
+    for (const Route& r : routes)
+        n += static_cast<std::uint32_t>(r.path.size()) - 1;
+    return n;
+}
+
+namespace
+{
+
+/** Mutable routing state: remaining capacity per directed link. */
+class LinkBudget
+{
+  public:
+    LinkBudget(const FabricGeometry& g) : geom_(g) {}
+
+    std::uint32_t
+    remaining(std::uint32_t from, std::uint32_t to) const
+    {
+        auto it = used_.find({from, to});
+        const std::uint32_t u = it == used_.end() ? 0 : it->second;
+        return geom_.linkMultiplicity - u;
+    }
+
+    void
+    consume(std::uint32_t from, std::uint32_t to)
+    {
+        ++used_[{from, to}];
+    }
+
+    void
+    release(std::uint32_t from, std::uint32_t to)
+    {
+        auto it = used_.find({from, to});
+        TS_ASSERT(it != used_.end() && it->second > 0);
+        --it->second;
+    }
+
+  private:
+    FabricGeometry geom_;
+    std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t>
+        used_;
+};
+
+std::vector<std::uint32_t>
+neighbors(const FabricGeometry& g, std::uint32_t tile)
+{
+    std::vector<std::uint32_t> out;
+    const std::uint32_t c = tile % g.cols, r = tile / g.cols;
+    if (c + 1 < g.cols)
+        out.push_back(tile + 1);
+    if (c > 0)
+        out.push_back(tile - 1);
+    if (r + 1 < g.rows)
+        out.push_back(tile + g.cols);
+    if (r > 0)
+        out.push_back(tile - g.cols);
+    return out;
+}
+
+std::uint32_t
+manhattan(const FabricGeometry& g, std::uint32_t a, std::uint32_t b)
+{
+    const auto ax = static_cast<std::int64_t>(a % g.cols);
+    const auto ay = static_cast<std::int64_t>(a / g.cols);
+    const auto bx = static_cast<std::int64_t>(b % g.cols);
+    const auto by = static_cast<std::int64_t>(b / g.cols);
+    return static_cast<std::uint32_t>(std::abs(ax - bx) +
+                                      std::abs(ay - by));
+}
+
+/** BFS shortest path over links with remaining capacity. */
+std::vector<std::uint32_t>
+routeBfs(const FabricGeometry& g, const LinkBudget& budget,
+         std::uint32_t from, std::uint32_t to)
+{
+    std::vector<std::int32_t> prev(g.numTiles(), -1);
+    std::vector<bool> seen(g.numTiles(), false);
+    std::queue<std::uint32_t> q;
+    q.push(from);
+    seen[from] = true;
+    while (!q.empty()) {
+        const std::uint32_t cur = q.front();
+        q.pop();
+        if (cur == to)
+            break;
+        for (std::uint32_t nb : neighbors(g, cur)) {
+            if (seen[nb] || budget.remaining(cur, nb) == 0)
+                continue;
+            seen[nb] = true;
+            prev[nb] = static_cast<std::int32_t>(cur);
+            q.push(nb);
+        }
+    }
+    if (!seen[to])
+        return {};
+    std::vector<std::uint32_t> path;
+    for (std::uint32_t cur = to;;) {
+        path.push_back(cur);
+        if (cur == from)
+            break;
+        cur = static_cast<std::uint32_t>(prev[cur]);
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+} // namespace
+
+namespace
+{
+
+/** Deterministic tiebreak hash for placement retries. */
+std::uint32_t
+saltHash(std::uint32_t salt, std::uint32_t node, std::uint32_t tile)
+{
+    std::uint64_t x = (std::uint64_t(salt) << 40) ^
+                      (std::uint64_t(node) << 20) ^ tile;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    return static_cast<std::uint32_t>(x & 7);
+}
+
+} // namespace
+
+MappedDfg
+Mapper::map(const Dfg& dfg) const
+{
+    // Greedy placement can wedge on congested graphs; retry with
+    // perturbed tile preferences before giving up (a lightweight
+    // stand-in for rip-up-and-reroute).
+    for (std::uint32_t salt = 0; salt < 8; ++salt) {
+        try {
+            return mapAttempt(dfg, salt);
+        } catch (const FatalError&) {
+            if (salt == 7)
+                throw;
+        }
+    }
+    fatal("unreachable");
+}
+
+MappedDfg
+Mapper::mapAttempt(const Dfg& dfg, std::uint32_t salt) const
+{
+    dfg.validate();
+    if (dfg.numNodes() > geom_.numTiles()) {
+        fatal("DFG '", dfg.name(), "' has ", dfg.numNodes(),
+              " nodes but the fabric only has ", geom_.numTiles(),
+              " tiles");
+    }
+
+    MappedDfg m;
+    m.dfg = &dfg;
+    m.geom = geom_;
+    m.nodeTile.assign(dfg.numNodes(),
+                      std::numeric_limits<std::uint32_t>::max());
+
+    const auto allEdges = dfg.edges();
+    LinkBudget budget(geom_);
+    std::vector<bool> tileUsed(geom_.numTiles(), false);
+
+    // Routes are stored per edge in dfg.edges() order; we fill them
+    // as consumers get placed.
+    m.routes.resize(allEdges.size());
+    for (std::size_t e = 0; e < allEdges.size(); ++e)
+        m.routes[e].edge = allEdges[e];
+
+    for (std::uint32_t id = 0; id < dfg.numNodes(); ++id) {
+        const Dfg::Node& n = dfg.node(id);
+
+        // Incoming edges of this node (producers already placed,
+        // because builder order is topological).
+        std::vector<std::size_t> inEdges;
+        for (std::size_t e = 0; e < allEdges.size(); ++e) {
+            if (allEdges[e].dst == id)
+                inEdges.push_back(e);
+        }
+
+        // Candidate tiles ordered by placement cost.
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> cand;
+        for (std::uint32_t t = 0; t < geom_.numTiles(); ++t) {
+            if (tileUsed[t])
+                continue;
+            std::uint32_t cost = 0;
+            for (std::size_t e : inEdges)
+                cost += manhattan(geom_, m.nodeTile[allEdges[e].src], t);
+            if (n.op == Op::Input)
+                cost += t % geom_.cols; // prefer west column
+            if (n.op == Op::Output)
+                cost += geom_.cols - 1 - t % geom_.cols; // east column
+            cost = cost * 8 + saltHash(salt, id, t);
+            cand.emplace_back(cost, t);
+        }
+        std::sort(cand.begin(), cand.end());
+
+        bool placed = false;
+        for (const auto& [cost, tile] : cand) {
+            (void)cost;
+            // Try to route every incoming edge to this tile.
+            std::vector<std::vector<std::uint32_t>> paths;
+            bool ok = true;
+            for (std::size_t e : inEdges) {
+                auto path = routeBfs(geom_, budget,
+                                     m.nodeTile[allEdges[e].src], tile);
+                if (path.empty()) {
+                    ok = false;
+                    break;
+                }
+                for (std::size_t i = 0; i + 1 < path.size(); ++i)
+                    budget.consume(path[i], path[i + 1]);
+                paths.push_back(std::move(path));
+            }
+            if (!ok) {
+                // Roll back partially committed paths.
+                for (const auto& path : paths) {
+                    for (std::size_t i = 0; i + 1 < path.size(); ++i)
+                        budget.release(path[i], path[i + 1]);
+                }
+                continue;
+            }
+            m.nodeTile[id] = tile;
+            tileUsed[tile] = true;
+            for (std::size_t k = 0; k < inEdges.size(); ++k)
+                m.routes[inEdges[k]].path = std::move(paths[k]);
+            placed = true;
+            break;
+        }
+        if (!placed) {
+            fatal("DFG '", dfg.name(), "': could not place/route node ",
+                  id, " (", opName(n.op),
+                  "); fabric too congested — increase geometry or "
+                  "link multiplicity");
+        }
+    }
+    return m;
+}
+
+} // namespace ts

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Placement-and-routing of a DFG onto the CGRA grid.
+ *
+ * The fabric is circuit-switched: every DFG edge gets a dedicated
+ * path of physical links (each adjacent tile pair provides
+ * `linkMultiplicity` parallel links per direction).  The mapper
+ * places nodes greedily in topological order near their producers
+ * and routes each incoming edge with capacity-aware BFS.
+ */
+
+#ifndef TS_CGRA_MAPPING_HH
+#define TS_CGRA_MAPPING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cgra/dfg.hh"
+
+namespace ts
+{
+
+/** Physical dimensions of a fabric. */
+struct FabricGeometry
+{
+    std::uint32_t rows = 6;
+    std::uint32_t cols = 6;
+    std::uint32_t linkMultiplicity = 2;
+
+    std::uint32_t numTiles() const { return rows * cols; }
+};
+
+/** The result of mapping one DFG onto a fabric. */
+struct MappedDfg
+{
+    const Dfg* dfg = nullptr;
+    FabricGeometry geom;
+
+    /** Node id -> tile id. */
+    std::vector<std::uint32_t> nodeTile;
+
+    /** One route per DFG edge, in dfg->edges() order. */
+    struct Route
+    {
+        DfgEdge edge;
+        /** Tile path, front() = producer tile, back() = consumer. */
+        std::vector<std::uint32_t> path;
+    };
+    std::vector<Route> routes;
+
+    /** Longest route in hops (pipeline-depth contribution). */
+    std::uint32_t maxRouteHops() const;
+
+    /** Total physical links consumed (area/occupancy metric). */
+    std::uint32_t totalLinks() const;
+};
+
+/** Greedy placer + capacity-aware BFS router. */
+class Mapper
+{
+  public:
+    explicit Mapper(const FabricGeometry& geom) : geom_(geom) {}
+
+    /**
+     * Map @p dfg onto the fabric.  fatal() if the graph does not fit
+     * (too many nodes, or routing congestion beyond capacity).
+     */
+    MappedDfg map(const Dfg& dfg) const;
+
+  private:
+    MappedDfg mapAttempt(const Dfg& dfg, std::uint32_t salt) const;
+
+    FabricGeometry geom_;
+};
+
+} // namespace ts
+
+#endif // TS_CGRA_MAPPING_HH

@@ -1,0 +1,121 @@
+#include "cgra/op.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace ts
+{
+
+const OpInfo&
+opInfo(Op op)
+{
+    static const OpInfo table[] = {
+        {"input", 0, 1},   {"output", 1, 1},
+        {"add", 2, 1},     {"sub", 2, 1},     {"mul", 2, 3},
+        {"div", 2, 8},     {"min", 2, 1},     {"max", 2, 1},
+        {"and", 2, 1},     {"or", 2, 1},      {"xor", 2, 1},
+        {"shl", 2, 1},     {"shr", 2, 1},
+        {"cmplt", 2, 1},   {"cmpeq", 2, 1},   {"select", 3, 1},
+        {"abs", 1, 1},
+        {"fadd", 2, 3},    {"fsub", 2, 3},    {"fmul", 2, 4},
+        {"fdiv", 2, 12},   {"fmin", 2, 1},    {"fmax", 2, 1},
+        {"fcmplt", 2, 1},  {"fabs", 1, 1},
+        {"itof", 1, 2},    {"ftoi", 1, 2},
+        {"accadd", 1, 1},  {"faccadd", 1, 2}, {"accmax", 1, 1},
+        {"accmin", 1, 1}, {"acccount", 1, 1},
+        {"merge2", 2, 1},  {"isectcount", 2, 1},
+    };
+    return table[static_cast<std::size_t>(op)];
+}
+
+bool
+isElementwise(Op op)
+{
+    return op >= Op::Add && op <= Op::FToI;
+}
+
+bool
+isAccumulator(Op op)
+{
+    return op >= Op::AccAdd && op <= Op::AccCount;
+}
+
+bool
+isStreamOp(Op op)
+{
+    return op == Op::Merge2 || op == Op::IsectCount;
+}
+
+Word
+evalElementwise(Op op, Word a, Word b, Word c)
+{
+    switch (op) {
+      case Op::Add: return fromInt(asInt(a) + asInt(b));
+      case Op::Sub: return fromInt(asInt(a) - asInt(b));
+      case Op::Mul: return fromInt(asInt(a) * asInt(b));
+      case Op::Div:
+        return fromInt(asInt(b) == 0 ? 0 : asInt(a) / asInt(b));
+      case Op::Min: return fromInt(std::min(asInt(a), asInt(b)));
+      case Op::Max: return fromInt(std::max(asInt(a), asInt(b)));
+      case Op::And: return a & b;
+      case Op::Or: return a | b;
+      case Op::Xor: return a ^ b;
+      case Op::Shl: return a << (b & 63);
+      case Op::Shr: return a >> (b & 63);
+      case Op::CmpLt: return fromInt(asInt(a) < asInt(b) ? 1 : 0);
+      case Op::CmpEq: return fromInt(a == b ? 1 : 0);
+      case Op::Select: return asInt(a) != 0 ? b : c;
+      case Op::Abs: return fromInt(std::abs(asInt(a)));
+      case Op::FAdd: return fromDouble(asDouble(a) + asDouble(b));
+      case Op::FSub: return fromDouble(asDouble(a) - asDouble(b));
+      case Op::FMul: return fromDouble(asDouble(a) * asDouble(b));
+      case Op::FDiv: return fromDouble(asDouble(a) / asDouble(b));
+      case Op::FMin:
+        return fromDouble(std::min(asDouble(a), asDouble(b)));
+      case Op::FMax:
+        return fromDouble(std::max(asDouble(a), asDouble(b)));
+      case Op::FCmpLt:
+        return fromInt(asDouble(a) < asDouble(b) ? 1 : 0);
+      case Op::FAbs: return fromDouble(std::fabs(asDouble(a)));
+      case Op::IToF:
+        return fromDouble(static_cast<double>(asInt(a)));
+      case Op::FToI:
+        return fromInt(static_cast<std::int64_t>(asDouble(a)));
+      default:
+        panic("evalElementwise on non-elementwise op ", opName(op));
+    }
+}
+
+Word
+evalAccStep(Op op, Word acc, Word v)
+{
+    switch (op) {
+      case Op::AccAdd: return fromInt(asInt(acc) + asInt(v));
+      case Op::FAccAdd: return fromDouble(asDouble(acc) + asDouble(v));
+      case Op::AccMax: return fromInt(std::max(asInt(acc), asInt(v)));
+      case Op::AccMin: return fromInt(std::min(asInt(acc), asInt(v)));
+      case Op::AccCount: return fromInt(asInt(acc) + 1);
+      default:
+        panic("evalAccStep on non-accumulator op ", opName(op));
+    }
+}
+
+Word
+accIdentity(Op op)
+{
+    switch (op) {
+      case Op::AccAdd:
+      case Op::AccCount: return fromInt(0);
+      case Op::FAccAdd: return fromDouble(0.0);
+      case Op::AccMax:
+        return fromInt(std::numeric_limits<std::int64_t>::min());
+      case Op::AccMin:
+        return fromInt(std::numeric_limits<std::int64_t>::max());
+      default:
+        panic("accIdentity on non-accumulator op ", opName(op));
+    }
+}
+
+} // namespace ts

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The fabric instruction set: opcodes, metadata, and elementwise
+ * evaluation semantics.
+ *
+ * Three opcode classes exist:
+ *  - elementwise: consume one token per operand, emit one token;
+ *  - accumulators: consume a stream, emit one token per segment;
+ *  - stream ops: data-dependent two-input ops (sorted merge, sorted
+ *    intersection count) that give dataflow hardware its edge on
+ *    irregular kernels.
+ */
+
+#ifndef TS_CGRA_OP_HH
+#define TS_CGRA_OP_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace ts
+{
+
+/** Fabric opcodes. */
+enum class Op : std::uint8_t
+{
+    // Structural
+    Input,  ///< external input port
+    Output, ///< external output port
+    // Integer elementwise
+    Add, Sub, Mul, Div, Min, Max,
+    And, Or, Xor, Shl, Shr,
+    CmpLt, CmpEq, Select, Abs,
+    // Floating-point elementwise
+    FAdd, FSub, FMul, FDiv, FMin, FMax, FCmpLt, FAbs,
+    // Conversions
+    IToF, FToI,
+    // Accumulators (one output per segment)
+    AccAdd, FAccAdd, AccMax, AccMin, AccCount,
+    // Data-dependent stream ops
+    Merge2,     ///< sorted 2-way merge of whole streams
+    IsectCount, ///< per-segment count of common sorted elements
+};
+
+/** Classification helpers and metadata. */
+struct OpInfo
+{
+    const char* name;
+    std::uint8_t arity;   ///< operand count (0 for Input)
+    std::uint8_t latency; ///< pipeline depth in cycles
+};
+
+/** Metadata lookup for an opcode. */
+const OpInfo& opInfo(Op op);
+
+/** Name string for diagnostics. */
+inline std::string
+opName(Op op)
+{
+    return opInfo(op).name;
+}
+
+/** True for ops evaluated one token in, one token out. */
+bool isElementwise(Op op);
+
+/** True for per-segment accumulator ops. */
+bool isAccumulator(Op op);
+
+/** True for data-dependent two-input stream ops. */
+bool isStreamOp(Op op);
+
+/**
+ * Evaluate an elementwise opcode.
+ * @param op the opcode (must satisfy isElementwise).
+ * @param a,b,c operand words (unused slots ignored).
+ */
+Word evalElementwise(Op op, Word a, Word b, Word c);
+
+/** Apply one accumulation step; returns the new accumulator. */
+Word evalAccStep(Op op, Word acc, Word v);
+
+/** Identity value for an accumulator opcode. */
+Word accIdentity(Op op);
+
+} // namespace ts
+
+#endif // TS_CGRA_OP_HH

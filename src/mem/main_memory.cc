@@ -1,0 +1,92 @@
+#include "mem/main_memory.hh"
+
+#include "sim/logging.hh"
+
+namespace ts
+{
+
+MainMemory::MainMemory(Simulator& sim, const MainMemoryConfig& cfg,
+                       Channel<MemReq>& reqIn, Channel<MemResp>& respOut)
+    : Ticked("main_memory"), sim_(sim), cfg_(cfg), reqIn_(reqIn),
+      respOut_(respOut), bankFreeAt_(cfg.numBanks, 0)
+{
+    if (cfg_.numBanks == 0 || cfg_.issueWidth == 0)
+        fatal("main memory needs at least one bank and issue slot");
+}
+
+std::uint32_t
+MainMemory::bankOf(Addr lineAddr) const
+{
+    return static_cast<std::uint32_t>((lineAddr / lineBytes) %
+                                      cfg_.numBanks);
+}
+
+void
+MainMemory::tick(Tick now)
+{
+    // Accept new requests into the pending queue.
+    while (!reqIn_.empty() && pending_.size() < cfg_.queueCapacity)
+        pending_.push_back(reqIn_.pop());
+
+    // Issue up to issueWidth requests whose banks are free.  Requests
+    // may issue out of order across banks (FR-FCFS-like), but stay
+    // in order within a bank because the queue is scanned front to
+    // back and a bank accepts one issue per scan.
+    std::uint32_t issued = 0;
+    for (auto it = pending_.begin();
+         it != pending_.end() && issued < cfg_.issueWidth;) {
+        const std::uint32_t bank = bankOf(it->lineAddr);
+        if (bankFreeAt_[bank] > now) {
+            ++bankConflictStalls_;
+            ++it;
+            continue;
+        }
+        bankFreeAt_[bank] = now + cfg_.bankOccupancy;
+        ++issued;
+        if (it->write) {
+            ++linesWritten_;
+        } else {
+            ++linesRead_;
+            ++inflight_;
+            MemResp resp{it->lineAddr, it->srcNode, it->multicastMask,
+                         it->tag};
+            sim_.schedule(cfg_.serviceLatency, [this, resp]() {
+                if (respOut_.push(resp)) {
+                    --inflight_;
+                } else {
+                    // Response path back-pressured: retry next cycle.
+                    retryResponse(resp);
+                }
+            });
+        }
+        it = pending_.erase(it);
+    }
+}
+
+void
+MainMemory::retryResponse(const MemResp& resp)
+{
+    sim_.schedule(1, [this, resp]() {
+        if (respOut_.push(resp))
+            --inflight_;
+        else
+            retryResponse(resp);
+    });
+}
+
+bool
+MainMemory::busy() const
+{
+    return !pending_.empty() || inflight_ > 0;
+}
+
+void
+MainMemory::reportStats(StatSet& stats) const
+{
+    stats.set("mem.linesRead", static_cast<double>(linesRead_));
+    stats.set("mem.linesWritten", static_cast<double>(linesWritten_));
+    stats.set("mem.bankConflictStalls",
+              static_cast<double>(bankConflictStalls_));
+}
+
+} // namespace ts

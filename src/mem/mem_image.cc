@@ -1,0 +1,67 @@
+#include "mem/mem_image.hh"
+
+#include "sim/logging.hh"
+
+namespace ts
+{
+
+const std::vector<Word>*
+MemImage::findPage(Addr addr) const
+{
+    auto it = pages_.find(addr / (pageWords_ * wordBytes));
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+std::vector<Word>&
+MemImage::touchPage(Addr addr)
+{
+    auto& page = pages_[addr / (pageWords_ * wordBytes)];
+    if (page.empty())
+        page.assign(pageWords_, 0);
+    return page;
+}
+
+Word
+MemImage::readWord(Addr addr) const
+{
+    TS_ASSERT(addr % wordBytes == 0, "unaligned word read @", addr);
+    const auto* page = findPage(addr);
+    if (page == nullptr)
+        return 0;
+    return (*page)[(addr / wordBytes) % pageWords_];
+}
+
+void
+MemImage::writeWord(Addr addr, Word value)
+{
+    TS_ASSERT(addr % wordBytes == 0, "unaligned word write @", addr);
+    touchPage(addr)[(addr / wordBytes) % pageWords_] = value;
+}
+
+std::vector<Word>
+MemImage::readWords(Addr addr, std::size_t n) const
+{
+    std::vector<Word> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(readWord(addr + i * wordBytes));
+    return out;
+}
+
+void
+MemImage::writeWords(Addr addr, const std::vector<Word>& values)
+{
+    for (std::size_t i = 0; i < values.size(); ++i)
+        writeWord(addr + i * wordBytes, values[i]);
+}
+
+Addr
+MemImage::allocWords(std::size_t words)
+{
+    const Addr base = brk_;
+    const std::size_t bytes = words * wordBytes;
+    brk_ += divCeil<std::size_t>(bytes, lineBytes) * lineBytes;
+    return base;
+}
+
+} // namespace ts

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The functional backing store of the simulated address space.
+ *
+ * Timing and traffic are modeled by MainMemory / the NoC; the actual
+ * data values live here and are read or written at request-service
+ * time.  Correctness of this split relies on task dependences
+ * ordering all conflicting accesses, which the TaskStream execution
+ * model guarantees for well-formed task graphs (and which the test
+ * suite checks end to end).
+ */
+
+#ifndef TS_MEM_MEM_IMAGE_HH
+#define TS_MEM_MEM_IMAGE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace ts
+{
+
+/** Word-granular sparse memory image with a bump allocator. */
+class MemImage
+{
+  public:
+    /** Read the word at a word-aligned byte address (0 if untouched). */
+    Word readWord(Addr addr) const;
+
+    /** Write the word at a word-aligned byte address. */
+    void writeWord(Addr addr, Word value);
+
+    /** Read @p n consecutive words starting at @p addr. */
+    std::vector<Word> readWords(Addr addr, std::size_t n) const;
+
+    /** Write a span of words starting at @p addr. */
+    void writeWords(Addr addr, const std::vector<Word>& values);
+
+    /** Convenience: read/write typed 64-bit integers. */
+    std::int64_t readInt(Addr addr) const { return asInt(readWord(addr)); }
+    void writeInt(Addr addr, std::int64_t v) { writeWord(addr, fromInt(v)); }
+
+    /** Convenience: read/write IEEE doubles. */
+    double readDouble(Addr addr) const { return asDouble(readWord(addr)); }
+    void writeDouble(Addr addr, double v) { writeWord(addr, fromDouble(v)); }
+
+    /**
+     * Allocate @p words words, line-aligned, and return the base
+     * address.  Purely a host-side convenience for laying out
+     * workload data; the image itself is unbounded.
+     */
+    Addr allocWords(std::size_t words);
+
+    /** Total words allocated so far via allocWords. */
+    std::size_t allocatedWords() const { return brk_ / wordBytes; }
+
+  private:
+    static constexpr std::size_t pageWords_ = 4096;
+
+    const std::vector<Word>* findPage(Addr addr) const;
+    std::vector<Word>& touchPage(Addr addr);
+
+    std::unordered_map<std::uint64_t, std::vector<Word>> pages_;
+    Addr brk_ = lineBytes; // keep address 0 unused as a poison value
+};
+
+} // namespace ts
+
+#endif // TS_MEM_MEM_IMAGE_HH

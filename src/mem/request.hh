@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Memory request/response records exchanged between stream engines,
+ * the NoC, and the main-memory model.  Requests are line-granular.
+ */
+
+#ifndef TS_MEM_REQUEST_HH
+#define TS_MEM_REQUEST_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace ts
+{
+
+/** A line-granular memory request. */
+struct MemReq
+{
+    /** Line-aligned byte address. */
+    Addr lineAddr = 0;
+
+    /** True for a write (data already functionally applied). */
+    bool write = false;
+
+    /** NoC node that issued the request (response destination). */
+    std::uint32_t srcNode = 0;
+
+    /**
+     * For shared-read multicast fills: bitmask of NoC nodes the
+     * response line must be delivered to.  Zero means unicast back
+     * to srcNode.
+     */
+    std::uint64_t multicastMask = 0;
+
+    /** Requester-chosen tag, echoed in the response. */
+    std::uint64_t tag = 0;
+};
+
+/** A serviced line, heading back toward its requester(s). */
+struct MemResp
+{
+    Addr lineAddr = 0;
+    std::uint32_t srcNode = 0;
+    std::uint64_t multicastMask = 0;
+    std::uint64_t tag = 0;
+};
+
+} // namespace ts
+
+#endif // TS_MEM_REQUEST_HH

@@ -1,0 +1,231 @@
+#include "noc/noc.hh"
+
+#include "sim/logging.hh"
+
+namespace ts
+{
+
+namespace
+{
+
+enum Dir : unsigned
+{
+    East = 0,
+    West,
+    North,
+    South,
+    LocalPort,
+    NumDirs
+};
+
+const char* const dirNames[NumDirs] = {"E", "W", "N", "S", "L"};
+
+} // namespace
+
+/**
+ * One mesh router: five input ports (four neighbors + inject) and
+ * five output ports (four neighbors + eject).  Each cycle every input
+ * may forward its head packet if all required output links are free;
+ * multicast packets split into per-direction copies here.
+ */
+class NocRouter : public Ticked
+{
+  public:
+    NocRouter(Noc& noc, std::uint32_t id)
+        : Ticked("noc.router" + std::to_string(id)), noc_(noc), id_(id)
+    {
+        in_.fill(nullptr);
+        out_.fill(nullptr);
+        linkFreeAt_.fill(0);
+    }
+
+    void
+    tick(Tick now) override
+    {
+        for (unsigned i = 0; i < NumDirs; ++i) {
+            const unsigned port = (rr_ + i) % NumDirs;
+            if (in_[port] != nullptr)
+                tryForward(*in_[port], now);
+        }
+        rr_ = (rr_ + 1) % NumDirs;
+    }
+
+    bool busy() const override { return false; }
+
+    std::array<Channel<Packet>*, NumDirs> in_;
+    std::array<Channel<Packet>*, NumDirs> out_;
+
+  private:
+    unsigned
+    routeDir(std::uint32_t dst) const
+    {
+        const std::uint32_t w = noc_.cfg_.width;
+        const std::uint32_t cx = id_ % w, cy = id_ / w;
+        const std::uint32_t dx = dst % w, dy = dst / w;
+        if (dx > cx)
+            return East;
+        if (dx < cx)
+            return West;
+        if (dy > cy)
+            return North;
+        if (dy < cy)
+            return South;
+        return LocalPort;
+    }
+
+    void
+    tryForward(Channel<Packet>& in, Tick now)
+    {
+        if (in.empty())
+            return;
+        const Packet& pkt = in.front();
+        if (pkt.notBefore > now)
+            return; // tail still serializing onto this hop
+
+        // Split the destination set by outgoing direction.
+        std::array<std::uint64_t, NumDirs> masks{};
+        std::uint64_t rest = pkt.dstMask;
+        while (rest != 0) {
+            const std::uint32_t dst =
+                static_cast<std::uint32_t>(__builtin_ctzll(rest));
+            rest &= rest - 1;
+            masks[routeDir(dst)] |= Packet::unicast(dst);
+        }
+
+        // All branch outputs must be available (atomic split).
+        for (unsigned d = 0; d < NumDirs; ++d) {
+            if (masks[d] == 0)
+                continue;
+            TS_ASSERT(out_[d] != nullptr,
+                      name(), ": no link ", dirNames[d]);
+            if (!out_[d]->canPush())
+                return;
+            if (d != LocalPort && linkFreeAt_[d] > now)
+                return;
+        }
+
+        Packet head = in.pop();
+        for (unsigned d = 0; d < NumDirs; ++d) {
+            if (masks[d] == 0)
+                continue;
+            Packet copy = head;
+            copy.dstMask = masks[d];
+            if (d != LocalPort) {
+                copy.notBefore =
+                    now + std::max<Tick>(
+                              1, divCeil<std::uint32_t>(
+                                     head.sizeWords,
+                                     noc_.cfg_.linkWords));
+            }
+            const bool ok = out_[d]->push(std::move(copy));
+            TS_ASSERT(ok);
+            if (d == LocalPort) {
+                ++noc_.delivered_;
+            } else {
+                const Tick ser = std::max<Tick>(
+                    1, divCeil<std::uint32_t>(head.sizeWords,
+                                              noc_.cfg_.linkWords));
+                linkFreeAt_[d] = now + ser;
+                noc_.wordHops_ += head.sizeWords;
+            }
+        }
+    }
+
+    Noc& noc_;
+    std::uint32_t id_;
+    unsigned rr_ = 0;
+    std::array<Tick, NumDirs> linkFreeAt_;
+};
+
+Noc::Noc(Simulator& sim, const NocConfig& cfg) : cfg_(cfg)
+{
+    const std::uint32_t n = numNodes();
+    if (n == 0 || n > 64)
+        fatal("mesh must have between 1 and 64 nodes, got ", n);
+
+    routers_.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        routers_.push_back(std::make_unique<NocRouter>(*this, i));
+        sim.add(routers_.back().get());
+    }
+
+    injectCh_.resize(n);
+    ejectCh_.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        auto& inj = sim.makeChannel<Packet>(
+            "noc.inject" + std::to_string(i), cfg_.channelCapacity);
+        auto& ej = sim.makeChannel<Packet>(
+            "noc.eject" + std::to_string(i), 0 /* unbounded sink */);
+        injectCh_[i] = &inj;
+        ejectCh_[i] = &ej;
+        routers_[i]->in_[LocalPort] = &inj;
+        routers_[i]->out_[LocalPort] = &ej;
+    }
+
+    // Directed neighbor links.
+    const std::uint32_t w = cfg_.width, h = cfg_.height;
+    auto link = [&](std::uint32_t from, std::uint32_t to, unsigned dirOut,
+                    unsigned dirIn) {
+        auto& ch = sim.makeChannel<Packet>(
+            "noc.link" + std::to_string(from) + dirNames[dirOut],
+            cfg_.channelCapacity);
+        routers_[from]->out_[dirOut] = &ch;
+        routers_[to]->in_[dirIn] = &ch;
+    };
+    for (std::uint32_t y = 0; y < h; ++y) {
+        for (std::uint32_t x = 0; x < w; ++x) {
+            const std::uint32_t id = y * w + x;
+            if (x + 1 < w)
+                link(id, id + 1, East, West);
+            if (x > 0)
+                link(id, id - 1, West, East);
+            if (y + 1 < h)
+                link(id, id + w, North, South);
+            if (y > 0)
+                link(id, id - w, South, North);
+        }
+    }
+}
+
+Noc::~Noc() = default;
+
+bool
+Noc::inject(Packet pkt)
+{
+    TS_ASSERT(pkt.src < numNodes(), "bad src node ", pkt.src);
+    TS_ASSERT(pkt.dstMask != 0, "packet with empty destination set");
+    TS_ASSERT((pkt.dstMask >> numNodes()) == 0 || numNodes() == 64,
+              "destination outside mesh");
+    if (!injectCh_[pkt.src]->push(std::move(pkt)))
+        return false;
+    ++injected_;
+    return true;
+}
+
+Channel<Packet>&
+Noc::eject(std::uint32_t node)
+{
+    TS_ASSERT(node < numNodes());
+    return *ejectCh_[node];
+}
+
+std::uint32_t
+Noc::hopDistance(std::uint32_t a, std::uint32_t b) const
+{
+    const std::uint32_t w = cfg_.width;
+    const auto dx = static_cast<std::int64_t>(a % w) -
+                    static_cast<std::int64_t>(b % w);
+    const auto dy = static_cast<std::int64_t>(a / w) -
+                    static_cast<std::int64_t>(b / w);
+    return static_cast<std::uint32_t>(std::abs(dx) + std::abs(dy));
+}
+
+void
+Noc::reportStats(StatSet& stats) const
+{
+    stats.set("noc.wordHops", static_cast<double>(wordHops_));
+    stats.set("noc.delivered", static_cast<double>(delivered_));
+    stats.set("noc.injected", static_cast<double>(injected_));
+}
+
+} // namespace ts

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * A 2D-mesh packet network with XY dimension-order routing,
+ * credit-style back-pressure (bounded inter-router channels), link
+ * serialization, and tree multicast.
+ *
+ * Topology: `width x height` routers, node id = y * width + x.  Each
+ * router has one local injection port and one local ejection port.
+ * Ejection channels are unbounded (ideal sinks) so that protocol
+ * deadlock cannot originate in the network itself; occupancy is
+ * tracked and reported.
+ */
+
+#ifndef TS_NOC_NOC_HH
+#define TS_NOC_NOC_HH
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "noc/packet.hh"
+#include "sim/channel.hh"
+#include "sim/simulator.hh"
+
+namespace ts
+{
+
+/** Mesh parameters. */
+struct NocConfig
+{
+    std::uint32_t width = 4;
+    std::uint32_t height = 4;
+    std::size_t channelCapacity = 4; ///< packets per inter-router link
+    std::uint32_t linkWords = 2;     ///< words a link moves per cycle
+};
+
+/** The mesh network: owns its routers and channels. */
+class Noc
+{
+  public:
+    Noc(Simulator& sim, const NocConfig& cfg);
+    ~Noc();
+
+    Noc(const Noc&) = delete;
+    Noc& operator=(const Noc&) = delete;
+
+    /** Number of nodes in the mesh. */
+    std::uint32_t numNodes() const { return cfg_.width * cfg_.height; }
+
+    /**
+     * Inject a packet at its source node.
+     * @return false when the injection buffer is full (retry later).
+     */
+    bool inject(Packet pkt);
+
+    /** The ejection channel of a node; consumers pop from it. */
+    Channel<Packet>& eject(std::uint32_t node);
+
+    /** Total word-hops traversed (traffic metric for Fig-5). */
+    std::uint64_t wordHops() const { return wordHops_; }
+
+    /** Total packets delivered to local ports. */
+    std::uint64_t delivered() const { return delivered_; }
+
+    /** Report traffic statistics. */
+    void reportStats(StatSet& stats) const;
+
+    /** Manhattan distance between two nodes (for tests). */
+    std::uint32_t hopDistance(std::uint32_t a, std::uint32_t b) const;
+
+  private:
+    friend class NocRouter;
+
+    NocConfig cfg_;
+    std::vector<std::unique_ptr<class NocRouter>> routers_;
+    std::vector<Channel<Packet>*> injectCh_;
+    std::vector<Channel<Packet>*> ejectCh_;
+
+    std::uint64_t wordHops_ = 0;
+    std::uint64_t delivered_ = 0;
+    std::uint64_t injected_ = 0;
+};
+
+} // namespace ts
+
+#endif // TS_NOC_NOC_HH

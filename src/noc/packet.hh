@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Packets carried by the on-chip network.
+ *
+ * A packet addresses a *set* of destination nodes (dstMask); the mesh
+ * replicates it along a dimension-order multicast tree, so a line
+ * fetched once from memory can fan out to every subscriber lane —
+ * the hardware mechanism behind TaskStream's inter-task read-sharing
+ * recovery.
+ */
+
+#ifndef TS_NOC_PACKET_HH
+#define TS_NOC_PACKET_HH
+
+#include <any>
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace ts
+{
+
+/** Classes of traffic; receivers dispatch on this tag. */
+enum class PktKind : std::uint8_t
+{
+    MemReq,       ///< line request toward a memory controller
+    MemResp,      ///< line response (possibly multicast)
+    TaskDispatch, ///< dispatcher -> lane: run this task
+    TaskStart,    ///< lane -> dispatcher: task began execution
+    TaskComplete, ///< lane -> dispatcher: task finished
+    PipeChunk,    ///< producer lane -> consumer lane forwarded data
+    SharedFill,   ///< multicast line fill into lane scratchpads
+    Generic,      ///< tests and miscellaneous control
+};
+
+/** A network packet. */
+struct Packet
+{
+    std::uint32_t src = 0;      ///< source node id
+    std::uint64_t dstMask = 0;  ///< bit i set => deliver to node i
+    PktKind kind = PktKind::Generic;
+    std::uint32_t sizeWords = 1; ///< payload size for serialization
+    std::any payload;            ///< typed by kind
+
+    /** Router-internal: earliest cycle the tail has fully arrived at
+     *  the current hop (wormhole serialization). */
+    Tick notBefore = 0;
+
+    /** Convenience: unicast destination mask. */
+    static std::uint64_t
+    unicast(std::uint32_t node)
+    {
+        return std::uint64_t{1} << node;
+    }
+};
+
+} // namespace ts
+
+#endif // TS_NOC_PACKET_HH

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Two-phase communication channels between ticked components.
+ *
+ * All inter-component traffic flows through Channel<T>.  A value
+ * pushed during cycle C becomes visible to the consumer at cycle C+1
+ * (after the simulator's commit phase), which makes the result of a
+ * cycle independent of the order in which components are ticked.
+ *
+ * Channels are capacity-limited; a failed push() models back-pressure
+ * and the producer is expected to retry on a later cycle.
+ */
+
+#ifndef TS_SIM_CHANNEL_HH
+#define TS_SIM_CHANNEL_HH
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace ts
+{
+
+/** Type-erased channel interface used by the simulator core. */
+class ChannelBase
+{
+  public:
+    explicit ChannelBase(std::string name) : name_(std::move(name)) {}
+    virtual ~ChannelBase() = default;
+
+    ChannelBase(const ChannelBase&) = delete;
+    ChannelBase& operator=(const ChannelBase&) = delete;
+
+    /** Move staged values into the visible queue (end of cycle). */
+    virtual void commit() = 0;
+
+    /** True when no value is visible or staged. */
+    virtual bool quiescent() const = 0;
+
+    /** Diagnostic name. */
+    const std::string& name() const { return name_; }
+
+  private:
+    std::string name_;
+};
+
+/**
+ * A bounded FIFO with next-cycle visibility.
+ *
+ * @tparam T element type (moved in and out).
+ */
+template <typename T>
+class Channel : public ChannelBase
+{
+  public:
+    /**
+     * @param name diagnostic name.
+     * @param capacity maximum elements (visible + staged); 0 means
+     *        unbounded (used only where the design doc justifies it).
+     */
+    Channel(std::string name, std::size_t capacity)
+        : ChannelBase(std::move(name)), capacity_(capacity)
+    {}
+
+    /** Whether a push would be accepted this cycle. */
+    bool
+    canPush() const
+    {
+        return capacity_ == 0 ||
+               queue_.size() + staging_.size() < capacity_;
+    }
+
+    /** Stage a value for next-cycle visibility; false if full. */
+    bool
+    push(T v)
+    {
+        if (!canPush())
+            return false;
+        staging_.push_back(std::move(v));
+        ++pushed_;
+        return true;
+    }
+
+    /** True when no value is currently visible. */
+    bool empty() const { return queue_.empty(); }
+
+    /** Number of currently visible values. */
+    std::size_t size() const { return queue_.size(); }
+
+    /** The oldest visible value; panics when empty. */
+    const T&
+    front() const
+    {
+        TS_ASSERT(!queue_.empty(), "pop/front on empty channel ", name());
+        return queue_.front();
+    }
+
+    /** Remove and return the oldest visible value. */
+    T
+    pop()
+    {
+        TS_ASSERT(!queue_.empty(), "pop on empty channel ", name());
+        T v = std::move(queue_.front());
+        queue_.pop_front();
+        return v;
+    }
+
+    void
+    commit() override
+    {
+        for (auto& v : staging_)
+            queue_.push_back(std::move(v));
+        staging_.clear();
+        if (queue_.size() > maxOccupancy_)
+            maxOccupancy_ = queue_.size();
+    }
+
+    bool
+    quiescent() const override
+    {
+        return queue_.empty() && staging_.empty();
+    }
+
+    /** Total values ever pushed (for traffic statistics). */
+    std::uint64_t pushed() const { return pushed_; }
+
+    /** High-water mark of visible occupancy. */
+    std::size_t maxOccupancy() const { return maxOccupancy_; }
+
+    /** Configured capacity (0 = unbounded). */
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    std::size_t capacity_;
+    std::deque<T> queue_;
+    std::vector<T> staging_;
+    std::uint64_t pushed_ = 0;
+    std::size_t maxOccupancy_ = 0;
+};
+
+} // namespace ts
+
+#endif // TS_SIM_CHANNEL_HH

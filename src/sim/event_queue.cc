@@ -1,0 +1,32 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace ts
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    heap_.push(Entry{when, nextSeq_++, std::move(cb)});
+}
+
+void
+EventQueue::fireUpTo(Tick now)
+{
+    while (!heap_.empty() && heap_.top().when <= now) {
+        // Copy out before pop so the callback may schedule new events.
+        Callback cb = std::move(const_cast<Entry&>(heap_.top()).cb);
+        heap_.pop();
+        cb();
+    }
+}
+
+Tick
+EventQueue::nextTick() const
+{
+    TS_ASSERT(!heap_.empty(), "nextTick on empty event queue");
+    return heap_.top().when;
+}
+
+} // namespace ts

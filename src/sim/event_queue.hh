@@ -1,0 +1,70 @@
+/**
+ * @file
+ * A simple discrete-event queue used for modeling fixed latencies
+ * (DRAM service, functional-unit pipelines) alongside the per-cycle
+ * ticked components.
+ */
+
+#ifndef TS_SIM_EVENT_QUEUE_HH
+#define TS_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace ts
+{
+
+/**
+ * Min-heap of (tick, sequence) ordered callbacks.  Events scheduled
+ * for the same tick fire in scheduling order (deterministic).
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule a callback at an absolute tick (>= current tick). */
+    void schedule(Tick when, Callback cb);
+
+    /** Fire every event scheduled at or before @p now. */
+    void fireUpTo(Tick now);
+
+    /** Whether any event is pending. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Tick of the earliest pending event; panics when empty. */
+    Tick nextTick() const;
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap_.size(); }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry& a, const Entry& b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace ts
+
+#endif // TS_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,122 @@
+#include "sim/rng.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace ts
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t& x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto& s : s_)
+        s = splitmix64(x);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    TS_ASSERT(lo <= hi);
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<std::int64_t>(next());
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = ~0ull - (~0ull % span);
+    std::uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit && limit != 0);
+    return lo + static_cast<std::int64_t>(v % span);
+}
+
+double
+Rng::uniform01()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniformReal(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform01();
+}
+
+std::uint64_t
+Rng::zipf(std::uint64_t n, double s)
+{
+    TS_ASSERT(n > 0);
+    if (zipfN_ != n || zipfS_ != s) {
+        zipfN_ = n;
+        zipfS_ = s;
+        zipfNorm_ = 0.0;
+        for (std::uint64_t k = 1; k <= n; ++k)
+            zipfNorm_ += 1.0 / std::pow(static_cast<double>(k), s);
+    }
+    // Inverse-CDF walk; adequate for the modest n used in workloads.
+    double u = uniform01() * zipfNorm_;
+    double acc = 0.0;
+    for (std::uint64_t k = 1; k <= n; ++k) {
+        acc += 1.0 / std::pow(static_cast<double>(k), s);
+        if (acc >= u)
+            return k - 1;
+    }
+    return n - 1;
+}
+
+double
+Rng::exponential(double mean)
+{
+    double u = uniform01();
+    if (u >= 1.0)
+        u = 0.9999999999;
+    return -mean * std::log(1.0 - u);
+}
+
+std::vector<std::uint32_t>
+Rng::permutation(std::uint32_t n)
+{
+    std::vector<std::uint32_t> v(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        v[i] = i;
+    shuffle(v);
+    return v;
+}
+
+} // namespace ts

@@ -1,0 +1,102 @@
+#include "sim/simulator.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace ts
+{
+
+void
+Simulator::add(Ticked* t)
+{
+    TS_ASSERT(t != nullptr);
+    ticked_.push_back(t);
+}
+
+void
+Simulator::addChannel(ChannelBase* c)
+{
+    TS_ASSERT(c != nullptr);
+    channels_.push_back(c);
+}
+
+void
+Simulator::schedule(Tick delay, EventQueue::Callback cb)
+{
+    TS_ASSERT(delay >= 1, "events must be scheduled at least 1 cycle out");
+    events_.schedule(now_ + delay, std::move(cb));
+}
+
+void
+Simulator::doCycle()
+{
+    events_.fireUpTo(now_);
+    for (Ticked* t : ticked_)
+        t->tick(now_);
+    for (ChannelBase* c : channels_)
+        c->commit();
+    ++now_;
+}
+
+bool
+Simulator::quiescent() const
+{
+    if (!events_.empty())
+        return false;
+    for (const ChannelBase* c : channels_) {
+        if (!c->quiescent())
+            return false;
+    }
+    for (const Ticked* t : ticked_) {
+        if (t->busy())
+            return false;
+    }
+    return true;
+}
+
+Tick
+Simulator::run(Tick maxCycles)
+{
+    const Tick start = now_;
+    while (now_ - start < maxCycles) {
+        if (quiescent())
+            return now_;
+        doCycle();
+    }
+    if (quiescent())
+        return now_;
+
+    // Deadlock / overrun: identify what is still live for diagnosis.
+    std::ostringstream os;
+    os << "simulation did not quiesce within " << maxCycles
+       << " cycles; still live:";
+    if (!events_.empty())
+        os << " [" << events_.size() << " events]";
+    for (const ChannelBase* c : channels_) {
+        if (!c->quiescent())
+            os << " channel:" << c->name();
+    }
+    for (const Ticked* t : ticked_) {
+        if (t->busy())
+            os << " busy:" << t->name();
+    }
+    fatal(os.str());
+}
+
+void
+Simulator::step(Tick cycles)
+{
+    for (Tick i = 0; i < cycles; ++i)
+        doCycle();
+}
+
+void
+Simulator::reportStats(StatSet& stats) const
+{
+    for (const Ticked* t : ticked_)
+        t->reportStats(stats);
+    stats.set("sim.cycles", static_cast<double>(now_));
+}
+
+} // namespace ts

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The cycle-driven simulation core.
+ *
+ * A Simulator owns a set of Ticked components and Channels.  Each
+ * simulated cycle proceeds in three phases:
+ *
+ *   1. fire all events scheduled for this cycle,
+ *   2. tick every component (order-independent thanks to channels'
+ *      next-cycle visibility),
+ *   3. commit every channel.
+ *
+ * Simulation ends when the system is quiescent: no pending events, no
+ * in-flight channel values, and no component reporting busy().
+ * Components must not create work spontaneously; all activity
+ * descends from initial state or events.
+ */
+
+#ifndef TS_SIM_SIMULATOR_HH
+#define TS_SIM_SIMULATOR_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/channel.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace ts
+{
+
+/** Base class for every cycle-stepped hardware model. */
+class Ticked
+{
+  public:
+    explicit Ticked(std::string name) : name_(std::move(name)) {}
+    virtual ~Ticked() = default;
+
+    Ticked(const Ticked&) = delete;
+    Ticked& operator=(const Ticked&) = delete;
+
+    /** Advance one cycle. */
+    virtual void tick(Tick now) = 0;
+
+    /**
+     * Whether the component holds pending internal work.  Used only
+     * for quiescence detection; a component waiting on a channel that
+     * is itself non-quiescent may report false.
+     */
+    virtual bool busy() const = 0;
+
+    /** Contribute counters to the global statistics dump. */
+    virtual void reportStats(StatSet&) const {}
+
+    /** Diagnostic name. */
+    const std::string& name() const { return name_; }
+
+  private:
+    std::string name_;
+};
+
+/** Owns components and channels and advances simulated time. */
+class Simulator
+{
+  public:
+    /** Register a component (not owned). */
+    void add(Ticked* t);
+
+    /** Register an externally owned channel. */
+    void addChannel(ChannelBase* c);
+
+    /** Create and own a channel, registering it automatically. */
+    template <typename T>
+    Channel<T>&
+    makeChannel(const std::string& name, std::size_t capacity)
+    {
+        auto ch = std::make_unique<Channel<T>>(name, capacity);
+        Channel<T>& ref = *ch;
+        owned_.push_back(std::move(ch));
+        channels_.push_back(&ref);
+        return ref;
+    }
+
+    /** Schedule a callback @p delay cycles from now (delay >= 1). */
+    void schedule(Tick delay, EventQueue::Callback cb);
+
+    /** Current cycle. */
+    Tick now() const { return now_; }
+
+    /**
+     * Run until quiescent.
+     *
+     * @param maxCycles upper bound; exceeding it raises fatal() with
+     *        a deadlock diagnosis.
+     * @return the cycle count at quiescence.
+     */
+    Tick run(Tick maxCycles);
+
+    /** Run exactly @p cycles (no quiescence check). */
+    void step(Tick cycles = 1);
+
+    /** True when nothing can happen on any future cycle. */
+    bool quiescent() const;
+
+    /** Gather statistics from every registered component. */
+    void reportStats(StatSet& stats) const;
+
+  private:
+    void doCycle();
+
+    Tick now_ = 0;
+    std::vector<Ticked*> ticked_;
+    std::vector<ChannelBase*> channels_;
+    std::vector<std::unique_ptr<ChannelBase>> owned_;
+    EventQueue events_;
+};
+
+} // namespace ts
+
+#endif // TS_SIM_SIMULATOR_HH

@@ -1,0 +1,112 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "sim/logging.hh"
+
+namespace ts
+{
+
+void
+StatSet::set(const std::string& name, double value)
+{
+    values_[name] = value;
+}
+
+void
+StatSet::add(const std::string& name, double value)
+{
+    values_[name] += value;
+}
+
+bool
+StatSet::has(const std::string& name) const
+{
+    return values_.count(name) != 0;
+}
+
+double
+StatSet::get(const std::string& name) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        fatal("unknown statistic '", name, "'");
+    return it->second;
+}
+
+double
+StatSet::getOr(const std::string& name, double fallback) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+}
+
+double
+StatSet::sumPrefix(const std::string& prefix) const
+{
+    double sum = 0.0;
+    for (auto it = values_.lower_bound(prefix); it != values_.end(); ++it) {
+        if (it->first.compare(0, prefix.size(), prefix) != 0)
+            break;
+        sum += it->second;
+    }
+    return sum;
+}
+
+std::vector<std::pair<std::string, double>>
+StatSet::matchPrefix(const std::string& prefix) const
+{
+    std::vector<std::pair<std::string, double>> out;
+    for (auto it = values_.lower_bound(prefix); it != values_.end(); ++it) {
+        if (it->first.compare(0, prefix.size(), prefix) != 0)
+            break;
+        out.emplace_back(it->first, it->second);
+    }
+    return out;
+}
+
+void
+StatSet::dump(std::ostream& os) const
+{
+    for (const auto& [name, value] : values_)
+        os << std::left << std::setw(48) << name << " " << value << "\n";
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1, 0)
+{
+    TS_ASSERT(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void
+Histogram::sample(double v)
+{
+    std::size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i])
+        ++i;
+    ++buckets_[i];
+    ++count_;
+    sum_ += v;
+    max_ = std::max(max_, v);
+}
+
+double
+Histogram::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+void
+Histogram::report(StatSet& stats, const std::string& prefix) const
+{
+    stats.set(prefix + ".count", static_cast<double>(count_));
+    stats.set(prefix + ".mean", mean());
+    stats.set(prefix + ".max", max_);
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        stats.set(prefix + ".bucket" + std::to_string(i),
+                  static_cast<double>(buckets_[i]));
+    }
+}
+
+} // namespace ts

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Lightweight statistics collection.
+ *
+ * Components own plain counters and report them into a StatSet, a
+ * hierarchical name -> value map that experiments query and dump.
+ */
+
+#ifndef TS_SIM_STATS_HH
+#define TS_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ts
+{
+
+/** A flat, ordered collection of named statistic values. */
+class StatSet
+{
+  public:
+    /** Record (or overwrite) a statistic under a dotted path. */
+    void set(const std::string& name, double value);
+
+    /** Add to a statistic, creating it at zero if absent. */
+    void add(const std::string& name, double value);
+
+    /** Whether a statistic with this exact name exists. */
+    bool has(const std::string& name) const;
+
+    /** Value of a statistic; fatal if absent. */
+    double get(const std::string& name) const;
+
+    /** Value of a statistic, or fallback if absent. */
+    double getOr(const std::string& name, double fallback) const;
+
+    /** Sum of every statistic whose name starts with the prefix. */
+    double sumPrefix(const std::string& prefix) const;
+
+    /** All (name, value) pairs whose name starts with the prefix. */
+    std::vector<std::pair<std::string, double>>
+    matchPrefix(const std::string& prefix) const;
+
+    /** Pretty-print every statistic, one per line. */
+    void dump(std::ostream& os) const;
+
+    /** Remove all statistics. */
+    void clear() { values_.clear(); }
+
+    /** Number of statistics recorded. */
+    std::size_t size() const { return values_.size(); }
+
+  private:
+    std::map<std::string, double> values_;
+};
+
+/**
+ * A fixed-bucket histogram for distribution-style statistics
+ * (e.g. per-lane busy cycles, packet latencies).
+ */
+class Histogram
+{
+  public:
+    /** Create with the given bucket boundaries (ascending). */
+    explicit Histogram(std::vector<double> bounds);
+
+    /** Record one sample. */
+    void sample(double v);
+
+    /** Number of samples recorded so far. */
+    std::uint64_t count() const { return count_; }
+
+    /** Mean of all samples. */
+    double mean() const;
+
+    /** Largest sample seen (0 when empty). */
+    double max() const { return max_; }
+
+    /** Count in bucket i (the final bucket is overflow). */
+    std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+
+    /** Number of buckets, including the overflow bucket. */
+    std::size_t numBuckets() const { return buckets_.size(); }
+
+    /** Report buckets and moments into a StatSet under a prefix. */
+    void report(StatSet& stats, const std::string& prefix) const;
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace ts
+
+#endif // TS_SIM_STATS_HH

@@ -1,0 +1,73 @@
+#include "stream/fetcher.hh"
+
+namespace ts
+{
+
+void
+WordFetcher::pump(Tick now)
+{
+    if (space_ == Space::Spm) {
+        TS_ASSERT(spm_ != nullptr, "Spm fetch without a scratchpad");
+        std::uint32_t issued = 0;
+        for (auto& slot : win_) {
+            if (issued >= cfg_.issuesPerCycle)
+                break;
+            if (slot.st != St::NeedFetch)
+                continue;
+            if (!spm_->tryAccess(now))
+                break;
+            slot.val = spm_->read(slot.addr);
+            slot.st = St::Ready;
+            ++spmReads_;
+            ++issued;
+        }
+        return;
+    }
+
+    TS_ASSERT(mem_ != nullptr, "Dram fetch without a memory port");
+    std::uint32_t issued = 0;
+    while (issued < cfg_.issuesPerCycle &&
+           outstanding_ < cfg_.maxOutstanding) {
+        // Find the first word still needing a fetch.
+        Addr line = 0;
+        bool found = false;
+        for (const auto& slot : win_) {
+            if (slot.st == St::NeedFetch) {
+                line = lineAlign(slot.addr);
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            break;
+
+        const std::uint64_t gen = gen_;
+        const bool ok = mem_->requestLine(line, [this, line, gen]() {
+            if (gen != gen_)
+                return; // stale response from a prior stream
+            for (auto& slot : win_) {
+                if (slot.st == St::Requested &&
+                    lineAlign(slot.addr) == line) {
+                    slot.val = img_.readWord(slot.addr);
+                    slot.st = St::Ready;
+                }
+            }
+            inflightLines_.erase(line);
+            --outstanding_;
+        });
+        if (!ok)
+            break;
+
+        // Coalesce: every queued word on this line rides along.
+        for (auto& slot : win_) {
+            if (slot.st == St::NeedFetch && lineAlign(slot.addr) == line)
+                slot.st = St::Requested;
+        }
+        inflightLines_.insert(line);
+        ++outstanding_;
+        ++linesRequested_;
+        ++issued;
+    }
+}
+
+} // namespace ts

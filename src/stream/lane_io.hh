@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Interfaces the stream engines use to reach lane-external resources
+ * (global memory and the NoC).  Implemented by the lane adapter in
+ * src/accel; abstract here so the stream library is testable in
+ * isolation.
+ */
+
+#ifndef TS_STREAM_LANE_IO_HH
+#define TS_STREAM_LANE_IO_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cgra/token.hh"
+#include "sim/types.hh"
+
+namespace ts
+{
+
+/** Line-granular access to global memory. */
+class MemPortIf
+{
+  public:
+    virtual ~MemPortIf() = default;
+
+    /**
+     * Request a line read.
+     * @param lineAddr line-aligned byte address.
+     * @param onData invoked when the line arrives (data is then
+     *        readable from the functional image).
+     * @return false when no request slot is available this cycle.
+     */
+    virtual bool requestLine(Addr lineAddr,
+                             std::function<void()> onData) = 0;
+
+    /**
+     * Issue a line write (functional data already applied).
+     * @return false when the write path is back-pressured.
+     */
+    virtual bool writeLine(Addr lineAddr) = 0;
+};
+
+/** Transmit side of inter-task pipeline forwarding. */
+class PipeTxIf
+{
+  public:
+    virtual ~PipeTxIf() = default;
+
+    /**
+     * Forward a chunk of produced tokens to consumer lane(s).
+     * @param dstMask NoC destination mask.
+     * @param pipeId the dependence's pipe identity.
+     * @param toks the chunk (order-preserving).
+     * @return false when the network rejects the packet (retry).
+     */
+    virtual bool sendChunk(std::uint64_t dstMask, std::uint64_t pipeId,
+                           const std::vector<Token>& toks) = 0;
+};
+
+} // namespace ts
+
+#endif // TS_STREAM_LANE_IO_HH

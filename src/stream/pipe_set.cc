@@ -1,0 +1,67 @@
+#include "stream/pipe_set.hh"
+
+#include "sim/logging.hh"
+
+namespace ts
+{
+
+void
+PipeSet::deliver(std::uint64_t pipeId, const std::vector<Token>& toks)
+{
+    Pipe& p = pipes_[pipeId];
+    for (const Token& t : toks)
+        p.q.push_back(t);
+    p.received += toks.size();
+    totalReceived_ += toks.size();
+    p.maxOcc = std::max(p.maxOcc, p.q.size());
+    globalMaxOcc_ = std::max(globalMaxOcc_, totalBuffered());
+}
+
+bool
+PipeSet::hasData(std::uint64_t pipeId) const
+{
+    auto it = pipes_.find(pipeId);
+    return it != pipes_.end() && !it->second.q.empty();
+}
+
+Token
+PipeSet::pop(std::uint64_t pipeId)
+{
+    auto it = pipes_.find(pipeId);
+    TS_ASSERT(it != pipes_.end() && !it->second.q.empty(),
+              "pop on empty pipe ", pipeId);
+    Token t = it->second.q.front();
+    it->second.q.pop_front();
+    return t;
+}
+
+void
+PipeSet::release(std::uint64_t pipeId)
+{
+    auto it = pipes_.find(pipeId);
+    if (it != pipes_.end()) {
+        TS_ASSERT(it->second.q.empty(),
+                  "releasing pipe ", pipeId, " with data buffered");
+        pipes_.erase(it);
+    }
+}
+
+std::size_t
+PipeSet::totalBuffered() const
+{
+    std::size_t n = 0;
+    for (const auto& [id, p] : pipes_)
+        n += p.q.size();
+    return n;
+}
+
+void
+PipeSet::reportStats(StatSet& stats, const std::string& prefix) const
+{
+    stats.set(prefix + ".pipeTokens",
+              static_cast<double>(totalReceived_));
+    stats.set(prefix + ".pipeMaxOccupancy",
+              static_cast<double>(globalMaxOcc_));
+}
+
+} // namespace ts

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Receive-side buffers for pipelined inter-task dependences.
+ *
+ * Each recovered Pipeline dependence gets a pipe id; chunks forwarded
+ * by the producer lane land here and the consumer's read engine pops
+ * them in order.  Buffers are functionally unbounded; the high-water
+ * mark is tracked and reported so experiments can confirm a small
+ * hardware buffer would have sufficed (see DESIGN.md substitutions).
+ */
+
+#ifndef TS_STREAM_PIPE_SET_HH
+#define TS_STREAM_PIPE_SET_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "cgra/token.hh"
+#include "sim/stats.hh"
+
+namespace ts
+{
+
+/** Per-lane collection of pipe receive buffers. */
+class PipeSet
+{
+  public:
+    /** Land a forwarded chunk (called by the lane NoC adapter). */
+    void deliver(std::uint64_t pipeId, const std::vector<Token>& toks);
+
+    /** Whether a token is available on the pipe. */
+    bool hasData(std::uint64_t pipeId) const;
+
+    /** Pop the next token (panics if none). */
+    Token pop(std::uint64_t pipeId);
+
+    /** Drop a pipe's buffer after its consumer task completes. */
+    void release(std::uint64_t pipeId);
+
+    /** Tokens currently buffered across all pipes. */
+    std::size_t totalBuffered() const;
+
+    /** Report occupancy statistics under @p prefix. */
+    void reportStats(StatSet& stats, const std::string& prefix) const;
+
+  private:
+    struct Pipe
+    {
+        std::deque<Token> q;
+        std::size_t maxOcc = 0;
+        std::uint64_t received = 0;
+    };
+
+    std::map<std::uint64_t, Pipe> pipes_;
+    std::size_t globalMaxOcc_ = 0;
+    std::uint64_t totalReceived_ = 0;
+};
+
+} // namespace ts
+
+#endif // TS_STREAM_PIPE_SET_HH

@@ -1,0 +1,353 @@
+#include "stream/stream_desc.hh"
+
+#include "mem/mem_image.hh"
+#include "mem/scratchpad.hh"
+#include "sim/logging.hh"
+
+namespace ts
+{
+
+StreamDesc
+StreamDesc::linear(Space sp, Addr base, std::uint64_t n,
+                   std::int64_t strideWords)
+{
+    StreamDesc d;
+    d.kind = Kind::Linear;
+    d.dataSpace = sp;
+    d.dataBase = base;
+    d.count = n;
+    d.strideWords = strideWords;
+    return d;
+}
+
+StreamDesc
+StreamDesc::strided2d(Space sp, Addr base, std::uint64_t outerLen,
+                      std::int64_t outerStrideWords,
+                      std::uint64_t innerLen,
+                      std::int64_t innerStrideWords)
+{
+    StreamDesc d;
+    d.kind = Kind::Strided2D;
+    d.dataSpace = sp;
+    d.dataBase = base;
+    d.count = outerLen;
+    d.innerLen = innerLen;
+    d.innerStrideWords = innerStrideWords;
+    d.outerStrideWords = outerStrideWords;
+    return d;
+}
+
+StreamDesc
+StreamDesc::indirect(Space idxSp, Addr idxBase, std::uint64_t n,
+                     Space dataSp, Addr dataBase,
+                     std::int64_t scaleWords)
+{
+    StreamDesc d;
+    d.kind = Kind::Indirect;
+    d.idxSpace = idxSp;
+    d.idxBase = idxBase;
+    d.count = n;
+    d.dataSpace = dataSp;
+    d.dataBase = dataBase;
+    d.strideWords = scaleWords;
+    return d;
+}
+
+StreamDesc
+StreamDesc::csr(Space sp, Addr ptrBase, std::uint64_t segs,
+                Addr dataBase)
+{
+    StreamDesc d;
+    d.kind = Kind::Csr;
+    d.idxSpace = sp;
+    d.ptrBase = ptrBase;
+    d.count = segs;
+    d.dataSpace = sp;
+    d.dataBase = dataBase;
+    return d;
+}
+
+StreamDesc
+StreamDesc::csrGather(Space idxSp, Addr ptrBase, Addr colBase,
+                      std::uint64_t segs, Space dataSp, Addr dataBase,
+                      std::int64_t scaleWords)
+{
+    StreamDesc d;
+    d.kind = Kind::CsrGather;
+    d.idxSpace = idxSp;
+    d.ptrBase = ptrBase;
+    d.idxBase = colBase;
+    d.count = segs;
+    d.dataSpace = dataSp;
+    d.dataBase = dataBase;
+    d.strideWords = scaleWords;
+    return d;
+}
+
+StreamDesc
+StreamDesc::csrIndirectSeg(Space idxSp, Addr listBase,
+                           std::uint64_t listLen, Addr ptrBase,
+                           Space dataSp, Addr dataBase)
+{
+    StreamDesc d;
+    d.kind = Kind::CsrIndirectSeg;
+    d.idxSpace = idxSp;
+    d.idxBase = listBase;
+    d.count = listLen;
+    d.ptrBase = ptrBase;
+    d.dataSpace = dataSp;
+    d.dataBase = dataBase;
+    return d;
+}
+
+StreamDesc
+StreamDesc::pipeIn(std::uint64_t pipeId)
+{
+    StreamDesc d;
+    d.kind = Kind::PipeIn;
+    d.pipeId = pipeId;
+    return d;
+}
+
+std::uint64_t
+StreamDesc::elementCount(const MemImage& img) const
+{
+    switch (kind) {
+      case Kind::Linear:
+        return count * loops;
+      case Kind::Indirect:
+        return count;
+      case Kind::Strided2D:
+        return count * innerLen * rowRepeat;
+      case Kind::CsrIndirectSeg: {
+        std::uint64_t total = 0;
+        for (std::uint64_t k = 0; k < count; ++k) {
+            const auto v = img.readInt(idxBase + k * wordBytes);
+            total += static_cast<std::uint64_t>(
+                img.readInt(ptrBase + (v + 1) * wordBytes) -
+                img.readInt(ptrBase + v * wordBytes));
+        }
+        return total;
+      }
+      case Kind::Csr:
+      case Kind::CsrGather: {
+        const auto first =
+            static_cast<std::uint64_t>(img.readInt(ptrBase));
+        const auto last = static_cast<std::uint64_t>(
+            img.readInt(ptrBase + count * wordBytes));
+        return last - first;
+      }
+      case Kind::PipeIn:
+        return 0; // length determined by the producer
+    }
+    return 0;
+}
+
+bool
+StreamDesc::dramRange(Addr& beginByte, std::uint64_t& words) const
+{
+    if (kind == Kind::Linear && dataSpace == Space::Dram &&
+        strideWords == 1) {
+        beginByte = dataBase;
+        words = count;
+        return true;
+    }
+    return false;
+}
+
+namespace
+{
+
+Word
+loadWord(Space sp, Addr a, const MemImage& img, const Scratchpad* spm)
+{
+    if (sp == Space::Dram)
+        return img.readWord(a);
+    TS_ASSERT(spm != nullptr, "Spm stream without scratchpad");
+    return spm->read(a);
+}
+
+/** Element address: byte address in DRAM, word offset in SPM. */
+Addr
+elemByteAddr(Space sp, Addr base, std::int64_t elemWords)
+{
+    if (sp == Space::Dram)
+        return base + static_cast<Addr>(elemWords) * wordBytes;
+    return base + static_cast<Addr>(elemWords);
+}
+
+} // namespace
+
+std::vector<Token>
+expandStream(const StreamDesc& d, const MemImage& img,
+             const Scratchpad* spm)
+{
+    // Produce (value, flags) pairs per the descriptor's semantics.
+    std::vector<Token> base;
+
+    auto segFlags = [](std::uint64_t i, std::uint64_t segLen,
+                       std::uint64_t n) {
+        std::uint8_t f = 0;
+        if (segLen != 0 && (i + 1) % segLen == 0)
+            f |= kSegEnd;
+        if (i + 1 == n)
+            f |= kSegEnd | kStreamEnd;
+        return f;
+    };
+
+    switch (d.kind) {
+      case StreamDesc::Kind::Linear: {
+        for (std::uint64_t loop = 0; loop < d.loops; ++loop) {
+            for (std::uint64_t i = 0; i < d.count; ++i) {
+                const Addr a = elemByteAddr(d.dataSpace, d.dataBase,
+                                            static_cast<std::int64_t>(i) *
+                                                d.strideWords);
+                std::uint8_t f = 0;
+                if (d.fixedSegLen != 0 && (i + 1) % d.fixedSegLen == 0)
+                    f |= kSegEnd;
+                if (i + 1 == d.count)
+                    f |= kSegEnd | kSeg2End;
+                if (loop + 1 == d.loops && i + 1 == d.count)
+                    f |= kStreamEnd;
+                base.push_back(
+                    Token{loadWord(d.dataSpace, a, img, spm), f});
+            }
+        }
+        break;
+      }
+      case StreamDesc::Kind::Strided2D: {
+        for (std::uint64_t o = 0; o < d.count; ++o) {
+            for (std::uint32_t r = 0; r < d.rowRepeat; ++r) {
+                for (std::uint64_t j = 0; j < d.innerLen; ++j) {
+                    const std::int64_t off =
+                        static_cast<std::int64_t>(o) *
+                            d.outerStrideWords +
+                        static_cast<std::int64_t>(j) *
+                            d.innerStrideWords;
+                    const Addr a =
+                        elemByteAddr(d.dataSpace, d.dataBase, off);
+                    std::uint8_t f = 0;
+                    if (j + 1 == d.innerLen) {
+                        f |= kSegEnd;
+                        if (r + 1 == d.rowRepeat) {
+                            f |= kSeg2End;
+                            if (o + 1 == d.count)
+                                f |= kStreamEnd;
+                        }
+                    }
+                    base.push_back(
+                        Token{loadWord(d.dataSpace, a, img, spm), f});
+                }
+            }
+        }
+        break;
+      }
+      case StreamDesc::Kind::Indirect: {
+        for (std::uint64_t i = 0; i < d.count; ++i) {
+            const Word idx = loadWord(
+                d.idxSpace,
+                elemByteAddr(d.idxSpace, d.idxBase,
+                             static_cast<std::int64_t>(i)),
+                img, spm);
+            const Addr a = elemByteAddr(d.dataSpace, d.dataBase,
+                                        asInt(idx) * d.strideWords);
+            base.push_back(Token{loadWord(d.dataSpace, a, img, spm),
+                                 segFlags(i, d.fixedSegLen, d.count)});
+        }
+        break;
+      }
+      case StreamDesc::Kind::Csr:
+      case StreamDesc::Kind::CsrGather: {
+        std::uint64_t total = 0;
+        std::vector<std::uint64_t> lens(d.count);
+        for (std::uint64_t s = 0; s < d.count; ++s) {
+            const auto lo = img.readInt(d.ptrBase + s * wordBytes);
+            const auto hi =
+                img.readInt(d.ptrBase + (s + 1) * wordBytes);
+            if (hi <= lo) {
+                fatal("CSR stream has empty segment ", s,
+                      " (segments must be non-empty; see DESIGN.md)");
+            }
+            lens[s] = static_cast<std::uint64_t>(hi - lo);
+            total += lens[s];
+        }
+        std::uint64_t emitted = 0;
+        for (std::uint64_t s = 0; s < d.count; ++s) {
+            const auto lo = static_cast<std::uint64_t>(
+                img.readInt(d.ptrBase + s * wordBytes));
+            for (std::uint64_t j = 0; j < lens[s]; ++j, ++emitted) {
+                Word v;
+                const auto elem =
+                    static_cast<std::int64_t>(lo + j);
+                if (d.kind == StreamDesc::Kind::Csr) {
+                    v = loadWord(d.dataSpace,
+                                 elemByteAddr(d.dataSpace, d.dataBase,
+                                              elem),
+                                 img, spm);
+                } else {
+                    const Word col = loadWord(
+                        d.idxSpace,
+                        elemByteAddr(d.idxSpace, d.idxBase, elem), img,
+                        spm);
+                    const Addr a =
+                        elemByteAddr(d.dataSpace, d.dataBase,
+                                     asInt(col) * d.strideWords);
+                    v = loadWord(d.dataSpace, a, img, spm);
+                }
+                std::uint8_t f = 0;
+                if (j + 1 == lens[s])
+                    f |= kSegEnd;
+                if (emitted + 1 == total)
+                    f |= kSegEnd | kStreamEnd;
+                base.push_back(Token{v, f});
+            }
+        }
+        break;
+      }
+      case StreamDesc::Kind::CsrIndirectSeg: {
+        for (std::uint64_t k = 0; k < d.count; ++k) {
+            const auto v = asInt(loadWord(
+                d.idxSpace, elemByteAddr(d.idxSpace, d.idxBase,
+                                         static_cast<std::int64_t>(k)),
+                img, spm));
+            const auto lo = img.readInt(d.ptrBase + v * wordBytes);
+            const auto hi =
+                img.readInt(d.ptrBase + (v + 1) * wordBytes);
+            if (hi <= lo) {
+                fatal("CsrIndirectSeg: empty segment for id ", v,
+                      " (segments must be non-empty)");
+            }
+            for (std::int64_t j = lo; j < hi; ++j) {
+                const Addr a = elemByteAddr(d.dataSpace, d.dataBase, j);
+                std::uint8_t f = 0;
+                if (j + 1 == hi) {
+                    f |= kSegEnd;
+                    if (k + 1 == d.count)
+                        f |= kStreamEnd;
+                }
+                base.push_back(
+                    Token{loadWord(d.dataSpace, a, img, spm), f});
+            }
+        }
+        break;
+      }
+      case StreamDesc::Kind::PipeIn:
+        fatal("expandStream cannot expand a PipeIn stream");
+    }
+
+    if (d.repeat <= 1)
+        return base;
+
+    std::vector<Token> out;
+    out.reserve(base.size() * d.repeat);
+    for (const Token& t : base) {
+        for (std::uint32_t r = 0; r < d.repeat; ++r) {
+            const bool lastCopy = r + 1 == d.repeat;
+            out.push_back(Token{t.value,
+                                lastCopy ? t.flags : std::uint8_t{0}});
+        }
+    }
+    return out;
+}
+
+} // namespace ts

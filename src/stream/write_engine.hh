@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The write stream engine: drains a fabric output port into memory
+ * (functional write + line-granular traffic) and/or forwards the
+ * stream as pipe chunks to consumer lanes — the transmit half of
+ * pipelined inter-task dependence recovery.
+ */
+
+#ifndef TS_STREAM_WRITE_ENGINE_HH
+#define TS_STREAM_WRITE_ENGINE_HH
+
+#include <optional>
+
+#include "mem/mem_image.hh"
+#include "mem/scratchpad.hh"
+#include "sim/simulator.hh"
+#include "stream/lane_io.hh"
+#include "stream/stream_desc.hh"
+
+namespace ts
+{
+
+/** Write-engine tuning knobs. */
+struct WriteEngineCfg
+{
+    std::uint32_t width = 2;          ///< tokens consumed per cycle
+    std::size_t writeQueueDepth = 8;  ///< pending line writes
+};
+
+/** One output-stream engine. */
+class WriteEngine : public Ticked
+{
+  public:
+    WriteEngine(std::string name, MemImage& img, Scratchpad* spm,
+                MemPortIf* mem, PipeTxIf* pipeTx,
+                WriteEngineCfg cfg = {});
+
+    /** Start draining @p src per @p d. */
+    void program(const WriteDesc& d, TokenFifo* src);
+
+    /** Whether the programmed stream is still in flight. */
+    bool active() const { return active_; }
+
+    void tick(Tick now) override;
+    bool busy() const override { return active_; }
+    void reportStats(StatSet& stats) const override;
+
+    std::uint64_t tokensWritten() const { return tokensWritten_; }
+
+  private:
+    bool flushTraffic();
+    void queueLine(Addr line);
+
+    MemImage& img_;
+    Scratchpad* spm_;
+    MemPortIf* mem_;
+    PipeTxIf* pipeTx_;
+    WriteEngineCfg cfg_;
+
+    WriteDesc d_;
+    TokenFifo* src_ = nullptr;
+    bool active_ = false;
+    bool sawStreamEnd_ = false;
+
+    std::uint64_t pos_ = 0; ///< elements written
+    std::optional<Addr> curLine_;
+    std::deque<Addr> pendingLines_;
+    std::vector<Token> chunk_;
+    bool chunkPending_ = false;
+
+    std::uint64_t tokensWritten_ = 0;
+    std::uint64_t linesWritten_ = 0;
+    std::uint64_t chunksSent_ = 0;
+    std::uint64_t streamsRun_ = 0;
+};
+
+} // namespace ts
+
+#endif // TS_STREAM_WRITE_ENGINE_HH

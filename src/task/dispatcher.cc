@@ -1,0 +1,615 @@
+#include "task/dispatcher.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "mem/request.hh"
+
+#include "sim/logging.hh"
+
+namespace ts
+{
+
+namespace
+{
+
+/** Unique pipe identity for a producer output port. */
+std::uint64_t
+pipeIdOf(TaskId uid, std::uint8_t port)
+{
+    return (static_cast<std::uint64_t>(uid) << 3) | port;
+}
+
+} // namespace
+
+const char*
+schedPolicyName(SchedPolicy p)
+{
+    switch (p) {
+      case SchedPolicy::Static: return "static";
+      case SchedPolicy::DynCount: return "dyncount";
+      case SchedPolicy::WorkAware: return "workaware";
+    }
+    return "?";
+}
+
+Dispatcher::Dispatcher(Noc& noc, const MemImage& img,
+                       const TaskTypeRegistry& registry,
+                       const DispatcherConfig& cfg)
+    : Ticked("dispatcher"), noc_(noc), img_(img), registry_(registry),
+      cfg_(cfg)
+{
+    if (cfg_.laneNodes.empty())
+        fatal("dispatcher needs at least one lane");
+    laneQueued_.assign(cfg_.laneNodes.size(), 0);
+    laneWork_.assign(cfg_.laneNodes.size(), 0.0);
+    laneDispatched_.assign(cfg_.laneNodes.size(), 0);
+}
+
+void
+Dispatcher::loadGraph(const TaskGraph& graph)
+{
+    graph.validate();
+    TS_ASSERT(states_.empty(), "dispatcher already has a graph loaded");
+
+    states_.resize(graph.numTasks());
+    for (std::size_t i = 0; i < graph.numTasks(); ++i) {
+        states_[i].inst = &graph.task(static_cast<TaskId>(i));
+        states_[i].workEst =
+            registry_.estimateWork(img_, *states_[i].inst);
+    }
+    edges_.reserve(graph.edges().size());
+    for (const DepEdge& e : graph.edges()) {
+        const std::size_t idx = edges_.size();
+        edges_.push_back(EdgeState{e, false, false});
+        states_[e.consumer].inEdges.push_back(idx);
+        states_[e.consumer].remDeps++;
+        states_[e.producer].outEdges.push_back(idx);
+    }
+    for (const SharedGroup& g : graph.groups())
+        groups_.push_back(GroupState{g, false, 0});
+
+    // Dependence levels (longest path from the roots), used by the
+    // bulk-synchronous static-parallel mode.
+    std::uint32_t maxLevel = 0;
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+        std::uint32_t lvl = 0;
+        for (std::size_t ei : states_[i].inEdges) {
+            lvl = std::max(lvl,
+                           states_[edges_[ei].e.producer].level + 1);
+        }
+        states_[i].level = lvl;
+        maxLevel = std::max(maxLevel, lvl);
+    }
+    levelRemaining_.assign(maxLevel + 1, 0);
+    for (const TaskState& ts : states_)
+        ++levelRemaining_[ts.level];
+
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+        if (states_[i].remDeps == 0)
+            readyQ_.push_back(static_cast<TaskId>(i));
+    }
+}
+
+void
+Dispatcher::processInbox(Tick now)
+{
+    auto& inbox = noc_.eject(cfg_.selfNode);
+    while (!inbox.empty()) {
+        Packet pkt = inbox.pop();
+        switch (pkt.kind) {
+          case PktKind::TaskStart:
+            break; // informational; lanes track their own busy time
+          case PktKind::TaskComplete:
+            onComplete(std::any_cast<CompleteMsg>(pkt.payload), now);
+            break;
+          default:
+            panic("dispatcher received unexpected packet kind");
+        }
+    }
+}
+
+void
+Dispatcher::onComplete(const CompleteMsg& msg, Tick now)
+{
+    TaskState& ts = states_.at(msg.uid);
+    TS_ASSERT(ts.dispatched && !ts.completed);
+    ts.completed = true;
+    ++completed_;
+    TS_ASSERT(levelRemaining_[ts.level] > 0);
+    --levelRemaining_[ts.level];
+    while (curLevel_ < levelRemaining_.size() &&
+           levelRemaining_[curLevel_] == 0) {
+        ++curLevel_;
+    }
+    TS_ASSERT(ts.lane >= 0);
+    TS_ASSERT(laneQueued_[ts.lane] > 0);
+    --laneQueued_[ts.lane];
+    laneWork_[ts.lane] -= ts.workEst;
+
+    for (std::size_t ei : ts.outEdges) {
+        EdgeState& es = edges_[ei];
+        TaskState& cs = states_[es.e.consumer];
+        if (cs.dispatched)
+            continue; // co-dispatched via an activated pipeline
+        TS_ASSERT(cs.remDeps > 0);
+        if (--cs.remDeps == 0) {
+            cs.readyAt = now;
+            readyQ_.push_back(es.e.consumer);
+        }
+    }
+}
+
+std::optional<std::vector<TaskId>>
+Dispatcher::tryJoinClosure(TaskId c, std::vector<TaskId> set,
+                           unsigned depth) const
+{
+    if (depth > 64)
+        return std::nullopt;
+    if (std::binary_search(set.begin(), set.end(), c))
+        return set;
+    const TaskState& cs = states_[c];
+    if (cs.dispatched || cs.completed)
+        return std::nullopt;
+
+    set.insert(std::lower_bound(set.begin(), set.end(), c), c);
+    for (std::size_t ei : cs.inEdges) {
+        const EdgeState& es = edges_[ei];
+        const TaskState& ps = states_[es.e.producer];
+        if (ps.completed)
+            continue;
+        // A not-yet-complete producer is tolerable only when the data
+        // will flow through an activated pipe, which requires the
+        // producer itself to join this batch (recursively) and to be
+        // able to forward (builtin bodies cannot).
+        if (es.e.kind == DepKind::Pipeline &&
+            !registry_.type(ps.inst->type).isBuiltin()) {
+            if (auto joined = tryJoinClosure(es.e.producer,
+                                             std::move(set),
+                                             depth + 1)) {
+                set = std::move(*joined);
+                continue;
+            }
+            return std::nullopt;
+        }
+        return std::nullopt;
+    }
+    return set;
+}
+
+bool
+Dispatcher::soonJoinable(TaskId c, unsigned depth) const
+{
+    // Will c become joinable without any new dispatch decisions?
+    // True when every unsatisfied dependence is on a task that is
+    // already executing (dispatched) or will be covered by a pipe
+    // from a task in the same situation.
+    if (depth > 64)
+        return false;
+    const TaskState& cs = states_[c];
+    if (cs.dispatched || cs.completed)
+        return false;
+    for (std::size_t ei : cs.inEdges) {
+        const EdgeState& es = edges_[ei];
+        const TaskState& ps = states_[es.e.producer];
+        if (ps.completed || ps.dispatched)
+            continue;
+        if (es.e.kind == DepKind::Pipeline &&
+            !registry_.type(ps.inst->type).isBuiltin() &&
+            soonJoinable(es.e.producer, depth + 1)) {
+            continue;
+        }
+        return false;
+    }
+    return true;
+}
+
+std::vector<TaskId>
+Dispatcher::pipelineClosure(TaskId root) const
+{
+    // Grow the co-dispatch set along pipeline edges.  Consumers join
+    // when every unsatisfied dependence is itself a pipeline edge
+    // whose producer joins the same batch (ready sibling subtrees are
+    // pulled in transitively), so recovered pipelines span whole
+    // ready regions of the task graph, not just linear chains.
+    std::vector<TaskId> set{root};
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t i = 0; i < set.size(); ++i) {
+            const TaskState& xs = states_[set[i]];
+            for (std::size_t ei : xs.outEdges) {
+                const EdgeState& es = edges_[ei];
+                if (es.e.kind != DepKind::Pipeline)
+                    continue;
+                if (std::binary_search(set.begin(), set.end(),
+                                       es.e.consumer)) {
+                    continue;
+                }
+                if (auto joined =
+                        tryJoinClosure(es.e.consumer, set, 0)) {
+                    set = std::move(*joined);
+                    changed = true;
+                }
+            }
+        }
+    }
+    return set;
+}
+
+std::int32_t
+Dispatcher::pickLane(TaskId id,
+                     const std::vector<std::uint32_t>& extraLoad,
+                     const std::vector<double>& extraWork) const
+{
+    const std::size_t n = cfg_.laneNodes.size();
+    auto available = [&](std::size_t l) {
+        return laneQueued_[l] + extraLoad[l] < cfg_.laneQueueCap;
+    };
+
+    switch (cfg_.policy) {
+      case SchedPolicy::Static: {
+        const std::size_t l = id % n;
+        return available(l) ? static_cast<std::int32_t>(l) : -1;
+      }
+      case SchedPolicy::DynCount: {
+        std::int32_t best = -1;
+        std::uint32_t bestLoad = 0;
+        for (std::size_t l = 0; l < n; ++l) {
+            if (!available(l))
+                continue;
+            const std::uint32_t load = laneQueued_[l] + extraLoad[l];
+            if (best < 0 || load < bestLoad) {
+                best = static_cast<std::int32_t>(l);
+                bestLoad = load;
+            }
+        }
+        return best;
+      }
+      case SchedPolicy::WorkAware: {
+        std::int32_t best = -1;
+        double bestWork = 0;
+        for (std::size_t l = 0; l < n; ++l) {
+            if (!available(l))
+                continue;
+            const double w = laneWork_[l] + extraWork[l];
+            if (best < 0 || w < bestWork) {
+                best = static_cast<std::int32_t>(l);
+                bestWork = w;
+            }
+        }
+        return best;
+      }
+    }
+    return -1;
+}
+
+void
+Dispatcher::enqueueDispatch(TaskId id, DispatchMsg msg)
+{
+    TaskState& ts = states_[id];
+    TS_ASSERT(ts.lane >= 0);
+    ts.dispatched = true;
+    ++laneQueued_[ts.lane];
+    laneWork_[ts.lane] += ts.workEst;
+    ++laneDispatched_[ts.lane];
+
+    Packet pkt;
+    pkt.src = cfg_.selfNode;
+    pkt.dstMask = Packet::unicast(cfg_.laneNodes[ts.lane]);
+    pkt.kind = PktKind::TaskDispatch;
+    pkt.sizeWords = 4 + 2 * static_cast<std::uint32_t>(
+                            msg.inputs.size() + msg.outputs.size());
+    pkt.payload = std::move(msg);
+    sendQ_.push_back(std::move(pkt));
+}
+
+void
+Dispatcher::fireGroup(std::uint32_t groupId)
+{
+    GroupState& gs = groups_.at(groupId);
+    TS_ASSERT(!gs.fired);
+    gs.fired = true;
+    ++groupsFired_;
+
+    gs.landingOffset = landingBrk_;
+    landingBrk_ += divCeil<std::uint64_t>(gs.g.words, lineWords) *
+                   lineWords;
+    if (landingBrk_ > cfg_.spmLandingWords) {
+        fatal("scratchpad shared-landing space exhausted (",
+              landingBrk_, " > ", cfg_.spmLandingWords,
+              " words); enlarge the scratchpad or shrink groups");
+    }
+
+    // The range is multicast into every lane's scratchpad, so any
+    // member — whenever it is dispatched, to whichever lane — can
+    // read the landed copy.
+    std::uint64_t laneMask = 0;
+    for (const std::uint32_t node : cfg_.laneNodes)
+        laneMask |= Packet::unicast(node);
+
+    GroupSetupMsg setup{groupId, gs.g.rangeBase, gs.g.words,
+                        gs.landingOffset};
+    Packet sp;
+    sp.src = cfg_.selfNode;
+    sp.dstMask = laneMask;
+    sp.kind = PktKind::SharedFill;
+    sp.sizeWords = 4;
+    sp.payload = setup;
+    sendQ_.push_back(std::move(sp));
+
+    const Addr firstLine = lineAlign(gs.g.rangeBase);
+    const Addr lastByte = gs.g.rangeBase + gs.g.words * wordBytes - 1;
+    const std::uint64_t lines =
+        (lineAlign(lastByte) - firstLine) / lineBytes + 1;
+    for (std::uint64_t l = 0; l < lines; ++l) {
+        MemReq req;
+        req.lineAddr = firstLine + l * lineBytes;
+        req.write = false;
+        req.srcNode = cfg_.selfNode;
+        req.multicastMask = laneMask;
+        req.tag = sharedFillTag(groupId);
+        Packet fp;
+        fp.src = cfg_.selfNode;
+        fp.dstMask = Packet::unicast(cfg_.memNode);
+        fp.kind = PktKind::MemReq;
+        fp.sizeWords = 1;
+        fp.payload = req;
+        sendQ_.push_back(std::move(fp));
+        ++fillLinesRequested_;
+    }
+}
+
+bool
+Dispatcher::tryDispatchHead(Tick now)
+{
+    (void)now;
+    const TaskId root = readyQ_.front();
+    TaskState& rs = states_[root];
+    if (rs.dispatched || rs.completed) {
+        readyQ_.pop_front();
+        return true;
+    }
+
+    // Bulk-synchronous mode: wait for the level barrier.
+    if (cfg_.bulkSynchronous && rs.level > curLevel_) {
+        readyQ_.pop_front();
+        readyQ_.push_back(root);
+        return false;
+    }
+
+    // 1. Pipeline closure (TaskStream) or the single task (baseline).
+    std::vector<TaskId> closure =
+        cfg_.enablePipeline ? pipelineClosure(root)
+                            : std::vector<TaskId>{root};
+
+    // Cap the batch at the total free queue slots (members may share
+    // lanes; intra-batch uid order keeps per-lane queues topological,
+    // which makes sharing deadlock-free).
+    std::uint32_t freeSlots = 0;
+    for (std::size_t l = 0; l < cfg_.laneNodes.size(); ++l) {
+        freeSlots += cfg_.laneQueueCap > laneQueued_[l]
+                         ? cfg_.laneQueueCap - laneQueued_[l]
+                         : 0;
+    }
+    if (freeSlots == 0)
+        return false;
+    if (closure.size() > freeSlots)
+        closure.resize(freeSlots);
+
+    // Coalescing hold: if the root still has pipeline consumers that
+    // could not join this closure but will become joinable without
+    // further dispatch decisions (their blockers are all running),
+    // hold the root.  The lanes are busy with exactly those blockers,
+    // so holding costs nothing and lets whole pipeline regions
+    // co-dispatch.
+    // Holding is only free while every lane has work; if any lane
+    // is idle, dispatch immediately.
+    bool allLanesBusy = true;
+    for (std::size_t l = 0; l < cfg_.laneNodes.size(); ++l) {
+        if (laneQueued_[l] == 0) {
+            allLanesBusy = false;
+            break;
+        }
+    }
+    const Tick waited = now - rs.readyAt;
+    const bool withinHold =
+        (allLanesBusy && waited < cfg_.pipelineHoldCycles) ||
+        waited < cfg_.pipelineGraceCycles;
+    if (cfg_.enablePipeline && withinHold) {
+        for (const TaskId member : closure) {
+            for (std::size_t ei : states_[member].outEdges) {
+                const EdgeState& es = edges_[ei];
+                if (es.e.kind != DepKind::Pipeline || es.resolved)
+                    continue;
+                if (std::binary_search(closure.begin(), closure.end(),
+                                       es.e.consumer)) {
+                    continue;
+                }
+                if (soonJoinable(es.e.consumer, 0)) {
+                    readyQ_.pop_front();
+                    readyQ_.push_back(root);
+                    return true;
+                }
+            }
+        }
+    }
+
+    // 2. Assign lanes to closure members in uid (topological) order;
+    // members may share lanes.  If capacity runs out, the
+    // consumer-side suffix is dropped — safe, because a dropped task
+    // can never be the producer of a kept one.
+    std::vector<std::uint32_t> extraLoad(cfg_.laneNodes.size(), 0);
+    std::vector<double> extraWork(cfg_.laneNodes.size(), 0.0);
+    std::vector<TaskId> placed;
+    for (std::size_t i = 0; i < closure.size(); ++i) {
+        const TaskId id = closure[i];
+        const std::int32_t lane = pickLane(id, extraLoad, extraWork);
+        if (lane < 0) {
+            if (i == 0)
+                return false; // not even the root fits: retry later
+            closure.resize(i);
+            break;
+        }
+        states_[id].lane = lane;
+        ++extraLoad[lane];
+        extraWork[lane] += states_[id].workEst;
+        placed.push_back(id);
+    }
+
+    // (Shared-read groups no longer require co-dispatch: fills go to
+    // every lane, so members are rewritten whenever they dispatch —
+    // see step 4.)
+
+    // 4. Build messages with pipeline/shared rewrites.
+    std::map<TaskId, DispatchMsg> msgs;
+    for (TaskId id : placed) {
+        DispatchMsg m;
+        m.uid = id;
+        m.type = states_[id].inst->type;
+        m.inputs = states_[id].inst->inputs;
+        m.outputs = states_[id].inst->outputs;
+        m.workEst = states_[id].workEst;
+        msgs.emplace(id, std::move(m));
+    }
+
+    auto inBatch = [&](TaskId id) {
+        return msgs.count(id) != 0;
+    };
+
+    // Pipeline edge resolution (only closure members carry them).
+    // Two consumers of the same producer port share one forwarded
+    // stream, so they must sit on different lanes; a duplicate-lane
+    // consumer degrades to the memory fallback.
+    std::map<std::uint64_t, std::uint64_t> pipeLanesUsed;
+    for (TaskId id : closure) {
+        if (!inBatch(id))
+            continue;
+        for (std::size_t ei : states_[id].outEdges) {
+            EdgeState& es = edges_[ei];
+            if (es.e.kind != DepKind::Pipeline || es.resolved)
+                continue;
+            es.resolved = true;
+            const TaskId c = es.e.consumer;
+            bool canForward =
+                !registry_.type(states_[id].inst->type).isBuiltin();
+            if (canForward && inBatch(c)) {
+                const std::uint64_t key =
+                    pipeIdOf(id, es.e.producerPort);
+                const std::uint64_t laneBit =
+                    std::uint64_t{1} << states_[c].lane;
+                if (pipeLanesUsed[key] & laneBit)
+                    canForward = false; // same-lane stream collision
+                else
+                    pipeLanesUsed[key] |= laneBit;
+            }
+            if (cfg_.enablePipeline && inBatch(c) && canForward) {
+                es.activated = true;
+                ++pipesActivated_;
+                const std::uint64_t pid = pipeIdOf(id, es.e.producerPort);
+                DispatchMsg& pm = msgs.at(id);
+                WriteDesc& out = pm.outputs.at(es.e.producerPort);
+                out.pipeDstMask |= Packet::unicast(
+                    cfg_.laneNodes[states_[c].lane]);
+                out.pipeId = pid;
+                DispatchMsg& cm = msgs.at(c);
+                cm.inputs.at(es.e.consumerPort) =
+                    StreamDesc::pipeIn(pid);
+                cm.releasePipes.push_back(pid);
+            } else {
+                ++pipesDegraded_;
+            }
+        }
+    }
+
+    // Shared-read rewrites: fire each referenced group once, then
+    // point the member's input at the scratchpad landing.
+    if (cfg_.enableMulticast) {
+        for (TaskId id : placed) {
+            const TaskInstance& inst = *states_[id].inst;
+            DispatchMsg& mm = msgs.at(id);
+            for (std::size_t port = 0; port < inst.inputs.size();
+                 ++port) {
+                const std::uint32_t gId = inst.inputGroup[port];
+                if (gId == kNoGroup)
+                    continue;
+                GroupState& gs = groups_.at(gId);
+                if (!gs.fired)
+                    fireGroup(gId);
+                StreamDesc& d = mm.inputs[port];
+                d.dataSpace = Space::Spm;
+                d.dataBase = gs.landingOffset +
+                             (d.dataBase - gs.g.rangeBase) / wordBytes;
+                TS_ASSERT(mm.waitGroup == kNoGroup ||
+                              mm.waitGroup == gId,
+                          "a task may subscribe to one group");
+                mm.waitGroup = gId;
+            }
+        }
+    }
+
+    // 5. Commit: mark dispatched and queue the dispatch packets in
+    // uid order (producers before consumers).
+    readyQ_.pop_front();
+    for (TaskId id : placed) {
+        auto node = msgs.extract(id);
+        enqueueDispatch(id, std::move(node.mapped()));
+    }
+    return true;
+}
+
+void
+Dispatcher::tick(Tick now)
+{
+    processInbox(now);
+
+    // Drain the send queue.
+    std::uint32_t sends = cfg_.sendPerCycle;
+    while (sends > 0 && !sendQ_.empty()) {
+        if (!noc_.inject(sendQ_.front()))
+            break;
+        sendQ_.pop_front();
+        --sends;
+    }
+
+    // Dispatch ready tasks (bounded per cycle; keep the send queue
+    // from growing without bound).
+    std::uint32_t dispatches = 4;
+    while (dispatches > 0 && !readyQ_.empty() &&
+           sendQ_.size() < 4096) {
+        if (!tryDispatchHead(now))
+            break;
+        --dispatches;
+    }
+}
+
+bool
+Dispatcher::busy() const
+{
+    return !sendQ_.empty() || (!states_.empty() && !allComplete());
+}
+
+void
+Dispatcher::reportStats(StatSet& stats) const
+{
+    stats.set("dispatcher.pipesActivated",
+              static_cast<double>(pipesActivated_));
+    stats.set("dispatcher.pipesDegraded",
+              static_cast<double>(pipesDegraded_));
+    stats.set("dispatcher.groupsFired",
+              static_cast<double>(groupsFired_));
+    stats.set("dispatcher.groupMembersDegraded",
+              static_cast<double>(groupMembersDegraded_));
+    stats.set("dispatcher.fillLines",
+              static_cast<double>(fillLinesRequested_));
+    stats.set("dispatcher.tasksCompleted",
+              static_cast<double>(completed_));
+    for (std::size_t l = 0; l < laneDispatched_.size(); ++l) {
+        stats.set("dispatcher.lane" + std::to_string(l) + ".dispatched",
+                  static_cast<double>(laneDispatched_[l]));
+    }
+}
+
+} // namespace ts

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The hardware task dispatcher: TaskStream's central contribution.
+ *
+ * The dispatcher tracks dependences, maintains the ready set, and
+ * maps tasks to lanes.  Because dependences are *annotated*, it can
+ * recover program structure that task decomposition destroyed:
+ *
+ *  - Work-aware load balancing: stream arguments give a one-adder
+ *    estimate of each task's work; lanes are chosen by least
+ *    outstanding estimated work instead of task count or static
+ *    ownership.
+ *  - Pipelined dependences: a ready task's forward closure over
+ *    Pipeline edges is co-dispatched atomically; producer output
+ *    streams are forwarded chunk-by-chunk to consumer lanes, which
+ *    begin executing as data arrives.
+ *  - Shared-read multicast: tasks annotated as reading the same range
+ *    are dispatched together; the range is fetched from DRAM once and
+ *    multicast into every subscriber lane's scratchpad.
+ *
+ * The static-parallel baseline is this same dispatcher with policy
+ * Static and both recovery mechanisms disabled.
+ */
+
+#ifndef TS_TASK_DISPATCHER_HH
+#define TS_TASK_DISPATCHER_HH
+
+#include <deque>
+#include <optional>
+
+#include "noc/noc.hh"
+#include "task/messages.hh"
+#include "task/task_graph.hh"
+
+namespace ts
+{
+
+/** Lane-selection policies. */
+enum class SchedPolicy : std::uint8_t
+{
+    Static,   ///< owner-compute: lane = uid % lanes (baseline)
+    DynCount, ///< least queued task count
+    WorkAware ///< least outstanding estimated work (TaskStream)
+};
+
+/** Human-readable policy name. */
+const char* schedPolicyName(SchedPolicy p);
+
+/** Dispatcher configuration. */
+struct DispatcherConfig
+{
+    SchedPolicy policy = SchedPolicy::WorkAware;
+    bool enablePipeline = true;
+    bool enableMulticast = true;
+    /** Bulk-synchronous execution: a barrier between dependence
+     *  levels, as in a classic static-parallel design (all of level
+     *  L completes before level L+1 may start). */
+    bool bulkSynchronous = false;
+    std::uint32_t laneQueueCap = 2;  ///< per-lane queue (incl. running)
+    std::uint32_t sendPerCycle = 2;  ///< packets injected per cycle
+    /** Upper bound on how long a ready task with soon-joinable
+     *  pipeline consumers is held back so whole pipeline regions
+     *  co-dispatch (holding is free: the blockers are running on the
+     *  lanes anyway). */
+    Tick pipelineHoldCycles = 65536;
+    /** Even with idle lanes, a ready task with pending pipeline
+     *  consumers waits this long so near-simultaneous siblings can
+     *  coalesce into one co-dispatched region. */
+    Tick pipelineGraceCycles = 768;
+    std::uint64_t spmLandingWords = 1u << 16; ///< shared-copy budget
+
+    std::uint32_t selfNode = 0;
+    std::uint32_t memNode = 0;
+    std::vector<std::uint32_t> laneNodes;
+};
+
+/** The dispatcher hardware unit (one NoC node). */
+class Dispatcher : public Ticked
+{
+  public:
+    Dispatcher(Noc& noc, const MemImage& img,
+               const TaskTypeRegistry& registry,
+               const DispatcherConfig& cfg);
+
+    /** Load a whole task graph (host enqueue). */
+    void loadGraph(const TaskGraph& graph);
+
+    /** All loaded tasks have completed. */
+    bool allComplete() const
+    {
+        return completed_ == states_.size();
+    }
+
+    void tick(Tick now) override;
+    bool busy() const override;
+    void reportStats(StatSet& stats) const override;
+
+    // Experiment-facing counters.
+    std::uint64_t pipesActivated() const { return pipesActivated_; }
+    std::uint64_t pipesDegraded() const { return pipesDegraded_; }
+    std::uint64_t groupsFired() const { return groupsFired_; }
+    double laneWork(std::uint32_t lane) const
+    {
+        return laneWork_.at(lane);
+    }
+
+  private:
+    struct EdgeState
+    {
+        DepEdge e;
+        bool activated = false;
+        bool resolved = false; ///< activation decision made
+    };
+
+    struct TaskState
+    {
+        const TaskInstance* inst = nullptr;
+        std::uint32_t remDeps = 0;
+        bool dispatched = false;
+        bool completed = false;
+        std::int32_t lane = -1;
+        Tick readyAt = 0;
+        std::uint32_t level = 0; ///< longest path from the roots
+        double workEst = 0;
+        std::vector<std::size_t> inEdges;
+        std::vector<std::size_t> outEdges;
+    };
+
+    struct GroupState
+    {
+        SharedGroup g;
+        bool fired = false;
+        std::uint64_t landingOffset = 0;
+    };
+
+    void processInbox(Tick now);
+    void onComplete(const CompleteMsg& msg, Tick now);
+    bool tryDispatchHead(Tick now);
+    std::vector<TaskId> pipelineClosure(TaskId root) const;
+    std::optional<std::vector<TaskId>>
+    tryJoinClosure(TaskId c, std::vector<TaskId> set,
+                   unsigned depth) const;
+    bool soonJoinable(TaskId c, unsigned depth) const;
+    std::int32_t pickLane(TaskId id,
+                          const std::vector<std::uint32_t>& extraLoad,
+                          const std::vector<double>& extraWork) const;
+    void enqueueDispatch(TaskId id, DispatchMsg msg);
+    void fireGroup(std::uint32_t groupId);
+
+    Noc& noc_;
+    const MemImage& img_;
+    const TaskTypeRegistry& registry_;
+    DispatcherConfig cfg_;
+
+    std::vector<TaskState> states_;
+    std::vector<EdgeState> edges_;
+    std::vector<GroupState> groups_;
+    std::deque<TaskId> readyQ_;
+    std::deque<Packet> sendQ_;
+
+    std::vector<std::uint32_t> laneQueued_;
+    std::vector<double> laneWork_;
+    std::vector<std::uint64_t> laneDispatched_;
+    std::uint64_t landingBrk_ = 0;
+    std::size_t completed_ = 0;
+    std::uint32_t curLevel_ = 0;
+    std::vector<std::uint32_t> levelRemaining_;
+
+    std::uint64_t pipesActivated_ = 0;
+    std::uint64_t pipesDegraded_ = 0;
+    std::uint64_t groupsFired_ = 0;
+    std::uint64_t groupMembersDegraded_ = 0;
+    std::uint64_t fillLinesRequested_ = 0;
+};
+
+} // namespace ts
+
+#endif // TS_TASK_DISPATCHER_HH

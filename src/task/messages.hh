@@ -1,0 +1,89 @@
+/**
+ * @file
+ * NoC message payloads exchanged between the dispatcher, lane task
+ * units, and the memory controller.
+ */
+
+#ifndef TS_TASK_MESSAGES_HH
+#define TS_TASK_MESSAGES_HH
+
+#include <optional>
+#include <vector>
+
+#include "cgra/token.hh"
+#include "task/task_types.hh"
+
+namespace ts
+{
+
+/** Registration of a shared-read group at a member lane. */
+struct GroupSetupMsg
+{
+    std::uint32_t group = 0;
+    Addr rangeBase = 0;           ///< DRAM byte base of the range
+    std::uint64_t words = 0;      ///< range length in words
+    std::uint64_t landingOffset = 0; ///< SPM word offset of the copy
+};
+
+/** Dispatcher -> lane: run this task. */
+struct DispatchMsg
+{
+    TaskId uid = 0;
+    TaskTypeId type = 0;
+    std::vector<StreamDesc> inputs;   ///< resolved descriptors
+    std::vector<WriteDesc> outputs;   ///< resolved destinations
+    double workEst = 1.0;
+
+    /** Gate start on this group's fill completion (kNoGroup: none). */
+    std::uint32_t waitGroup = kNoGroup;
+
+    /** Pipe buffers to release when the task completes. */
+    std::vector<std::uint64_t> releasePipes;
+};
+
+/** Lane -> dispatcher: task began execution. */
+struct StartMsg
+{
+    TaskId uid = 0;
+    std::uint32_t lane = 0;
+};
+
+/** Lane -> dispatcher: task finished. */
+struct CompleteMsg
+{
+    TaskId uid = 0;
+    std::uint32_t lane = 0;
+};
+
+/** Producer lane -> consumer lane: forwarded stream chunk. */
+struct PipeChunkMsg
+{
+    std::uint64_t pipeId = 0;
+    std::vector<Token> toks;
+};
+
+/** Tag bit marking a memory request as a shared-group fill. */
+constexpr std::uint64_t kSharedFillTagBit = std::uint64_t{1} << 63;
+
+/** Encode/decode shared-fill tags (group id in the low bits). */
+inline std::uint64_t
+sharedFillTag(std::uint32_t group)
+{
+    return kSharedFillTagBit | group;
+}
+
+inline bool
+isSharedFillTag(std::uint64_t tag)
+{
+    return (tag & kSharedFillTagBit) != 0;
+}
+
+inline std::uint32_t
+sharedFillGroup(std::uint64_t tag)
+{
+    return static_cast<std::uint32_t>(tag & 0xffffffffu);
+}
+
+} // namespace ts
+
+#endif // TS_TASK_MESSAGES_HH

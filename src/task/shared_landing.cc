@@ -1,0 +1,62 @@
+#include "task/shared_landing.hh"
+
+#include "sim/logging.hh"
+
+namespace ts
+{
+
+void
+SharedLanding::setup(const GroupSetupMsg& msg)
+{
+    TS_ASSERT(!known(msg.group), "group ", msg.group, " set up twice");
+    G g;
+    g.rangeBase = msg.rangeBase;
+    g.words = msg.words;
+    g.landing = msg.landingOffset;
+    const Addr firstLine = lineAlign(msg.rangeBase);
+    const Addr lastByte = msg.rangeBase + msg.words * wordBytes - 1;
+    g.linesExpected = (lineAlign(lastByte) - firstLine) / lineBytes + 1;
+    groups_.emplace(msg.group, g);
+
+    auto it = stash_.find(msg.group);
+    if (it != stash_.end()) {
+        for (Addr line : it->second)
+            apply(groups_.at(msg.group), line);
+        stash_.erase(it);
+    }
+}
+
+void
+SharedLanding::apply(G& g, Addr lineAddr)
+{
+    for (unsigned w = 0; w < lineWords; ++w) {
+        const Addr a = lineAddr + w * wordBytes;
+        if (a < g.rangeBase || a >= g.rangeBase + g.words * wordBytes)
+            continue;
+        spm_.write(g.landing + (a - g.rangeBase) / wordBytes,
+                   img_.readWord(a));
+    }
+    ++g.linesArrived;
+    ++linesLanded_;
+}
+
+void
+SharedLanding::fill(std::uint32_t group, Addr lineAddr)
+{
+    auto it = groups_.find(group);
+    if (it == groups_.end()) {
+        stash_[group].push_back(lineAddr);
+        return;
+    }
+    apply(it->second, lineAddr);
+}
+
+bool
+SharedLanding::complete(std::uint32_t group) const
+{
+    auto it = groups_.find(group);
+    return it != groups_.end() &&
+           it->second.linesArrived >= it->second.linesExpected;
+}
+
+} // namespace ts

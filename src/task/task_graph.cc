@@ -1,0 +1,91 @@
+#include "task/task_graph.hh"
+
+#include "sim/logging.hh"
+
+namespace ts
+{
+
+TaskId
+TaskGraph::addTask(TaskTypeId type, std::vector<StreamDesc> inputs,
+                   std::vector<WriteDesc> outputs)
+{
+    TaskInstance inst;
+    inst.uid = static_cast<TaskId>(tasks_.size());
+    inst.type = type;
+    inst.inputs = std::move(inputs);
+    inst.outputs = std::move(outputs);
+    inst.inputGroup.assign(inst.inputs.size(), kNoGroup);
+    tasks_.push_back(std::move(inst));
+    return tasks_.back().uid;
+}
+
+void
+TaskGraph::addBarrier(TaskId producer, TaskId consumer)
+{
+    TS_ASSERT(producer < consumer,
+              "dependences must follow task creation order (",
+              producer, " -> ", consumer, ")");
+    TS_ASSERT(consumer < tasks_.size());
+    edges_.push_back(DepEdge{producer, consumer, DepKind::Barrier, 0, 0});
+}
+
+void
+TaskGraph::addPipeline(TaskId producer, std::uint8_t producerPort,
+                       TaskId consumer, std::uint8_t consumerPort)
+{
+    TS_ASSERT(producer < consumer,
+              "dependences must follow task creation order (",
+              producer, " -> ", consumer, ")");
+    TS_ASSERT(consumer < tasks_.size());
+    TS_ASSERT(producerPort < tasks_[producer].outputs.size());
+    TS_ASSERT(consumerPort < tasks_[consumer].inputs.size());
+    edges_.push_back(DepEdge{producer, consumer, DepKind::Pipeline,
+                             producerPort, consumerPort});
+}
+
+std::uint32_t
+TaskGraph::addSharedGroup(Addr rangeBase, std::uint64_t words)
+{
+    TS_ASSERT(rangeBase % wordBytes == 0,
+              "shared ranges must be word-aligned");
+    TS_ASSERT(words > 0);
+    SharedGroup g;
+    g.id = static_cast<std::uint32_t>(groups_.size());
+    g.rangeBase = rangeBase;
+    g.words = words;
+    groups_.push_back(g);
+    return groups_.back().id;
+}
+
+void
+TaskGraph::setSharedInput(TaskId task, std::uint32_t port,
+                          std::uint32_t group)
+{
+    TS_ASSERT(task < tasks_.size());
+    TS_ASSERT(group < groups_.size());
+    TaskInstance& inst = tasks_[task];
+    TS_ASSERT(port < inst.inputs.size());
+    const SharedGroup& g = groups_[group];
+    const StreamDesc& d = inst.inputs[port];
+    TS_ASSERT(d.dataSpace == Space::Dram,
+              "shared inputs must start as DRAM streams");
+    TS_ASSERT(d.dataBase >= g.rangeBase &&
+                  d.dataBase < g.rangeBase + g.words * wordBytes,
+              "shared input base outside the group range");
+    inst.inputGroup[port] = group;
+    groups_[group].members.push_back(task);
+}
+
+void
+TaskGraph::validate() const
+{
+    for (const DepEdge& e : edges_) {
+        TS_ASSERT(e.producer < tasks_.size() &&
+                  e.consumer < tasks_.size());
+        TS_ASSERT(e.producer < e.consumer);
+    }
+    for (const SharedGroup& g : groups_)
+        TS_ASSERT(!g.members.empty(), "shared group with no members");
+}
+
+} // namespace ts

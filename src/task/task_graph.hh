@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The host-visible task graph: instances plus *annotated* dependences.
+ *
+ * This is the programming interface the paper argues for: instead of
+ * opaque "wait for task X" edges, every edge says *what structure* it
+ * carries —
+ *   Barrier:  plain completion ordering;
+ *   Pipeline: the consumer elementwise-consumes a named output stream
+ *             of the producer (hardware may forward it);
+ * and shared-read groups say "these tasks all read this range".
+ * The same graph runs unchanged on the static-parallel baseline,
+ * which simply ignores the annotations.
+ */
+
+#ifndef TS_TASK_TASK_GRAPH_HH
+#define TS_TASK_TASK_GRAPH_HH
+
+#include <vector>
+
+#include "task/task_types.hh"
+
+namespace ts
+{
+
+/** Dependence kinds (the annotation is the contribution). */
+enum class DepKind : std::uint8_t
+{
+    Barrier,
+    Pipeline,
+};
+
+/** An annotated dependence edge. */
+struct DepEdge
+{
+    TaskId producer = 0;
+    TaskId consumer = 0;
+    DepKind kind = DepKind::Barrier;
+    std::uint8_t producerPort = 0; ///< Pipeline: forwarded output port
+    std::uint8_t consumerPort = 0; ///< Pipeline: consuming input port
+};
+
+/** A shared-read group over a contiguous DRAM range. */
+struct SharedGroup
+{
+    std::uint32_t id = 0;
+    Addr rangeBase = 0;       ///< line-aligned byte address
+    std::uint64_t words = 0;  ///< range length in words
+    std::vector<TaskId> members;
+};
+
+/** Host-side container for a workload's tasks. */
+class TaskGraph
+{
+  public:
+    /**
+     * Add a task.  Tasks must be added in a topological order of the
+     * intended dependences (producers before consumers).
+     */
+    TaskId addTask(TaskTypeId type, std::vector<StreamDesc> inputs,
+                   std::vector<WriteDesc> outputs);
+
+    /** Add a completion-ordering edge. */
+    void addBarrier(TaskId producer, TaskId consumer);
+
+    /**
+     * Add a pipelined dependence: @p consumer's input port
+     * @p consumerPort elementwise-consumes @p producer's output port
+     * @p producerPort.  The consumer's input descriptor must describe
+     * the memory fallback (used by the baseline, and by Delta when
+     * the edge cannot be activated).
+     */
+    void addPipeline(TaskId producer, std::uint8_t producerPort,
+                     TaskId consumer, std::uint8_t consumerPort);
+
+    /** Create a shared-read group over [base, base + words*8). */
+    std::uint32_t addSharedGroup(Addr rangeBase, std::uint64_t words);
+
+    /**
+     * Annotate @p task's input @p port as reading within group
+     * @p group; its descriptor's dataBase must lie in the range.
+     */
+    void setSharedInput(TaskId task, std::uint32_t port,
+                        std::uint32_t group);
+
+    const std::vector<TaskInstance>& tasks() const { return tasks_; }
+    const std::vector<DepEdge>& edges() const { return edges_; }
+    const std::vector<SharedGroup>& groups() const { return groups_; }
+
+    TaskInstance& task(TaskId id) { return tasks_.at(id); }
+    const TaskInstance& task(TaskId id) const { return tasks_.at(id); }
+
+    std::size_t numTasks() const { return tasks_.size(); }
+
+    /** Validate structural invariants (topological ids, ranges). */
+    void validate() const;
+
+  private:
+    std::vector<TaskInstance> tasks_;
+    std::vector<DepEdge> edges_;
+    std::vector<SharedGroup> groups_;
+};
+
+} // namespace ts
+
+#endif // TS_TASK_TASK_GRAPH_HH

@@ -1,0 +1,222 @@
+#include "task/task_unit.hh"
+
+#include "sim/logging.hh"
+
+namespace ts
+{
+
+TaskUnit::TaskUnit(std::string name, const TaskTypeRegistry& registry,
+                   TaskUnitPorts ports)
+    : Ticked(std::move(name)), registry_(registry),
+      ports_(std::move(ports))
+{
+    TS_ASSERT(ports_.fabric != nullptr && ports_.pipes != nullptr &&
+              ports_.landing != nullptr && ports_.send &&
+              ports_.memPort != nullptr && ports_.image != nullptr);
+}
+
+void
+TaskUnit::deliver(DispatchMsg msg)
+{
+    inbox_.push_back(std::move(msg));
+}
+
+void
+TaskUnit::queueMsg(PktKind kind, std::any payload,
+                   std::uint32_t sizeWords)
+{
+    Packet pkt;
+    pkt.src = ports_.selfNode;
+    pkt.dstMask = Packet::unicast(ports_.dispatcherNode);
+    pkt.kind = kind;
+    pkt.sizeWords = sizeWords;
+    pkt.payload = std::move(payload);
+    sendQ_.push_back(std::move(pkt));
+}
+
+void
+TaskUnit::sendPending()
+{
+    while (!sendQ_.empty()) {
+        if (!ports_.send(sendQ_.front()))
+            return;
+        sendQ_.pop_front();
+    }
+}
+
+void
+TaskUnit::beginTask(Tick now)
+{
+    const TaskType& type = registry_.type(cur_.type);
+
+    queueMsg(PktKind::TaskStart,
+             StartMsg{cur_.uid, ports_.laneIndex}, 1);
+
+    if (type.isBuiltin()) {
+        // Stage input traffic through sink read streams.
+        TS_ASSERT(cur_.inputs.size() <= ports_.readEngines.size(),
+                  name(), ": task needs more read engines");
+        for (std::size_t i = 0; i < cur_.inputs.size(); ++i)
+            ports_.readEngines[i]->program(cur_.inputs[i], nullptr);
+        phase_ = Phase::BuiltinRead;
+        return;
+    }
+
+    ports_.fabric->configure(&type.mapped, now);
+    phase_ = Phase::Config;
+}
+
+bool
+TaskUnit::dfgExecutionDone() const
+{
+    for (std::size_t i = 0; i < cur_.inputs.size(); ++i) {
+        if (ports_.readEngines[i]->active())
+            return false;
+    }
+    for (std::size_t o = 0; o < cur_.outputs.size(); ++o) {
+        if (ports_.writeEngines[o]->active())
+            return false;
+    }
+    return ports_.fabric->drained();
+}
+
+void
+TaskUnit::tick(Tick now)
+{
+    sendPending();
+
+    if (phase_ != Phase::Idle)
+        ++busyCycles_;
+
+    switch (phase_) {
+      case Phase::Idle:
+        if (inbox_.empty())
+            return;
+        cur_ = std::move(inbox_.front());
+        inbox_.pop_front();
+        ++busyCycles_;
+        phase_ = Phase::WaitFill;
+        [[fallthrough]];
+
+      case Phase::WaitFill:
+        if (cur_.waitGroup != kNoGroup &&
+            !ports_.landing->complete(cur_.waitGroup)) {
+            ++waitFillCycles_;
+            return;
+        }
+        beginTask(now);
+        return;
+
+      case Phase::Config: {
+        if (!ports_.fabric->ready(now)) {
+            ++configWaitCycles_;
+            return;
+        }
+        const TaskType& type = registry_.type(cur_.type);
+        TS_ASSERT(cur_.inputs.size() == type.dfg->numInputs(),
+                  name(), ": input count mismatch for ", type.name);
+        TS_ASSERT(cur_.outputs.size() == type.dfg->numOutputs(),
+                  name(), ": output count mismatch for ", type.name);
+        TS_ASSERT(cur_.inputs.size() <= ports_.readEngines.size(),
+                  name(), ": task needs more read engines");
+        TS_ASSERT(cur_.outputs.size() <= ports_.writeEngines.size(),
+                  name(), ": task needs more write engines");
+        ports_.fabric->resetStreams();
+        for (std::size_t i = 0; i < cur_.inputs.size(); ++i) {
+            ports_.readEngines[i]->program(
+                cur_.inputs[i],
+                &ports_.fabric->inPort(
+                    static_cast<std::uint32_t>(i)));
+        }
+        for (std::size_t o = 0; o < cur_.outputs.size(); ++o) {
+            ports_.writeEngines[o]->program(
+                cur_.outputs[o],
+                &ports_.fabric->outPort(
+                    static_cast<std::uint32_t>(o)));
+        }
+        phase_ = Phase::Running;
+        return;
+      }
+
+      case Phase::Running:
+        if (dfgExecutionDone())
+            phase_ = Phase::Finish;
+        return;
+
+      case Phase::BuiltinRead: {
+        for (std::size_t i = 0; i < cur_.inputs.size(); ++i) {
+            if (ports_.readEngines[i]->active())
+                return;
+        }
+        const TaskType& type = registry_.type(cur_.type);
+        // Inputs staged: apply the functional effect and occupy the
+        // fabric for the modeled compute time.
+        // (The dispatch message carries resolved descriptors, but the
+        // builtin body reads its own task description, so we pass a
+        // reconstructed instance view.)
+        TaskInstance view;
+        view.uid = cur_.uid;
+        view.type = cur_.type;
+        view.inputs = cur_.inputs;
+        view.outputs = cur_.outputs;
+        type.builtin->apply(*ports_.image, view);
+        computeUntil_ = now + type.builtin->cycles(*ports_.image, view);
+        builtinLinesLeft_ = divCeil<std::uint64_t>(
+            type.builtin->outputWords(*ports_.image, view), lineWords);
+        builtinWriteCursor_ =
+            cur_.outputs.empty() ? 0 : lineAlign(cur_.outputs[0].base);
+        phase_ = Phase::BuiltinCompute;
+        return;
+      }
+
+      case Phase::BuiltinCompute:
+        if (now < computeUntil_)
+            return;
+        phase_ = Phase::BuiltinWrite;
+        [[fallthrough]];
+
+      case Phase::BuiltinWrite: {
+        std::uint32_t budget = 2;
+        while (budget > 0 && builtinLinesLeft_ > 0) {
+            if (!ports_.memPort->writeLine(builtinWriteCursor_))
+                return;
+            builtinWriteCursor_ += lineBytes;
+            --builtinLinesLeft_;
+            --budget;
+        }
+        if (builtinLinesLeft_ > 0)
+            return;
+        phase_ = Phase::Finish;
+        return;
+      }
+
+      case Phase::Finish:
+        for (std::uint64_t pid : cur_.releasePipes)
+            ports_.pipes->release(pid);
+        queueMsg(PktKind::TaskComplete,
+                 CompleteMsg{cur_.uid, ports_.laneIndex}, 1);
+        ++tasksRun_;
+        phase_ = Phase::Idle;
+        return;
+    }
+}
+
+bool
+TaskUnit::busy() const
+{
+    return phase_ != Phase::Idle || !inbox_.empty() || !sendQ_.empty();
+}
+
+void
+TaskUnit::reportStats(StatSet& stats) const
+{
+    stats.set(name() + ".tasksRun", static_cast<double>(tasksRun_));
+    stats.set(name() + ".busyCycles",
+              static_cast<double>(busyCycles_));
+    stats.set(name() + ".waitFillCycles",
+              static_cast<double>(waitFillCycles_));
+    stats.set(name() + ".configWaitCycles",
+              static_cast<double>(configWaitCycles_));
+}
+
+} // namespace ts

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The per-lane hardware task unit: a small task queue plus the state
+ * machine that executes one task at a time — reconfigure the fabric,
+ * program the stream engines, monitor completion, report back to the
+ * dispatcher.
+ */
+
+#ifndef TS_TASK_TASK_UNIT_HH
+#define TS_TASK_TASK_UNIT_HH
+
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "cgra/fabric.hh"
+#include "noc/packet.hh"
+#include "stream/pipe_set.hh"
+#include "stream/read_engine.hh"
+#include "stream/write_engine.hh"
+#include "task/messages.hh"
+#include "task/shared_landing.hh"
+
+namespace ts
+{
+
+/** Wiring a TaskUnit needs from its lane. */
+struct TaskUnitPorts
+{
+    Fabric* fabric = nullptr;
+    std::vector<ReadEngine*> readEngines;
+    std::vector<WriteEngine*> writeEngines;
+    PipeSet* pipes = nullptr;
+    SharedLanding* landing = nullptr;
+    MemPortIf* memPort = nullptr; ///< builtin output traffic
+    MemImage* image = nullptr;    ///< builtin functional effects
+
+    /** Inject a packet at this lane's NoC node (false = retry). */
+    std::function<bool(Packet)> send;
+
+    std::uint32_t selfNode = 0;
+    std::uint32_t dispatcherNode = 0;
+    std::uint32_t laneIndex = 0;
+};
+
+/** One lane's task queue and execution controller. */
+class TaskUnit : public Ticked
+{
+  public:
+    TaskUnit(std::string name, const TaskTypeRegistry& registry,
+             TaskUnitPorts ports);
+
+    /** Enqueue a dispatched task (called by the lane NoC adapter). */
+    void deliver(DispatchMsg msg);
+
+    void tick(Tick now) override;
+    bool busy() const override;
+    void reportStats(StatSet& stats) const override;
+
+    /** Tasks executed to completion. */
+    std::uint64_t tasksRun() const { return tasksRun_; }
+
+    /** Cycles this lane spent with a task in flight. */
+    std::uint64_t busyCycles() const { return busyCycles_; }
+
+    /** Current queue depth (including the running task). */
+    std::size_t queueDepth() const
+    {
+        return inbox_.size() + (phase_ == Phase::Idle ? 0 : 1);
+    }
+
+  private:
+    enum class Phase : std::uint8_t
+    {
+        Idle,
+        WaitFill,
+        Config,
+        Running,
+        BuiltinRead,
+        BuiltinCompute,
+        BuiltinWrite,
+        Finish,
+    };
+
+    void beginTask(Tick now);
+    void sendPending();
+    void queueMsg(PktKind kind, std::any payload,
+                  std::uint32_t sizeWords);
+    bool dfgExecutionDone() const;
+
+    const TaskTypeRegistry& registry_;
+    TaskUnitPorts ports_;
+
+    std::deque<DispatchMsg> inbox_;
+    std::deque<Packet> sendQ_;
+
+    Phase phase_ = Phase::Idle;
+    DispatchMsg cur_;
+    Tick computeUntil_ = 0;
+    std::uint64_t builtinLinesLeft_ = 0;
+    Addr builtinWriteCursor_ = 0;
+
+    std::uint64_t tasksRun_ = 0;
+    std::uint64_t busyCycles_ = 0;
+    std::uint64_t waitFillCycles_ = 0;
+    std::uint64_t configWaitCycles_ = 0;
+};
+
+} // namespace ts
+
+#endif // TS_TASK_TASK_UNIT_HH

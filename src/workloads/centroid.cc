@@ -1,0 +1,96 @@
+#include "workloads/centroid.hh"
+
+#include <limits>
+
+namespace ts
+{
+
+void
+CentroidWorkload::build(Delta& delta, TaskGraph& graph)
+{
+    MemImage& img = delta.image();
+    Rng rng(p_.seed);
+
+    const Addr pts = img.allocWords(p_.points * p_.dims);
+    const Addr cent = img.allocWords(p_.k * p_.dims);
+    outAddr_ = img.allocWords(p_.points);
+
+    for (std::uint64_t i = 0; i < p_.points * p_.dims; ++i)
+        img.writeInt(pts + i * wordBytes, rng.uniformInt(0, 1000));
+    for (std::uint64_t i = 0; i < p_.k * p_.dims; ++i)
+        img.writeInt(cent + i * wordBytes, rng.uniformInt(0, 1000));
+
+    // --- golden -----------------------------------------------------
+    expected_.assign(p_.points, 0);
+    for (std::uint64_t pIdx = 0; pIdx < p_.points; ++pIdx) {
+        std::int64_t best = std::numeric_limits<std::int64_t>::max();
+        for (std::uint64_t c = 0; c < p_.k; ++c) {
+            std::int64_t d2 = 0;
+            for (std::uint64_t d = 0; d < p_.dims; ++d) {
+                const std::int64_t diff =
+                    img.readInt(pts + (pIdx * p_.dims + d) * wordBytes) -
+                    img.readInt(cent + (c * p_.dims + d) * wordBytes);
+                d2 += diff * diff;
+            }
+            best = std::min(best, d2);
+        }
+        expected_[pIdx] = best;
+    }
+
+    // --- task type ----------------------------------------------------
+    auto dfg = std::make_unique<Dfg>("centroid");
+    const auto pIn = dfg->addInput();
+    const auto cIn = dfg->addInput();
+    const auto diff =
+        dfg->add(Op::Sub, Operand::ref(pIn), Operand::ref(cIn));
+    const auto sq =
+        dfg->add(Op::Mul, Operand::ref(diff), Operand::ref(diff));
+    const auto d2 = dfg->add(Op::AccAdd, Operand::ref(sq));
+    const auto mn = dfg->add(Op::AccMin, Operand::ref(d2));
+    dfg->addOutput(mn);
+    const TaskTypeId ty =
+        delta.registry().addDfgType("centroid", std::move(dfg));
+
+    // --- task graph -----------------------------------------------------
+    const std::uint32_t group =
+        graph.addSharedGroup(cent, p_.k * p_.dims);
+    for (std::uint64_t p0 = 0; p0 < p_.points;
+         p0 += p_.pointsPerTask) {
+        const std::uint64_t np =
+            std::min(p_.pointsPerTask, p_.points - p0);
+
+        // Point rows, each replayed once per centroid.
+        StreamDesc a = StreamDesc::strided2d(
+            Space::Dram, pts + p0 * p_.dims * wordBytes, np,
+            static_cast<std::int64_t>(p_.dims), p_.dims);
+        a.rowRepeat = static_cast<std::uint32_t>(p_.k);
+
+        // The centroid table, replayed once per point.
+        StreamDesc b =
+            StreamDesc::linear(Space::Dram, cent, p_.k * p_.dims);
+        b.loops = np;
+        b.fixedSegLen = p_.dims;
+
+        WriteDesc out;
+        out.base = outAddr_ + p0 * wordBytes;
+        const TaskId id = graph.addTask(ty, {a, b}, {out});
+        graph.setSharedInput(id, 1, group);
+    }
+}
+
+bool
+CentroidWorkload::check(const MemImage& img) const
+{
+    for (std::uint64_t pIdx = 0; pIdx < p_.points; ++pIdx) {
+        const std::int64_t got =
+            img.readInt(outAddr_ + pIdx * wordBytes);
+        if (got != expected_[pIdx]) {
+            warn("centroid mismatch at point ", pIdx, ": got ", got,
+                 " want ", expected_[pIdx]);
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace ts

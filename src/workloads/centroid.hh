@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Nearest-centroid distance computation (the assignment kernel of
+ * k-means): for each point, the squared distance to its closest
+ * centroid, computed as a two-level fabric reduction (sum over
+ * dimensions, min over centroids).
+ *
+ * Structure exercised: hierarchical stream segmentation (level-1 =
+ * dimensions, level-2 = centroids) and a small shared centroid table
+ * multicast to every lane.
+ */
+
+#ifndef TS_WORKLOADS_CENTROID_HH
+#define TS_WORKLOADS_CENTROID_HH
+
+#include "sim/rng.hh"
+#include "workloads/workload.hh"
+
+namespace ts
+{
+
+/** Centroid workload parameters. */
+struct CentroidParams
+{
+    std::uint64_t points = 1024;
+    std::uint64_t k = 8;
+    std::uint64_t dims = 4;
+    std::uint64_t pointsPerTask = 64;
+    std::uint64_t seed = 7;
+};
+
+/** Min squared distance from each point to the centroid set. */
+class CentroidWorkload : public Workload
+{
+  public:
+    explicit CentroidWorkload(const CentroidParams& p) : p_(p) {}
+
+    std::string name() const override { return "centroid"; }
+    void build(Delta& delta, TaskGraph& graph) override;
+    bool check(const MemImage& img) const override;
+
+  private:
+    CentroidParams p_;
+    Addr outAddr_ = 0;
+    std::vector<std::int64_t> expected_;
+};
+
+} // namespace ts
+
+#endif // TS_WORKLOADS_CENTROID_HH

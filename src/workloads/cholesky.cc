@@ -1,0 +1,241 @@
+#include "workloads/cholesky.hh"
+
+#include <cmath>
+#include <set>
+
+#include "workloads/dense_util.hh"
+
+namespace ts
+{
+
+namespace
+{
+
+/** Cycles-per-flop of the coarse-grained tile kernels. */
+constexpr double kCpf = 0.5;
+
+} // namespace
+
+void
+CholeskyWorkload::build(Delta& delta, TaskGraph& graph)
+{
+    MemImage& img = delta.image();
+    Rng rng(p_.seed);
+    const std::uint64_t b = p_.tileSize;
+    const std::uint64_t T = p_.tiles;
+    const std::uint64_t n = T * b;
+
+    // --- SPD matrix: A = 0.1 * M M^T + n * I ---------------------------
+    mat_ = img.allocWords(n * n);
+    std::vector<double> m(n * n);
+    for (auto& v : m)
+        v = rng.uniformReal(0.0, 1.0);
+    for (std::uint64_t r = 0; r < n; ++r) {
+        for (std::uint64_t c = 0; c < n; ++c) {
+            double acc = 0.0;
+            for (std::uint64_t k = 0; k < n; ++k)
+                acc += m[r * n + k] * m[c * n + k];
+            double v = 0.1 * acc;
+            if (r == c)
+                v += static_cast<double>(n);
+            matSet(img, mat_, n, r, c, v);
+        }
+    }
+
+    // --- golden: unblocked Cholesky-Crout of a copy ---------------------
+    std::vector<double> a(n * n);
+    for (std::uint64_t i = 0; i < n * n; ++i)
+        a[i] = img.readDouble(mat_ + i * wordBytes);
+    expected_.assign(n * n, 0.0);
+    for (std::uint64_t j = 0; j < n; ++j) {
+        double d = a[j * n + j];
+        for (std::uint64_t k = 0; k < j; ++k)
+            d -= expected_[j * n + k] * expected_[j * n + k];
+        expected_[j * n + j] = std::sqrt(d);
+        for (std::uint64_t i = j + 1; i < n; ++i) {
+            double v = a[i * n + j];
+            for (std::uint64_t k = 0; k < j; ++k)
+                v -= expected_[i * n + k] * expected_[j * n + k];
+            expected_[i * n + j] = v / expected_[j * n + j];
+        }
+    }
+
+    // --- builtin tile kernels -------------------------------------------
+    const Addr mat = mat_;
+    auto cyclesFor = [b](double flops) {
+        return static_cast<std::uint64_t>(flops * kCpf) + b;
+    };
+
+    BuiltinBody potrf;
+    potrf.apply = [mat, n, b](MemImage& im, const TaskInstance& inst) {
+        const Addr tile = inst.outputs.at(0).base;
+        const std::uint64_t r0 = (tile - mat) / wordBytes / n;
+        const std::uint64_t c0 = (tile - mat) / wordBytes % n;
+        for (std::uint64_t j = 0; j < b; ++j) {
+            double d = matGet(im, mat, n, r0 + j, c0 + j);
+            for (std::uint64_t k = 0; k < j; ++k) {
+                const double l = matGet(im, mat, n, r0 + j, c0 + k);
+                d -= l * l;
+            }
+            matSet(im, mat, n, r0 + j, c0 + j, std::sqrt(d));
+            for (std::uint64_t i = j + 1; i < b; ++i) {
+                double v = matGet(im, mat, n, r0 + i, c0 + j);
+                for (std::uint64_t k = 0; k < j; ++k) {
+                    v -= matGet(im, mat, n, r0 + i, c0 + k) *
+                         matGet(im, mat, n, r0 + j, c0 + k);
+                }
+                matSet(im, mat, n, r0 + i, c0 + j,
+                       v / matGet(im, mat, n, r0 + j, c0 + j));
+            }
+        }
+    };
+    potrf.cycles = [b, cyclesFor](const MemImage&,
+                                  const TaskInstance&) {
+        return cyclesFor(static_cast<double>(b * b * b) / 3.0);
+    };
+    potrf.outputWords = [b](const MemImage&, const TaskInstance&) {
+        return b * b;
+    };
+
+    BuiltinBody trsm;
+    trsm.apply = [mat, n, b](MemImage& im, const TaskInstance& inst) {
+        // X := X * L_kk^{-T}; inputs[1] is the diagonal tile.
+        const Addr xTile = inst.outputs.at(0).base;
+        const Addr lTile = inst.inputs.at(1).dataBase;
+        const std::uint64_t xr = (xTile - mat) / wordBytes / n;
+        const std::uint64_t xc = (xTile - mat) / wordBytes % n;
+        const std::uint64_t lr = (lTile - mat) / wordBytes / n;
+        const std::uint64_t lc = (lTile - mat) / wordBytes % n;
+        for (std::uint64_t r = 0; r < b; ++r) {
+            for (std::uint64_t c = 0; c < b; ++c) {
+                double v = matGet(im, mat, n, xr + r, xc + c);
+                for (std::uint64_t k = 0; k < c; ++k) {
+                    v -= matGet(im, mat, n, xr + r, xc + k) *
+                         matGet(im, mat, n, lr + c, lc + k);
+                }
+                matSet(im, mat, n, xr + r, xc + c,
+                       v / matGet(im, mat, n, lr + c, lc + c));
+            }
+        }
+    };
+    trsm.cycles = [b, cyclesFor](const MemImage&, const TaskInstance&) {
+        return cyclesFor(static_cast<double>(b * b * b));
+    };
+    trsm.outputWords = potrf.outputWords;
+
+    BuiltinBody gemm; // also covers syrk (j == i)
+    gemm.apply = [mat, n, b](MemImage& im, const TaskInstance& inst) {
+        // C -= A * B^T ; inputs: 0=C, 1=A=(i,k), 2=B=(j,k).
+        const Addr cT = inst.outputs.at(0).base;
+        const Addr aT = inst.inputs.at(1).dataBase;
+        const Addr bT = inst.inputs.at(2).dataBase;
+        const std::uint64_t cr = (cT - mat) / wordBytes / n;
+        const std::uint64_t cc = (cT - mat) / wordBytes % n;
+        const std::uint64_t ar = (aT - mat) / wordBytes / n;
+        const std::uint64_t ac = (aT - mat) / wordBytes % n;
+        const std::uint64_t br = (bT - mat) / wordBytes / n;
+        const std::uint64_t bc = (bT - mat) / wordBytes % n;
+        for (std::uint64_t r = 0; r < b; ++r) {
+            for (std::uint64_t c = 0; c < b; ++c) {
+                double v = matGet(im, mat, n, cr + r, cc + c);
+                for (std::uint64_t k = 0; k < b; ++k) {
+                    v -= matGet(im, mat, n, ar + r, ac + k) *
+                         matGet(im, mat, n, br + c, bc + k);
+                }
+                matSet(im, mat, n, cr + r, cc + c, v);
+            }
+        }
+    };
+    gemm.cycles = [b, cyclesFor](const MemImage&, const TaskInstance&) {
+        return cyclesFor(2.0 * static_cast<double>(b * b * b));
+    };
+    gemm.outputWords = potrf.outputWords;
+
+    TaskTypeRegistry& reg = delta.registry();
+    const TaskTypeId potrfTy =
+        reg.addBuiltinType("potrf", std::move(potrf));
+    const TaskTypeId trsmTy = reg.addBuiltinType("trsm", std::move(trsm));
+    const TaskTypeId gemmTy = reg.addBuiltinType("gemm", std::move(gemm));
+    const double b3 = static_cast<double>(b * b * b);
+    reg.setWorkFn(potrfTy, [b3](const MemImage&, const TaskInstance&) {
+        return b3 / 3.0;
+    });
+    reg.setWorkFn(trsmTy, [b3](const MemImage&, const TaskInstance&) {
+        return b3;
+    });
+    reg.setWorkFn(gemmTy, [b3](const MemImage&, const TaskInstance&) {
+        return 2.0 * b3;
+    });
+
+    // --- task DAG ---------------------------------------------------------
+    std::vector<std::int64_t> lastWriter(T * T, -1);
+    auto addDeps = [&](TaskId id,
+                       std::initializer_list<std::uint64_t> tilesRead) {
+        std::set<TaskId> deps;
+        for (const std::uint64_t t : tilesRead) {
+            if (lastWriter[t] >= 0)
+                deps.insert(static_cast<TaskId>(lastWriter[t]));
+        }
+        for (const TaskId d : deps)
+            graph.addBarrier(d, id);
+    };
+    auto tidx = [T](std::uint64_t i, std::uint64_t j) {
+        return i * T + j;
+    };
+
+    for (std::uint64_t k = 0; k < T; ++k) {
+        WriteDesc outKK;
+        outKK.base = matAddr(mat, n, k * b, k * b);
+        const TaskId pk = graph.addTask(
+            potrfTy, {tileStream(mat, n, b, k, k)}, {outKK});
+        addDeps(pk, {tidx(k, k)});
+        lastWriter[tidx(k, k)] = pk;
+
+        for (std::uint64_t i = k + 1; i < T; ++i) {
+            WriteDesc outIK;
+            outIK.base = matAddr(mat, n, i * b, k * b);
+            const TaskId tk = graph.addTask(
+                trsmTy,
+                {tileStream(mat, n, b, i, k),
+                 tileStream(mat, n, b, k, k)},
+                {outIK});
+            addDeps(tk, {tidx(i, k), tidx(k, k)});
+            lastWriter[tidx(i, k)] = tk;
+        }
+        for (std::uint64_t i = k + 1; i < T; ++i) {
+            for (std::uint64_t j = k + 1; j <= i; ++j) {
+                WriteDesc outIJ;
+                outIJ.base = matAddr(mat, n, i * b, j * b);
+                const TaskId gk = graph.addTask(
+                    gemmTy,
+                    {tileStream(mat, n, b, i, j),
+                     tileStream(mat, n, b, i, k),
+                     tileStream(mat, n, b, j, k)},
+                    {outIJ});
+                addDeps(gk, {tidx(i, j), tidx(i, k), tidx(j, k)});
+                lastWriter[tidx(i, j)] = gk;
+            }
+        }
+    }
+}
+
+bool
+CholeskyWorkload::check(const MemImage& img) const
+{
+    const std::uint64_t n = p_.tiles * p_.tileSize;
+    for (std::uint64_t r = 0; r < n; ++r) {
+        for (std::uint64_t c = 0; c <= r; ++c) {
+            const double got = matGet(img, mat_, n, r, c);
+            const double want = expected_[r * n + c];
+            if (std::abs(got - want) >
+                1e-6 * std::max(1.0, std::abs(want))) {
+                warn("cholesky mismatch at (", r, ",", c, "): got ",
+                     got, " want ", want);
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace ts

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Tiled Cholesky factorization (right-looking): potrf / trsm / syrk /
+ * gemm tile kernels as coarse-grained tasks with a classic dependence
+ * DAG.
+ *
+ * Structure exercised: a rich barrier dependence graph whose width
+ * shrinks every iteration — task counts and per-task costs differ
+ * wildly (potrf vs gemm), so work-aware balancing matters; the
+ * static-parallel baseline strands lanes as the trailing submatrix
+ * shrinks.
+ */
+
+#ifndef TS_WORKLOADS_CHOLESKY_HH
+#define TS_WORKLOADS_CHOLESKY_HH
+
+#include "sim/rng.hh"
+#include "workloads/workload.hh"
+
+namespace ts
+{
+
+/** Cholesky workload parameters. */
+struct CholeskyParams
+{
+    std::uint64_t tiles = 8;    ///< T: matrix is (T*b) x (T*b)
+    std::uint64_t tileSize = 16; ///< b
+    std::uint64_t seed = 7;
+};
+
+/** A = L * L^T factorization of an SPD matrix. */
+class CholeskyWorkload : public Workload
+{
+  public:
+    explicit CholeskyWorkload(const CholeskyParams& p) : p_(p) {}
+
+    std::string name() const override { return "cholesky"; }
+    void build(Delta& delta, TaskGraph& graph) override;
+    bool check(const MemImage& img) const override;
+
+  private:
+    CholeskyParams p_;
+    Addr mat_ = 0;
+    std::vector<double> expected_; ///< golden L (lower triangle)
+};
+
+} // namespace ts
+
+#endif // TS_WORKLOADS_CHOLESKY_HH

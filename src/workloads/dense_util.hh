@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Helpers shared by the dense tiled linear-algebra workloads
+ * (Cholesky, LU): tile stream descriptors and image-backed matrix
+ * element access.
+ */
+
+#ifndef TS_WORKLOADS_DENSE_UTIL_HH
+#define TS_WORKLOADS_DENSE_UTIL_HH
+
+#include "mem/mem_image.hh"
+#include "stream/stream_desc.hh"
+
+namespace ts
+{
+
+/** Address of element (r, c) of a row-major n x n matrix. */
+inline Addr
+matAddr(Addr base, std::uint64_t n, std::uint64_t r, std::uint64_t c)
+{
+    return base + (r * n + c) * wordBytes;
+}
+
+/** Read/write matrix elements as doubles. */
+inline double
+matGet(const MemImage& img, Addr base, std::uint64_t n, std::uint64_t r,
+       std::uint64_t c)
+{
+    return img.readDouble(matAddr(base, n, r, c));
+}
+
+inline void
+matSet(MemImage& img, Addr base, std::uint64_t n, std::uint64_t r,
+       std::uint64_t c, double v)
+{
+    img.writeDouble(matAddr(base, n, r, c), v);
+}
+
+/** 2D stream over tile (ti, tj) of a row-major n x n matrix with
+ *  b x b tiles. */
+inline StreamDesc
+tileStream(Addr base, std::uint64_t n, std::uint64_t b,
+           std::uint64_t ti, std::uint64_t tj)
+{
+    return StreamDesc::strided2d(
+        Space::Dram, matAddr(base, n, ti * b, tj * b), b,
+        static_cast<std::int64_t>(n), b);
+}
+
+} // namespace ts
+
+#endif // TS_WORKLOADS_DENSE_UTIL_HH

@@ -1,0 +1,111 @@
+#include "workloads/join.hh"
+
+#include <algorithm>
+#include <set>
+
+namespace ts
+{
+
+void
+JoinWorkload::build(Delta& delta, TaskGraph& graph)
+{
+    MemImage& img = delta.image();
+    Rng rng(p_.seed);
+
+    // --- Zipf-skewed partition sizes (>= 4 keys each) -----------------
+    std::vector<std::uint64_t> partSize(p_.partitions, 4);
+    std::uint64_t assigned = 4 * p_.partitions;
+    TS_ASSERT(assigned <= p_.rTotal, "rTotal too small");
+    while (assigned < p_.rTotal) {
+        ++partSize[rng.zipf(p_.partitions, p_.zipfSkew)];
+        ++assigned;
+    }
+
+    // --- sorted unique key sets ----------------------------------------
+    auto sampleSorted = [&](std::uint64_t n) {
+        std::set<std::int64_t> keys;
+        while (keys.size() < n) {
+            keys.insert(rng.uniformInt(
+                0, static_cast<std::int64_t>(p_.keySpace) - 1));
+        }
+        return std::vector<std::int64_t>(keys.begin(), keys.end());
+    };
+
+    const auto sKeys = sampleSorted(p_.sSize);
+    const Addr s = img.allocWords(p_.sSize);
+    for (std::uint64_t i = 0; i < p_.sSize; ++i)
+        img.writeInt(s + i * wordBytes, sKeys[i]);
+
+    std::vector<Addr> rBase(p_.partitions);
+    expected_ = 0;
+    for (std::uint64_t pIdx = 0; pIdx < p_.partitions; ++pIdx) {
+        const auto keys = sampleSorted(partSize[pIdx]);
+        rBase[pIdx] = img.allocWords(keys.size());
+        for (std::size_t i = 0; i < keys.size(); ++i)
+            img.writeInt(rBase[pIdx] + i * wordBytes, keys[i]);
+        for (const auto k : keys) {
+            expected_ += std::binary_search(sKeys.begin(), sKeys.end(),
+                                            k)
+                             ? 1
+                             : 0;
+        }
+    }
+
+    const Addr counts = img.allocWords(p_.partitions);
+    totalAddr_ = img.allocWords(1);
+
+    // --- task types -----------------------------------------------------
+    auto probe = std::make_unique<Dfg>("join_probe");
+    const auto rIn = probe->addInput();
+    const auto sIn = probe->addInput();
+    const auto cnt =
+        probe->add(Op::IsectCount, Operand::ref(rIn), Operand::ref(sIn));
+    probe->addOutput(cnt);
+    const TaskTypeId probeTy =
+        delta.registry().addDfgType("join_probe", std::move(probe));
+
+    auto reduce = std::make_unique<Dfg>("join_reduce");
+    const auto cIn = reduce->addInput();
+    const auto sum = reduce->add(Op::AccAdd, Operand::ref(cIn));
+    reduce->addOutput(sum);
+    const TaskTypeId reduceTy =
+        delta.registry().addDfgType("join_reduce", std::move(reduce));
+
+    // --- task graph -----------------------------------------------------
+    const std::uint32_t group = graph.addSharedGroup(s, p_.sSize);
+    std::vector<TaskId> probes;
+    for (std::uint64_t pIdx = 0; pIdx < p_.partitions; ++pIdx) {
+        WriteDesc out;
+        out.base = counts + pIdx * wordBytes;
+        const TaskId id = graph.addTask(
+            probeTy,
+            {StreamDesc::linear(Space::Dram, rBase[pIdx],
+                                partSize[pIdx]),
+             StreamDesc::linear(Space::Dram, s, p_.sSize)},
+            {out});
+        graph.setSharedInput(id, 1, group);
+        probes.push_back(id);
+    }
+
+    WriteDesc totalOut;
+    totalOut.base = totalAddr_;
+    const TaskId red = graph.addTask(
+        reduceTy,
+        {StreamDesc::linear(Space::Dram, counts, p_.partitions)},
+        {totalOut});
+    for (const TaskId id : probes)
+        graph.addBarrier(id, red);
+}
+
+bool
+JoinWorkload::check(const MemImage& img) const
+{
+    const std::int64_t got = img.readInt(totalAddr_);
+    if (got != expected_) {
+        warn("join mismatch: got ", got, " want ", expected_);
+        return false;
+    }
+    return true;
+}
+
+} // namespace ts

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Broadcast sorted semi-join: a large fact relation R, partitioned
+ * with Zipf-skewed partition sizes, is matched against a small sorted
+ * dimension relation S.  Each task counts |R_p intersect S| with the
+ * fabric's sorted-intersection unit; a final reduction task sums the
+ * per-partition counts.
+ *
+ * Structure exercised: heavy load imbalance (Zipf partitions), shared
+ * reads (every probe task streams all of S), and a reduction
+ * dependence.
+ */
+
+#ifndef TS_WORKLOADS_JOIN_HH
+#define TS_WORKLOADS_JOIN_HH
+
+#include "sim/rng.hh"
+#include "workloads/workload.hh"
+
+namespace ts
+{
+
+/** Join workload parameters. */
+struct JoinParams
+{
+    std::uint64_t partitions = 32;
+    std::uint64_t rTotal = 6144;   ///< total R keys (Zipf across parts)
+    std::uint64_t sSize = 512;     ///< dimension table keys
+    std::uint64_t keySpace = 1u << 20;
+    double zipfSkew = 1.1;
+    std::uint64_t seed = 7;
+};
+
+/** Broadcast sorted semi-join count. */
+class JoinWorkload : public Workload
+{
+  public:
+    explicit JoinWorkload(const JoinParams& p) : p_(p) {}
+
+    std::string name() const override { return "join"; }
+    void build(Delta& delta, TaskGraph& graph) override;
+    bool check(const MemImage& img) const override;
+
+    std::int64_t expectedMatches() const { return expected_; }
+
+  private:
+    JoinParams p_;
+    Addr totalAddr_ = 0;
+    std::int64_t expected_ = 0;
+};
+
+} // namespace ts
+
+#endif // TS_WORKLOADS_JOIN_HH

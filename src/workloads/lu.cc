@@ -1,0 +1,256 @@
+#include "workloads/lu.hh"
+
+#include <cmath>
+#include <set>
+
+#include "workloads/dense_util.hh"
+
+namespace ts
+{
+
+namespace
+{
+
+constexpr double kCpf = 0.5;
+
+} // namespace
+
+void
+LuWorkload::build(Delta& delta, TaskGraph& graph)
+{
+    MemImage& img = delta.image();
+    Rng rng(p_.seed);
+    const std::uint64_t b = p_.tileSize;
+    const std::uint64_t T = p_.tiles;
+    const std::uint64_t n = T * b;
+
+    // --- diagonally dominant matrix -------------------------------------
+    mat_ = img.allocWords(n * n);
+    for (std::uint64_t r = 0; r < n; ++r) {
+        for (std::uint64_t c = 0; c < n; ++c) {
+            double v = rng.uniformReal(-1.0, 1.0);
+            if (r == c)
+                v += 4.0 * static_cast<double>(n);
+            matSet(img, mat_, n, r, c, v);
+        }
+    }
+
+    // --- golden: unblocked Doolittle LU on a copy -----------------------
+    std::vector<double> a(n * n);
+    for (std::uint64_t i = 0; i < n * n; ++i)
+        a[i] = img.readDouble(mat_ + i * wordBytes);
+    for (std::uint64_t k = 0; k < n; ++k) {
+        for (std::uint64_t i = k + 1; i < n; ++i) {
+            a[i * n + k] /= a[k * n + k];
+            for (std::uint64_t j = k + 1; j < n; ++j)
+                a[i * n + j] -= a[i * n + k] * a[k * n + j];
+        }
+    }
+    expected_ = std::move(a);
+
+    // --- builtin tile kernels -------------------------------------------
+    const Addr mat = mat_;
+    auto cyclesFor = [b](double flops) {
+        return static_cast<std::uint64_t>(flops * kCpf) + b;
+    };
+    auto tileRC = [mat, n](Addr tile) {
+        const std::uint64_t off = (tile - mat) / wordBytes;
+        return std::pair<std::uint64_t, std::uint64_t>{off / n,
+                                                       off % n};
+    };
+
+    BuiltinBody getrf;
+    getrf.apply = [mat, n, b, tileRC](MemImage& im,
+                                      const TaskInstance& inst) {
+        const auto [r0, c0] = tileRC(inst.outputs.at(0).base);
+        for (std::uint64_t k = 0; k < b; ++k) {
+            for (std::uint64_t i = k + 1; i < b; ++i) {
+                const double l =
+                    matGet(im, mat, n, r0 + i, c0 + k) /
+                    matGet(im, mat, n, r0 + k, c0 + k);
+                matSet(im, mat, n, r0 + i, c0 + k, l);
+                for (std::uint64_t j = k + 1; j < b; ++j) {
+                    matSet(im, mat, n, r0 + i, c0 + j,
+                           matGet(im, mat, n, r0 + i, c0 + j) -
+                               l * matGet(im, mat, n, r0 + k, c0 + j));
+                }
+            }
+        }
+    };
+    getrf.cycles = [b, cyclesFor](const MemImage&, const TaskInstance&) {
+        return cyclesFor(2.0 * static_cast<double>(b * b * b) / 3.0);
+    };
+    getrf.outputWords = [b](const MemImage&, const TaskInstance&) {
+        return b * b;
+    };
+
+    // Row panel: A[k][j] := L_kk^{-1} A[k][j].
+    BuiltinBody trsmRow;
+    trsmRow.apply = [mat, n, b, tileRC](MemImage& im,
+                                        const TaskInstance& inst) {
+        const auto [xr, xc] = tileRC(inst.outputs.at(0).base);
+        const auto [lr, lc] = tileRC(inst.inputs.at(1).dataBase);
+        for (std::uint64_t c = 0; c < b; ++c) {
+            for (std::uint64_t r = 0; r < b; ++r) {
+                double v = matGet(im, mat, n, xr + r, xc + c);
+                for (std::uint64_t k = 0; k < r; ++k) {
+                    v -= matGet(im, mat, n, lr + r, lc + k) *
+                         matGet(im, mat, n, xr + k, xc + c);
+                }
+                matSet(im, mat, n, xr + r, xc + c, v); // L unit-diag
+            }
+        }
+    };
+    trsmRow.cycles = [b, cyclesFor](const MemImage&,
+                                    const TaskInstance&) {
+        return cyclesFor(static_cast<double>(b * b * b));
+    };
+    trsmRow.outputWords = getrf.outputWords;
+
+    // Column panel: A[i][k] := A[i][k] U_kk^{-1}.
+    BuiltinBody trsmCol;
+    trsmCol.apply = [mat, n, b, tileRC](MemImage& im,
+                                        const TaskInstance& inst) {
+        const auto [xr, xc] = tileRC(inst.outputs.at(0).base);
+        const auto [ur, uc] = tileRC(inst.inputs.at(1).dataBase);
+        for (std::uint64_t r = 0; r < b; ++r) {
+            for (std::uint64_t c = 0; c < b; ++c) {
+                double v = matGet(im, mat, n, xr + r, xc + c);
+                for (std::uint64_t k = 0; k < c; ++k) {
+                    v -= matGet(im, mat, n, xr + r, xc + k) *
+                         matGet(im, mat, n, ur + k, uc + c);
+                }
+                matSet(im, mat, n, xr + r, xc + c,
+                       v / matGet(im, mat, n, ur + c, uc + c));
+            }
+        }
+    };
+    trsmCol.cycles = trsmRow.cycles;
+    trsmCol.outputWords = getrf.outputWords;
+
+    // C -= A * B (A = (i,k), B = (k,j)).
+    BuiltinBody gemm;
+    gemm.apply = [mat, n, b, tileRC](MemImage& im,
+                                     const TaskInstance& inst) {
+        const auto [cr, cc] = tileRC(inst.outputs.at(0).base);
+        const auto [ar, ac] = tileRC(inst.inputs.at(1).dataBase);
+        const auto [br, bc] = tileRC(inst.inputs.at(2).dataBase);
+        for (std::uint64_t r = 0; r < b; ++r) {
+            for (std::uint64_t c = 0; c < b; ++c) {
+                double v = matGet(im, mat, n, cr + r, cc + c);
+                for (std::uint64_t k = 0; k < b; ++k) {
+                    v -= matGet(im, mat, n, ar + r, ac + k) *
+                         matGet(im, mat, n, br + k, bc + c);
+                }
+                matSet(im, mat, n, cr + r, cc + c, v);
+            }
+        }
+    };
+    gemm.cycles = [b, cyclesFor](const MemImage&, const TaskInstance&) {
+        return cyclesFor(2.0 * static_cast<double>(b * b * b));
+    };
+    gemm.outputWords = getrf.outputWords;
+
+    TaskTypeRegistry& reg = delta.registry();
+    const TaskTypeId getrfTy =
+        reg.addBuiltinType("getrf", std::move(getrf));
+    const TaskTypeId trsmRowTy =
+        reg.addBuiltinType("trsm_row", std::move(trsmRow));
+    const TaskTypeId trsmColTy =
+        reg.addBuiltinType("trsm_col", std::move(trsmCol));
+    const TaskTypeId gemmTy =
+        reg.addBuiltinType("lu_gemm", std::move(gemm));
+    const double b3 = static_cast<double>(b * b * b);
+    reg.setWorkFn(getrfTy, [b3](const MemImage&, const TaskInstance&) {
+        return 2.0 * b3 / 3.0;
+    });
+    reg.setWorkFn(trsmRowTy, [b3](const MemImage&, const TaskInstance&) {
+        return b3;
+    });
+    reg.setWorkFn(trsmColTy, [b3](const MemImage&, const TaskInstance&) {
+        return b3;
+    });
+    reg.setWorkFn(gemmTy, [b3](const MemImage&, const TaskInstance&) {
+        return 2.0 * b3;
+    });
+
+    // --- task DAG ---------------------------------------------------------
+    std::vector<std::int64_t> lastWriter(T * T, -1);
+    auto tidx = [T](std::uint64_t i, std::uint64_t j) {
+        return i * T + j;
+    };
+    auto addDeps = [&](TaskId id,
+                       std::initializer_list<std::uint64_t> tilesRead) {
+        std::set<TaskId> deps;
+        for (const std::uint64_t t : tilesRead) {
+            if (lastWriter[t] >= 0)
+                deps.insert(static_cast<TaskId>(lastWriter[t]));
+        }
+        for (const TaskId d : deps)
+            graph.addBarrier(d, id);
+    };
+
+    for (std::uint64_t k = 0; k < T; ++k) {
+        WriteDesc outKK;
+        outKK.base = matAddr(mat, n, k * b, k * b);
+        const TaskId fk = graph.addTask(
+            getrfTy, {tileStream(mat, n, b, k, k)}, {outKK});
+        addDeps(fk, {tidx(k, k)});
+        lastWriter[tidx(k, k)] = fk;
+
+        for (std::uint64_t j = k + 1; j < T; ++j) {
+            WriteDesc outKJ;
+            outKJ.base = matAddr(mat, n, k * b, j * b);
+            const TaskId tr = graph.addTask(
+                trsmRowTy,
+                {tileStream(mat, n, b, k, j),
+                 tileStream(mat, n, b, k, k)},
+                {outKJ});
+            addDeps(tr, {tidx(k, j), tidx(k, k)});
+            lastWriter[tidx(k, j)] = tr;
+        }
+        for (std::uint64_t i = k + 1; i < T; ++i) {
+            WriteDesc outIK;
+            outIK.base = matAddr(mat, n, i * b, k * b);
+            const TaskId tc = graph.addTask(
+                trsmColTy,
+                {tileStream(mat, n, b, i, k),
+                 tileStream(mat, n, b, k, k)},
+                {outIK});
+            addDeps(tc, {tidx(i, k), tidx(k, k)});
+            lastWriter[tidx(i, k)] = tc;
+        }
+        for (std::uint64_t i = k + 1; i < T; ++i) {
+            for (std::uint64_t j = k + 1; j < T; ++j) {
+                WriteDesc outIJ;
+                outIJ.base = matAddr(mat, n, i * b, j * b);
+                const TaskId gk = graph.addTask(
+                    gemmTy,
+                    {tileStream(mat, n, b, i, j),
+                     tileStream(mat, n, b, i, k),
+                     tileStream(mat, n, b, k, j)},
+                    {outIJ});
+                addDeps(gk, {tidx(i, j), tidx(i, k), tidx(k, j)});
+                lastWriter[tidx(i, j)] = gk;
+            }
+        }
+    }
+}
+
+bool
+LuWorkload::check(const MemImage& img) const
+{
+    const std::uint64_t n = p_.tiles * p_.tileSize;
+    for (std::uint64_t i = 0; i < n * n; ++i) {
+        const double got = img.readDouble(mat_ + i * wordBytes);
+        const double want = expected_[i];
+        if (std::abs(got - want) >
+            1e-6 * std::max(1.0, std::abs(want))) {
+            warn("lu mismatch at ", i, ": got ", got, " want ", want);
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace ts

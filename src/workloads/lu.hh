@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Tiled LU factorization without pivoting (diagonally dominant
+ * input): getrf / trsm-row / trsm-col / gemm tile kernels.
+ *
+ * Structure exercised: like Cholesky, a shrinking-wavefront DAG, but
+ * with roughly twice the per-iteration task parallelism (both a row
+ * and a column panel), stressing queue capacity and dispatch rate.
+ */
+
+#ifndef TS_WORKLOADS_LU_HH
+#define TS_WORKLOADS_LU_HH
+
+#include "sim/rng.hh"
+#include "workloads/workload.hh"
+
+namespace ts
+{
+
+/** LU workload parameters. */
+struct LuParams
+{
+    std::uint64_t tiles = 8;
+    std::uint64_t tileSize = 16;
+    std::uint64_t seed = 7;
+};
+
+/** A = L * U factorization (Doolittle, no pivoting). */
+class LuWorkload : public Workload
+{
+  public:
+    explicit LuWorkload(const LuParams& p) : p_(p) {}
+
+    std::string name() const override { return "lu"; }
+    void build(Delta& delta, TaskGraph& graph) override;
+    bool check(const MemImage& img) const override;
+
+  private:
+    LuParams p_;
+    Addr mat_ = 0;
+    std::vector<double> expected_; ///< combined LU factors
+};
+
+} // namespace ts
+
+#endif // TS_WORKLOADS_LU_HH

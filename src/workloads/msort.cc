@@ -1,0 +1,130 @@
+#include "workloads/msort.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ts
+{
+
+void
+MsortWorkload::build(Delta& delta, TaskGraph& graph)
+{
+    MemImage& img = delta.image();
+    Rng rng(p_.seed);
+
+    TS_ASSERT((p_.n & (p_.n - 1)) == 0, "msort n must be a power of 2");
+    TS_ASSERT(p_.n % p_.leafSize == 0);
+    const std::uint64_t leaves = p_.n / p_.leafSize;
+    TS_ASSERT((leaves & (leaves - 1)) == 0);
+    const auto levels = static_cast<std::uint64_t>(
+        std::log2(static_cast<double>(leaves)));
+
+    const Addr src = img.allocWords(p_.n);
+    for (std::uint64_t i = 0; i < p_.n; ++i) {
+        img.writeInt(src + i * wordBytes,
+                     rng.uniformInt(0, 1 << 30));
+    }
+
+    expected_.resize(p_.n);
+    for (std::uint64_t i = 0; i < p_.n; ++i)
+        expected_[i] = img.readInt(src + i * wordBytes);
+    std::sort(expected_.begin(), expected_.end());
+
+    // One buffer per tree level (level 0 holds sorted leaves).
+    std::vector<Addr> level(levels + 1);
+    for (auto& a : level)
+        a = img.allocWords(p_.n);
+    finalAddr_ = level[levels];
+
+    // --- leaf sorter (builtin coarse-grained kernel) -------------------
+    BuiltinBody sorter;
+    sorter.apply = [](MemImage& m, const TaskInstance& inst) {
+        const StreamDesc& in = inst.inputs.at(0);
+        const std::uint64_t n = in.count;
+        std::vector<std::int64_t> v(n);
+        for (std::uint64_t i = 0; i < n; ++i)
+            v[i] = m.readInt(in.dataBase + i * wordBytes);
+        std::sort(v.begin(), v.end());
+        for (std::uint64_t i = 0; i < n; ++i)
+            m.writeInt(inst.outputs.at(0).base + i * wordBytes, v[i]);
+    };
+    sorter.cycles = [](const MemImage&, const TaskInstance& inst) {
+        const double n =
+            static_cast<double>(inst.inputs.at(0).count);
+        return static_cast<std::uint64_t>(n * std::log2(n));
+    };
+    sorter.outputWords = [](const MemImage&, const TaskInstance& inst) {
+        return inst.inputs.at(0).count;
+    };
+    const TaskTypeId leafTy =
+        delta.registry().addBuiltinType("msort_leaf", std::move(sorter));
+    delta.registry().setWorkFn(
+        leafTy, [](const MemImage&, const TaskInstance& inst) {
+            const double n =
+                static_cast<double>(inst.inputs.at(0).count);
+            return n * std::log2(n);
+        });
+
+    // --- merge task type -------------------------------------------------
+    auto dfg = std::make_unique<Dfg>("merge2");
+    const auto aIn = dfg->addInput();
+    const auto bIn = dfg->addInput();
+    const auto m =
+        dfg->add(Op::Merge2, Operand::ref(aIn), Operand::ref(bIn));
+    dfg->addOutput(m);
+    const TaskTypeId mergeTy =
+        delta.registry().addDfgType("merge2", std::move(dfg));
+
+    // --- leaves -----------------------------------------------------------
+    std::vector<TaskId> prev;
+    for (std::uint64_t c = 0; c < leaves; ++c) {
+        WriteDesc out;
+        out.base = level[0] + c * p_.leafSize * wordBytes;
+        prev.push_back(graph.addTask(
+            leafTy,
+            {StreamDesc::linear(Space::Dram,
+                                src + c * p_.leafSize * wordBytes,
+                                p_.leafSize)},
+            {out}));
+    }
+
+    // --- merge tree, annotated with Pipeline dependences ------------------
+    for (std::uint64_t l = 0; l < levels; ++l) {
+        const std::uint64_t runLen = p_.leafSize << l;
+        const std::uint64_t outRuns = leaves >> (l + 1);
+        std::vector<TaskId> cur;
+        for (std::uint64_t j = 0; j < outRuns; ++j) {
+            const Addr inA = level[l] + (2 * j) * runLen * wordBytes;
+            const Addr inB =
+                level[l] + (2 * j + 1) * runLen * wordBytes;
+            WriteDesc out;
+            out.base = level[l + 1] + j * 2 * runLen * wordBytes;
+            const TaskId id = graph.addTask(
+                mergeTy,
+                {StreamDesc::linear(Space::Dram, inA, runLen),
+                 StreamDesc::linear(Space::Dram, inB, runLen)},
+                {out});
+            graph.addPipeline(prev[2 * j], 0, id, 0);
+            graph.addPipeline(prev[2 * j + 1], 0, id, 1);
+            cur.push_back(id);
+        }
+        prev = std::move(cur);
+    }
+}
+
+bool
+MsortWorkload::check(const MemImage& img) const
+{
+    for (std::uint64_t i = 0; i < p_.n; ++i) {
+        const std::int64_t got =
+            img.readInt(finalAddr_ + i * wordBytes);
+        if (got != expected_[i]) {
+            warn("msort mismatch at ", i, ": got ", got, " want ",
+                 expected_[i]);
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace ts

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Parallel merge sort: leaf tasks sort fixed chunks (coarse-grained
+ * sorter kernels), then a binary tree of merge tasks combines them
+ * using the fabric's data-dependent merge unit.
+ *
+ * Structure exercised: pipelined inter-task dependences — the merge
+ * tree's edges are annotated Pipeline, so Delta forwards merged runs
+ * chunk-by-chunk and overlapping tree levels execute concurrently,
+ * where the static baseline serializes on memory round trips.
+ */
+
+#ifndef TS_WORKLOADS_MSORT_HH
+#define TS_WORKLOADS_MSORT_HH
+
+#include "sim/rng.hh"
+#include "workloads/workload.hh"
+
+namespace ts
+{
+
+/** Merge-sort workload parameters. */
+struct MsortParams
+{
+    std::uint64_t n = 8192;       ///< elements (power of two)
+    std::uint64_t leafSize = 512; ///< chunk sorted per leaf task
+    std::uint64_t seed = 7;
+};
+
+/** Sort a vector of 64-bit integers. */
+class MsortWorkload : public Workload
+{
+  public:
+    explicit MsortWorkload(const MsortParams& p) : p_(p) {}
+
+    std::string name() const override { return "msort"; }
+    void build(Delta& delta, TaskGraph& graph) override;
+    bool check(const MemImage& img) const override;
+
+  private:
+    MsortParams p_;
+    Addr finalAddr_ = 0;
+    std::vector<std::int64_t> expected_;
+};
+
+} // namespace ts
+
+#endif // TS_WORKLOADS_MSORT_HH

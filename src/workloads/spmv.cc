@@ -1,0 +1,110 @@
+#include "workloads/spmv.hh"
+
+#include <cmath>
+
+namespace ts
+{
+
+void
+SpmvWorkload::build(Delta& delta, TaskGraph& graph)
+{
+    MemImage& img = delta.image();
+    Rng rng(p_.seed);
+
+    // --- generate the CSR matrix --------------------------------------
+    std::vector<std::uint64_t> rowLen(p_.rows);
+    nnz_ = 0;
+    for (auto& len : rowLen) {
+        if (rng.uniform01() < p_.heavyRowFraction)
+            len = static_cast<std::uint64_t>(
+                rng.uniformInt(64, 160));
+        else
+            len = static_cast<std::uint64_t>(rng.uniformInt(2, 8));
+        nnz_ += len;
+    }
+
+    const Addr ptr = img.allocWords(p_.rows + 1);
+    const Addr col = img.allocWords(nnz_);
+    const Addr val = img.allocWords(nnz_);
+    const Addr x = img.allocWords(p_.cols);
+    yAddr_ = img.allocWords(p_.rows);
+
+    std::uint64_t off = 0;
+    for (std::uint64_t r = 0; r < p_.rows; ++r) {
+        img.writeInt(ptr + r * wordBytes,
+                     static_cast<std::int64_t>(off));
+        for (std::uint64_t j = 0; j < rowLen[r]; ++j) {
+            img.writeInt(col + (off + j) * wordBytes,
+                         rng.uniformInt(
+                             0, static_cast<std::int64_t>(p_.cols) - 1));
+            img.writeDouble(val + (off + j) * wordBytes,
+                            rng.uniformReal(-1.0, 1.0));
+        }
+        off += rowLen[r];
+    }
+    img.writeInt(ptr + p_.rows * wordBytes,
+                 static_cast<std::int64_t>(off));
+    for (std::uint64_t c = 0; c < p_.cols; ++c)
+        img.writeDouble(x + c * wordBytes, rng.uniformReal(0.0, 1.0));
+
+    // --- golden reference ---------------------------------------------
+    expected_.assign(p_.rows, 0.0);
+    off = 0;
+    for (std::uint64_t r = 0; r < p_.rows; ++r) {
+        double acc = 0.0;
+        for (std::uint64_t j = 0; j < rowLen[r]; ++j) {
+            const auto c = static_cast<std::uint64_t>(
+                img.readInt(col + (off + j) * wordBytes));
+            acc += img.readDouble(val + (off + j) * wordBytes) *
+                   img.readDouble(x + c * wordBytes);
+        }
+        expected_[r] = acc;
+        off += rowLen[r];
+    }
+
+    // --- task type ------------------------------------------------------
+    auto dfg = std::make_unique<Dfg>("spmv");
+    const auto vIn = dfg->addInput();
+    const auto xIn = dfg->addInput();
+    const auto prod =
+        dfg->add(Op::FMul, Operand::ref(vIn), Operand::ref(xIn));
+    const auto sum = dfg->add(Op::FAccAdd, Operand::ref(prod));
+    dfg->addOutput(sum);
+    const TaskTypeId spmv =
+        delta.registry().addDfgType("spmv", std::move(dfg));
+
+    // --- task graph -----------------------------------------------------
+    const std::uint32_t group = graph.addSharedGroup(x, p_.cols);
+    for (std::uint64_t r0 = 0; r0 < p_.rows; r0 += p_.rowsPerTask) {
+        const std::uint64_t nr =
+            std::min(p_.rowsPerTask, p_.rows - r0);
+        WriteDesc out;
+        out.base = yAddr_ + r0 * wordBytes;
+        const TaskId id = graph.addTask(
+            spmv,
+            {StreamDesc::csr(Space::Dram, ptr + r0 * wordBytes, nr,
+                             val),
+             StreamDesc::csrGather(Space::Dram, ptr + r0 * wordBytes,
+                                   col, nr, Space::Dram, x)},
+            {out});
+        graph.setSharedInput(id, 1, group);
+    }
+}
+
+bool
+SpmvWorkload::check(const MemImage& img) const
+{
+    for (std::uint64_t r = 0; r < p_.rows; ++r) {
+        const double got = img.readDouble(yAddr_ + r * wordBytes);
+        const double want = expected_[r];
+        if (std::abs(got - want) >
+            1e-9 * std::max(1.0, std::abs(want))) {
+            warn("spmv mismatch at row ", r, ": got ", got, " want ",
+                 want);
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace ts

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Sparse matrix-vector multiply (CSR), blocked into row-block tasks.
+ *
+ * Structure exercised:
+ *  - load imbalance: row populations are bimodal (a few very heavy
+ *    rows), so row blocks carry very different work;
+ *  - shared reads: every task gathers from the same dense vector x,
+ *    which Delta multicasts into lane scratchpads once.
+ */
+
+#ifndef TS_WORKLOADS_SPMV_HH
+#define TS_WORKLOADS_SPMV_HH
+
+#include "sim/rng.hh"
+#include "workloads/workload.hh"
+
+namespace ts
+{
+
+/** SpMV workload parameters. */
+struct SpmvParams
+{
+    std::uint64_t rows = 256;
+    std::uint64_t cols = 512;
+    std::uint64_t rowsPerTask = 16;
+    double heavyRowFraction = 0.06; ///< fraction of very heavy rows
+    std::uint64_t seed = 7;
+};
+
+/** y = A*x over a skewed CSR matrix. */
+class SpmvWorkload : public Workload
+{
+  public:
+    explicit SpmvWorkload(const SpmvParams& p) : p_(p) {}
+
+    std::string name() const override { return "spmv"; }
+    void build(Delta& delta, TaskGraph& graph) override;
+    bool check(const MemImage& img) const override;
+
+    /** Total nonzeros generated (workload characterization). */
+    std::uint64_t nnz() const { return nnz_; }
+
+    /** Number of row-block tasks. */
+    std::uint64_t numTasks() const
+    {
+        return divCeil(p_.rows, p_.rowsPerTask);
+    }
+
+  private:
+    SpmvParams p_;
+    Addr yAddr_ = 0;
+    std::uint64_t nnz_ = 0;
+    std::vector<double> expected_;
+};
+
+} // namespace ts
+
+#endif // TS_WORKLOADS_SPMV_HH

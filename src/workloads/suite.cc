@@ -1,0 +1,110 @@
+#include <cmath>
+#include <map>
+
+#include "workloads/centroid.hh"
+#include "workloads/cholesky.hh"
+#include "workloads/join.hh"
+#include "workloads/lu.hh"
+#include "workloads/msort.hh"
+#include "workloads/spmv.hh"
+#include "workloads/tricount.hh"
+
+namespace ts
+{
+
+const std::vector<Wk>&
+allWorkloads()
+{
+    static const std::vector<Wk> all = {
+        Wk::Spmv, Wk::Join,     Wk::Msort,    Wk::Cholesky,
+        Wk::Lu,   Wk::Tricount, Wk::Centroid,
+    };
+    return all;
+}
+
+const char*
+wkName(Wk w)
+{
+    switch (w) {
+      case Wk::Spmv: return "spmv";
+      case Wk::Join: return "join";
+      case Wk::Msort: return "msort";
+      case Wk::Cholesky: return "cholesky";
+      case Wk::Lu: return "lu";
+      case Wk::Tricount: return "tricount";
+      case Wk::Centroid: return "centroid";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Round up to a power of two. */
+std::uint64_t
+pow2Ceil(double v)
+{
+    std::uint64_t p = 1;
+    while (static_cast<double>(p) < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeWorkload(Wk w, const SuiteParams& sp)
+{
+    const double s = sp.scale;
+    switch (w) {
+      case Wk::Spmv: {
+        SpmvParams p;
+        p.seed = sp.seed;
+        p.rows = static_cast<std::uint64_t>(256 * s);
+        p.cols = static_cast<std::uint64_t>(512 * s);
+        return std::make_unique<SpmvWorkload>(p);
+      }
+      case Wk::Join: {
+        JoinParams p;
+        p.seed = sp.seed;
+        p.rTotal = static_cast<std::uint64_t>(6144 * s);
+        p.sSize = static_cast<std::uint64_t>(512 * s);
+        return std::make_unique<JoinWorkload>(p);
+      }
+      case Wk::Msort: {
+        MsortParams p;
+        p.seed = sp.seed;
+        p.n = pow2Ceil(8192 * s);
+        return std::make_unique<MsortWorkload>(p);
+      }
+      case Wk::Cholesky: {
+        CholeskyParams p;
+        p.seed = sp.seed;
+        p.tiles = std::max<std::uint64_t>(
+            2, static_cast<std::uint64_t>(8 * std::cbrt(s)));
+        return std::make_unique<CholeskyWorkload>(p);
+      }
+      case Wk::Lu: {
+        LuParams p;
+        p.seed = sp.seed;
+        p.tiles = std::max<std::uint64_t>(
+            2, static_cast<std::uint64_t>(8 * std::cbrt(s)));
+        return std::make_unique<LuWorkload>(p);
+      }
+      case Wk::Tricount: {
+        TricountParams p;
+        p.seed = sp.seed;
+        p.vertices = static_cast<std::uint64_t>(256 * s);
+        return std::make_unique<TricountWorkload>(p);
+      }
+      case Wk::Centroid: {
+        CentroidParams p;
+        p.seed = sp.seed;
+        p.points = static_cast<std::uint64_t>(1024 * s);
+        return std::make_unique<CentroidWorkload>(p);
+      }
+    }
+    fatal("unknown workload");
+}
+
+} // namespace ts

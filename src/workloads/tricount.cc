@@ -1,0 +1,194 @@
+#include "workloads/tricount.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace ts
+{
+
+void
+TricountWorkload::build(Delta& delta, TaskGraph& graph)
+{
+    MemImage& img = delta.image();
+    Rng rng(p_.seed);
+    const std::uint64_t n = p_.vertices;
+
+    // --- skewed undirected graph ----------------------------------------
+    std::set<std::pair<std::uint64_t, std::uint64_t>> edges;
+    const std::uint64_t target = n * p_.avgDegree / 2;
+    while (edges.size() < target) {
+        std::uint64_t a, bV;
+        if (rng.uniform01() < p_.hubBias)
+            a = static_cast<std::uint64_t>(
+                rng.uniformInt(0,
+                               static_cast<std::int64_t>(p_.hubCount) -
+                                   1));
+        else
+            a = static_cast<std::uint64_t>(rng.uniformInt(
+                0, static_cast<std::int64_t>(n) - 1));
+        bV = static_cast<std::uint64_t>(
+            rng.uniformInt(0, static_cast<std::int64_t>(n) - 1));
+        if (a == bV)
+            continue;
+        edges.insert({std::min(a, bV), std::max(a, bV)});
+    }
+
+    // Oriented adjacency N+(u) = {v > u : (u,v) in E}, sorted.
+    std::vector<std::vector<std::uint64_t>> adjP(n);
+    for (const auto& [u, v] : edges)
+        adjP[u].push_back(v);
+    for (auto& lst : adjP)
+        std::sort(lst.begin(), lst.end());
+
+    // --- golden -----------------------------------------------------------
+    expected_ = 0;
+    for (std::uint64_t u = 0; u < n; ++u) {
+        for (const std::uint64_t v : adjP[u]) {
+            std::size_t i = 0, j = 0;
+            while (i < adjP[u].size() && j < adjP[v].size()) {
+                if (adjP[u][i] == adjP[v][j]) {
+                    ++expected_;
+                    ++i;
+                    ++j;
+                } else if (adjP[u][i] < adjP[v][j]) {
+                    ++i;
+                } else {
+                    ++j;
+                }
+            }
+        }
+    }
+
+    // --- CSR layout --------------------------------------------------------
+    std::uint64_t m = 0;
+    for (const auto& lst : adjP)
+        m += lst.size();
+    const Addr ptr = img.allocWords(n + 1);
+    const Addr adj = img.allocWords(m);
+    std::uint64_t off = 0;
+    for (std::uint64_t u = 0; u < n; ++u) {
+        img.writeInt(ptr + u * wordBytes,
+                     static_cast<std::int64_t>(off));
+        for (const std::uint64_t v : adjP[u]) {
+            img.writeInt(adj + off * wordBytes,
+                         static_cast<std::int64_t>(v));
+            ++off;
+        }
+    }
+    img.writeInt(ptr + n * wordBytes, static_cast<std::int64_t>(off));
+
+    // --- task type ----------------------------------------------------------
+    auto dfg = std::make_unique<Dfg>("tricount");
+    const auto aIn = dfg->addInput();
+    const auto bIn = dfg->addInput();
+    const auto cnt =
+        dfg->add(Op::IsectCount, Operand::ref(aIn), Operand::ref(bIn));
+    dfg->addOutput(cnt);
+    const TaskTypeId isectTy =
+        delta.registry().addDfgType("tricount", std::move(dfg));
+
+    auto red = std::make_unique<Dfg>("tri_reduce");
+    const auto cIn = red->addInput();
+    const auto sum = red->add(Op::AccAdd, Operand::ref(cIn));
+    red->addOutput(sum);
+    const TaskTypeId reduceTy =
+        delta.registry().addDfgType("tri_reduce", std::move(red));
+
+    // --- tasks -----------------------------------------------------------
+    // Per-u blocks over *filtered* neighbor lists (only v with
+    // non-empty N+(v) can be intersected; empty ones contribute 0).
+    std::vector<TaskId> tasks;
+    std::uint64_t countsTotal = 0;
+    struct PendingTask
+    {
+        std::uint64_t u;
+        std::vector<std::uint64_t> vs;
+    };
+    std::vector<PendingTask> pending;
+    for (std::uint64_t u = 0; u < n; ++u) {
+        if (adjP[u].empty())
+            continue;
+        std::vector<std::uint64_t> filtered;
+        for (const std::uint64_t v : adjP[u]) {
+            if (!adjP[v].empty())
+                filtered.push_back(v);
+        }
+        for (std::uint64_t b0 = 0; b0 < filtered.size();
+             b0 += p_.blockSize) {
+            PendingTask t;
+            t.u = u;
+            t.vs.assign(filtered.begin() + b0,
+                        filtered.begin() +
+                            std::min<std::size_t>(b0 + p_.blockSize,
+                                                  filtered.size()));
+            countsTotal += t.vs.size();
+            pending.push_back(std::move(t));
+        }
+    }
+    TS_ASSERT(countsTotal > 0, "degenerate tricount instance");
+
+    // Materialize per-task id lists and the counts array.
+    const Addr counts = img.allocWords(countsTotal);
+    totalAddr_ = img.allocWords(1);
+
+    // Shared groups for hub adjacency lists read by several tasks.
+    std::map<std::uint64_t, std::uint32_t> groupOf;
+    std::map<std::uint64_t, std::uint64_t> tasksOf;
+    for (const auto& t : pending)
+        ++tasksOf[t.u];
+    for (const auto& [u, cntTasks] : tasksOf) {
+        if (cntTasks >= 2) {
+            const auto lo = static_cast<std::uint64_t>(
+                img.readInt(ptr + u * wordBytes));
+            groupOf[u] = graph.addSharedGroup(adj + lo * wordBytes,
+                                              adjP[u].size());
+        }
+    }
+
+    std::uint64_t countCursor = 0;
+    for (const auto& t : pending) {
+        const Addr list = img.allocWords(t.vs.size());
+        for (std::size_t i = 0; i < t.vs.size(); ++i) {
+            img.writeInt(list + i * wordBytes,
+                         static_cast<std::int64_t>(t.vs[i]));
+        }
+        const auto lo = static_cast<std::uint64_t>(
+            img.readInt(ptr + t.u * wordBytes));
+
+        StreamDesc a = StreamDesc::linear(
+            Space::Dram, adj + lo * wordBytes, adjP[t.u].size());
+        a.loops = t.vs.size();
+        StreamDesc bStream = StreamDesc::csrIndirectSeg(
+            Space::Dram, list, t.vs.size(), ptr, Space::Dram, adj);
+
+        WriteDesc out;
+        out.base = counts + countCursor * wordBytes;
+        const TaskId id = graph.addTask(isectTy, {a, bStream}, {out});
+        if (groupOf.count(t.u))
+            graph.setSharedInput(id, 0, groupOf[t.u]);
+        tasks.push_back(id);
+        countCursor += t.vs.size();
+    }
+
+    WriteDesc totalOut;
+    totalOut.base = totalAddr_;
+    const TaskId red2 = graph.addTask(
+        reduceTy, {StreamDesc::linear(Space::Dram, counts, countsTotal)},
+        {totalOut});
+    for (const TaskId id : tasks)
+        graph.addBarrier(id, red2);
+}
+
+bool
+TricountWorkload::check(const MemImage& img) const
+{
+    const std::int64_t got = img.readInt(totalAddr_);
+    if (got != expected_) {
+        warn("tricount mismatch: got ", got, " want ", expected_);
+        return false;
+    }
+    return true;
+}
+
+} // namespace ts

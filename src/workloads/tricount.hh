@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Triangle counting over a skewed (hub-heavy) graph with oriented
+ * adjacency: for u < v, count |N+(u) intersect N+(v)| using the
+ * fabric's sorted-intersection unit.
+ *
+ * Structure exercised: severe load imbalance (hub vertices own most
+ * of the work), shared reads (every block task of a hub streams the
+ * hub's adjacency list, which Delta multicasts), and indirect
+ * multi-level streams (CsrIndirectSeg).
+ */
+
+#ifndef TS_WORKLOADS_TRICOUNT_HH
+#define TS_WORKLOADS_TRICOUNT_HH
+
+#include "sim/rng.hh"
+#include "workloads/workload.hh"
+
+namespace ts
+{
+
+/** Triangle-counting workload parameters. */
+struct TricountParams
+{
+    std::uint64_t vertices = 256;
+    std::uint64_t avgDegree = 8;
+    double hubBias = 0.75;      ///< probability an edge endpoint is a hub
+    std::uint64_t hubCount = 8; ///< vertices favored as endpoints
+    std::uint64_t blockSize = 16; ///< neighbors processed per task
+    std::uint64_t seed = 7;
+};
+
+/** Count triangles. */
+class TricountWorkload : public Workload
+{
+  public:
+    explicit TricountWorkload(const TricountParams& p) : p_(p) {}
+
+    std::string name() const override { return "tricount"; }
+    void build(Delta& delta, TaskGraph& graph) override;
+    bool check(const MemImage& img) const override;
+
+    std::int64_t expectedTriangles() const { return expected_; }
+
+  private:
+    TricountParams p_;
+    Addr totalAddr_ = 0;
+    std::int64_t expected_ = 0;
+};
+
+} // namespace ts
+
+#endif // TS_WORKLOADS_TRICOUNT_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Common interface for the task-parallel workload suite.
+ *
+ * Each workload knows how to (1) lay out and initialize its data in a
+ * Delta's memory image, (2) register its task types, (3) emit its
+ * annotated task graph, and (4) verify the accelerator's results
+ * against a host golden model.  The same build runs unchanged on
+ * Delta and on the static-parallel baseline.
+ */
+
+#ifndef TS_WORKLOADS_WORKLOAD_HH
+#define TS_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+
+#include "accel/delta.hh"
+
+namespace ts
+{
+
+/** Scaling/seed knobs shared by the whole suite. */
+struct SuiteParams
+{
+    std::uint64_t seed = 7;
+    double scale = 1.0; ///< problem-size multiplier (~linear in work)
+};
+
+/** One benchmark workload. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Short identifier (e.g. "spmv"). */
+    virtual std::string name() const = 0;
+
+    /** Allocate/initialize data, register types, emit the graph. */
+    virtual void build(Delta& delta, TaskGraph& graph) = 0;
+
+    /** Verify accelerator output against the golden model. */
+    virtual bool check(const MemImage& img) const = 0;
+};
+
+/** Workload identifiers, in canonical report order. */
+enum class Wk
+{
+    Spmv,
+    Join,
+    Msort,
+    Cholesky,
+    Lu,
+    Tricount,
+    Centroid,
+};
+
+/** All workloads in canonical order. */
+const std::vector<Wk>& allWorkloads();
+
+/** Canonical short name. */
+const char* wkName(Wk w);
+
+/** Instantiate a workload. */
+std::unique_ptr<Workload> makeWorkload(Wk w, const SuiteParams& params);
+
+} // namespace ts
+
+#endif // TS_WORKLOADS_WORKLOAD_HH

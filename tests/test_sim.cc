@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: channels (two-phase
+ * visibility, capacity), event queue ordering, simulator quiescence,
+ * RNG determinism and distributions, statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hh"
+#include "sim/simulator.hh"
+
+namespace ts
+{
+namespace
+{
+
+TEST(Channel, ValuesBecomeVisibleAfterCommitOnly)
+{
+    Channel<int> ch("c", 4);
+    EXPECT_TRUE(ch.push(1));
+    EXPECT_TRUE(ch.empty()) << "pushed value visible before commit";
+    ch.commit();
+    ASSERT_FALSE(ch.empty());
+    EXPECT_EQ(ch.front(), 1);
+    EXPECT_EQ(ch.pop(), 1);
+    EXPECT_TRUE(ch.empty());
+}
+
+TEST(Channel, CapacityCountsStagedAndVisible)
+{
+    Channel<int> ch("c", 2);
+    EXPECT_TRUE(ch.push(1));
+    EXPECT_TRUE(ch.push(2));
+    EXPECT_FALSE(ch.push(3)) << "staged values must count";
+    ch.commit();
+    EXPECT_FALSE(ch.push(3)) << "visible values must count";
+    ch.pop();
+    EXPECT_TRUE(ch.push(3));
+}
+
+TEST(Channel, UnboundedWhenCapacityZero)
+{
+    Channel<int> ch("c", 0);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_TRUE(ch.push(i));
+    ch.commit();
+    EXPECT_EQ(ch.size(), 1000u);
+    EXPECT_EQ(ch.maxOccupancy(), 1000u);
+}
+
+TEST(Channel, FifoOrderPreserved)
+{
+    Channel<int> ch("c", 0);
+    for (int i = 0; i < 10; ++i)
+        ch.push(i);
+    ch.commit();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(ch.pop(), i);
+}
+
+TEST(Channel, QuiescentTracksBothPhases)
+{
+    Channel<int> ch("c", 4);
+    EXPECT_TRUE(ch.quiescent());
+    ch.push(1);
+    EXPECT_FALSE(ch.quiescent());
+    ch.commit();
+    EXPECT_FALSE(ch.quiescent());
+    ch.pop();
+    EXPECT_TRUE(ch.quiescent());
+}
+
+TEST(EventQueue, FiresInTimeThenInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] { order.push_back(2); });
+    eq.schedule(3, [&] { order.push_back(1); });
+    eq.schedule(5, [&] { order.push_back(3); });
+    eq.fireUpTo(2);
+    EXPECT_TRUE(order.empty());
+    eq.fireUpTo(5);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, CallbackMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        ++fired;
+        eq.schedule(2, [&] { ++fired; });
+    });
+    eq.fireUpTo(1);
+    EXPECT_EQ(fired, 1);
+    eq.fireUpTo(2);
+    EXPECT_EQ(fired, 2);
+}
+
+/** A component that counts down for N cycles then goes idle. */
+class Countdown : public Ticked
+{
+  public:
+    explicit Countdown(int n) : Ticked("countdown"), left_(n) {}
+
+    void
+    tick(Tick) override
+    {
+        if (left_ > 0)
+            --left_;
+    }
+
+    bool busy() const override { return left_ > 0; }
+
+    int left_;
+};
+
+TEST(Simulator, RunsUntilQuiescent)
+{
+    Simulator sim;
+    Countdown c(17);
+    sim.add(&c);
+    const Tick end = sim.run(1000);
+    EXPECT_EQ(end, 17u);
+    EXPECT_EQ(c.left_, 0);
+}
+
+TEST(Simulator, FatalOnDeadlockWithDiagnosis)
+{
+    Simulator sim;
+    Countdown c(1 << 30);
+    sim.add(&c);
+    try {
+        sim.run(100);
+        FAIL() << "expected fatal";
+    } catch (const FatalError& e) {
+        EXPECT_NE(std::string(e.what()).find("countdown"),
+                  std::string::npos)
+            << "diagnosis must name the busy component";
+    }
+}
+
+TEST(Simulator, EventsKeepSimulationLive)
+{
+    Simulator sim;
+    bool fired = false;
+    sim.schedule(50, [&] { fired = true; });
+    const Tick end = sim.run(1000);
+    EXPECT_TRUE(fired);
+    EXPECT_GE(end, 50u);
+}
+
+TEST(Simulator, PendingChannelValueBlocksQuiescence)
+{
+    Simulator sim;
+    auto& ch = sim.makeChannel<int>("c", 4);
+    EXPECT_TRUE(sim.quiescent());
+    ch.push(7);
+    EXPECT_FALSE(sim.quiescent());
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformIntRespectsBounds)
+{
+    Rng r(9);
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = r.uniformInt(-5, 17);
+        ASSERT_GE(v, -5);
+        ASSERT_LE(v, 17);
+    }
+}
+
+TEST(Rng, Uniform01MeanIsHalf)
+{
+    Rng r(11);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniform01();
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ZipfIsSkewedTowardLowRanks)
+{
+    Rng r(13);
+    std::uint64_t low = 0, high = 0;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = r.zipf(100, 1.2);
+        ASSERT_LT(v, 100u);
+        if (v < 10)
+            ++low;
+        if (v >= 90)
+            ++high;
+    }
+    EXPECT_GT(low, high * 5);
+}
+
+TEST(Rng, PermutationIsAPermutation)
+{
+    Rng r(15);
+    const auto p = r.permutation(100);
+    std::vector<bool> seen(100, false);
+    for (const auto v : p) {
+        ASSERT_LT(v, 100u);
+        ASSERT_FALSE(seen[v]);
+        seen[v] = true;
+    }
+}
+
+TEST(Stats, SetAddGetAndPrefixes)
+{
+    StatSet s;
+    s.set("a.x", 1);
+    s.add("a.y", 2);
+    s.add("a.y", 3);
+    s.set("b.z", 7);
+    EXPECT_EQ(s.get("a.y"), 5);
+    EXPECT_EQ(s.sumPrefix("a."), 6);
+    EXPECT_EQ(s.matchPrefix("a.").size(), 2u);
+    EXPECT_TRUE(s.has("b.z"));
+    EXPECT_FALSE(s.has("b.w"));
+    EXPECT_EQ(s.getOr("b.w", -1), -1);
+    EXPECT_THROW(s.get("missing"), FatalError);
+}
+
+TEST(Stats, HistogramBucketsAndMoments)
+{
+    Histogram h({1.0, 10.0, 100.0});
+    h.sample(0.5);
+    h.sample(5);
+    h.sample(50);
+    h.sample(500);
+    EXPECT_EQ(h.count(), 4u);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(h.bucket(i), 1u);
+    EXPECT_EQ(h.max(), 500);
+    EXPECT_NEAR(h.mean(), (0.5 + 5 + 50 + 500) / 4, 1e-9);
+
+    StatSet s;
+    h.report(s, "h");
+    EXPECT_EQ(s.get("h.count"), 4);
+}
+
+TEST(Types, WordReinterpretationRoundTrips)
+{
+    EXPECT_EQ(asInt(fromInt(-123456789)), -123456789);
+    EXPECT_EQ(asDouble(fromDouble(3.14159)), 3.14159);
+    EXPECT_EQ(lineAlign(0x12345), 0x12340u);
+    EXPECT_EQ(divCeil(10, 3), 4);
+    EXPECT_EQ(divCeil(9, 3), 3);
+}
+
+} // namespace
+} // namespace ts

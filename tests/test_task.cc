@@ -1,0 +1,452 @@
+/**
+ * @file
+ * Unit and invariant tests for the TaskStream core: graph
+ * construction rules, work estimation, scheduling-policy behaviour,
+ * dependence ordering (property: no task observes a stale producer
+ * value), pipeline activation accounting, and multicast accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/delta.hh"
+#include "sim/rng.hh"
+
+namespace ts
+{
+namespace
+{
+
+TaskTypeId
+addScaleType(TaskTypeRegistry& reg, const std::string& name = "scale")
+{
+    auto dfg = std::make_unique<Dfg>(name);
+    const auto x = dfg->addInput();
+    const auto a = dfg->add(Op::Add, Operand::ref(x), Operand::immI(1));
+    dfg->addOutput(a);
+    return reg.addDfgType(name, std::move(dfg));
+}
+
+// --- task graph construction rules ---------------------------------------
+
+TEST(TaskGraph, DependencesMustFollowCreationOrder)
+{
+    TaskTypeRegistry reg(FabricGeometry{});
+    const auto ty = addScaleType(reg);
+    TaskGraph g;
+    WriteDesc out;
+    out.base = 1024;
+    const auto t0 = g.addTask(
+        ty, {StreamDesc::linear(Space::Dram, 64, 8)}, {out});
+    const auto t1 = g.addTask(
+        ty, {StreamDesc::linear(Space::Dram, 64, 8)}, {out});
+    g.addBarrier(t0, t1);
+    EXPECT_THROW(g.addBarrier(t1, t0), PanicError);
+}
+
+TEST(TaskGraph, SharedInputMustLieInGroupRange)
+{
+    TaskTypeRegistry reg(FabricGeometry{});
+    const auto ty = addScaleType(reg);
+    TaskGraph g;
+    WriteDesc out;
+    out.base = 4096;
+    const auto t = g.addTask(
+        ty, {StreamDesc::linear(Space::Dram, 2048, 8)}, {out});
+    const auto grp = g.addSharedGroup(64, 16);
+    EXPECT_THROW(g.setSharedInput(t, 0, grp), PanicError);
+}
+
+TEST(TaskGraph, ValidateRejectsEmptyGroups)
+{
+    TaskGraph g;
+    g.addSharedGroup(64, 16);
+    EXPECT_THROW(g.validate(), PanicError);
+}
+
+// --- work estimation -------------------------------------------------------
+
+TEST(TaskTypes, DefaultWorkEstimateSumsStreamElements)
+{
+    MemImage img;
+    TaskTypeRegistry reg(FabricGeometry{});
+    const auto ty = addScaleType(reg);
+    TaskInstance inst;
+    inst.type = ty;
+    inst.inputs = {StreamDesc::linear(Space::Dram, 0, 40)};
+    EXPECT_DOUBLE_EQ(reg.estimateWork(img, inst), 40.0);
+}
+
+TEST(TaskTypes, WorkFnOverride)
+{
+    MemImage img;
+    TaskTypeRegistry reg(FabricGeometry{});
+    const auto ty = addScaleType(reg);
+    reg.setWorkFn(ty, [](const MemImage&, const TaskInstance&) {
+        return 123.0;
+    });
+    TaskInstance inst;
+    inst.type = ty;
+    EXPECT_DOUBLE_EQ(reg.estimateWork(img, inst), 123.0);
+}
+
+// --- scheduling policies ----------------------------------------------------
+
+/** Run N equal tasks and return per-lane dispatch counts. */
+std::vector<double>
+laneDispatchCounts(SchedPolicy policy, unsigned lanes, unsigned tasks)
+{
+    DeltaConfig cfg = DeltaConfig::delta(lanes);
+    cfg.policy = policy;
+    Delta delta(cfg);
+    const auto ty = addScaleType(delta.registry());
+    MemImage& img = delta.image();
+    const Addr x = img.allocWords(tasks * 8);
+    TaskGraph g;
+    for (unsigned t = 0; t < tasks; ++t) {
+        WriteDesc out;
+        out.base = img.allocWords(8);
+        g.addTask(ty,
+                  {StreamDesc::linear(Space::Dram,
+                                      x + t * 8 * wordBytes, 8)},
+                  {out});
+    }
+    const StatSet stats = delta.run(g);
+    std::vector<double> counts;
+    for (unsigned l = 0; l < lanes; ++l) {
+        counts.push_back(stats.get("dispatcher.lane" +
+                                   std::to_string(l) + ".dispatched"));
+    }
+    return counts;
+}
+
+TEST(Policies, StaticIsOwnerCompute)
+{
+    const auto counts = laneDispatchCounts(SchedPolicy::Static, 4, 16);
+    for (const double c : counts)
+        EXPECT_DOUBLE_EQ(c, 4.0) << "uid % lanes spreads evenly";
+}
+
+TEST(Policies, DynamicPoliciesAlsoBalanceEqualTasks)
+{
+    for (const auto p : {SchedPolicy::DynCount, SchedPolicy::WorkAware}) {
+        const auto counts = laneDispatchCounts(p, 4, 16);
+        double total = 0;
+        for (const double c : counts)
+            total += c;
+        EXPECT_DOUBLE_EQ(total, 16.0);
+        for (const double c : counts)
+            EXPECT_GE(c, 2.0) << schedPolicyName(p);
+    }
+}
+
+TEST(Policies, WorkAwareBalancesSkewedWorkBetterThanStatic)
+{
+    // Tasks with wildly different stream lengths, adversarially
+    // ordered so owner-compute piles heavy tasks on one lane.
+    auto run = [&](SchedPolicy policy) {
+        DeltaConfig cfg = DeltaConfig::delta(4);
+        cfg.policy = policy;
+        Delta delta(cfg);
+        const auto ty = addScaleType(delta.registry());
+        MemImage& img = delta.image();
+        TaskGraph g;
+        for (unsigned t = 0; t < 16; ++t) {
+            const std::uint64_t n = t % 4 == 0 ? 2048 : 16;
+            WriteDesc out;
+            out.base = img.allocWords(n);
+            g.addTask(ty,
+                      {StreamDesc::linear(Space::Dram,
+                                          img.allocWords(n), n)},
+                      {out});
+        }
+        const StatSet stats = delta.run(g);
+        return stats.get("delta.cycles");
+    };
+    const double staticCycles = run(SchedPolicy::Static);
+    const double workCycles = run(SchedPolicy::WorkAware);
+    EXPECT_LT(workCycles * 1.5, staticCycles)
+        << "work-aware must clearly beat owner-compute on skew";
+}
+
+// --- dependence ordering property test ---------------------------------------
+
+/**
+ * Random DAGs of increment tasks over one shared cell chain: task i
+ * reads its producer's output region and adds 1.  If any task ran
+ * before its producers completed, the final values would be wrong.
+ */
+class RandomDagOrdering : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(RandomDagOrdering, AllDependencesRespected)
+{
+    Rng rng(400 + GetParam());
+    DeltaConfig cfg = DeltaConfig::delta(4);
+    cfg.laneQueueCap = 3;
+    Delta delta(cfg);
+    const auto ty = addScaleType(delta.registry());
+    MemImage& img = delta.image();
+
+    const int n = 24;
+    const std::uint64_t words = 8;
+    std::vector<Addr> buf(n + 1);
+    for (int i = 0; i <= n; ++i)
+        buf[i] = img.allocWords(words);
+    for (std::uint64_t w = 0; w < words; ++w)
+        img.writeInt(buf[0] + w * wordBytes, 0);
+
+    // Chain with random extra barriers; task i maps buf[p] -> buf[i+1]
+    // where p is a random already-created producer buffer.
+    TaskGraph g;
+    std::vector<int> srcOf(n);
+    std::vector<int> depth(n + 1, 0);
+    for (int i = 0; i < n; ++i) {
+        const int p = static_cast<int>(rng.uniformInt(0, i));
+        srcOf[i] = p;
+        WriteDesc out;
+        out.base = buf[i + 1];
+        const TaskId id = g.addTask(
+            ty,
+            {StreamDesc::linear(Space::Dram, buf[p], words)},
+            {out});
+        if (p > 0)
+            g.addBarrier(static_cast<TaskId>(p - 1), id);
+        // A few random extra barriers for DAG variety.
+        if (i > 2 && rng.uniform01() < 0.3) {
+            g.addBarrier(
+                static_cast<TaskId>(rng.uniformInt(0, i - 1)), id);
+        }
+        depth[i + 1] = depth[p] + 1;
+    }
+
+    delta.run(g);
+    for (int i = 0; i < n; ++i) {
+        for (std::uint64_t w = 0; w < words; ++w) {
+            EXPECT_EQ(img.readInt(buf[i + 1] + w * wordBytes),
+                      depth[i + 1])
+                << "task " << i << " ran before its producer";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomDagOrdering,
+                         ::testing::Range(0, 20));
+
+// --- pipeline accounting ------------------------------------------------------
+
+TEST(Pipelines, ChainActivatesAndOverlaps)
+{
+    // producer -> consumer -> consumer chain, all pipelined.
+    auto run = [&](bool enable) {
+        DeltaConfig cfg = DeltaConfig::delta(4);
+        cfg.enablePipeline = enable;
+        Delta delta(cfg);
+        const auto ty = addScaleType(delta.registry());
+        MemImage& img = delta.image();
+        const std::uint64_t n = 4096;
+        std::vector<Addr> buf(4);
+        for (auto& b : buf)
+            b = img.allocWords(n);
+        TaskGraph g;
+        TaskId prev = 0;
+        for (int s = 0; s < 3; ++s) {
+            WriteDesc out;
+            out.base = buf[s + 1];
+            const TaskId id = g.addTask(
+                ty,
+                {StreamDesc::linear(Space::Dram, buf[s], n)},
+                {out});
+            if (s > 0)
+                g.addPipeline(prev, 0, id, 0);
+            prev = id;
+        }
+        const StatSet stats = delta.run(g);
+        return std::pair<double, std::uint64_t>(
+            stats.get("delta.cycles"),
+            delta.dispatcher().pipesActivated());
+    };
+    const auto [offCycles, offActs] = run(false);
+    const auto [onCycles, onActs] = run(true);
+    EXPECT_EQ(offActs, 0u);
+    EXPECT_EQ(onActs, 2u);
+    EXPECT_LT(onCycles * 1.8, offCycles)
+        << "a 3-stage pipelined chain must overlap substantially";
+}
+
+TEST(Pipelines, DegradedEdgesStillProduceCorrectData)
+{
+    // A pipeline consumer with an extra barrier dep that cannot be
+    // satisfied at producer-dispatch time degrades to memory and must
+    // still read fresh data.
+    DeltaConfig cfg = DeltaConfig::delta(2);
+    Delta delta(cfg);
+    const auto ty = addScaleType(delta.registry());
+    MemImage& img = delta.image();
+    const std::uint64_t n = 512;
+    const Addr a = img.allocWords(n), b = img.allocWords(n),
+               c = img.allocWords(n), d = img.allocWords(n);
+
+    TaskGraph g;
+    WriteDesc outB;
+    outB.base = b;
+    const TaskId t0 =
+        g.addTask(ty, {StreamDesc::linear(Space::Dram, a, n)}, {outB});
+    WriteDesc outC;
+    outC.base = c;
+    const TaskId t1 =
+        g.addTask(ty, {StreamDesc::linear(Space::Dram, a, n)}, {outC});
+    WriteDesc outD;
+    outD.base = d;
+    const TaskId t2 =
+        g.addTask(ty, {StreamDesc::linear(Space::Dram, b, n)}, {outD});
+    g.addPipeline(t0, 0, t2, 0);
+    g.addBarrier(t1, t2);
+
+    delta.run(g);
+    for (std::uint64_t w = 0; w < n; ++w)
+        EXPECT_EQ(img.readInt(d + w * wordBytes), 2);
+}
+
+// --- multicast accounting ------------------------------------------------------
+
+TEST(Multicast, SingleFetchServesAllSubscribers)
+{
+    DeltaConfig cfg = DeltaConfig::delta(8);
+    Delta delta(cfg);
+    MemImage& img = delta.image();
+
+    auto dfg = std::make_unique<Dfg>("addp");
+    const auto aIn = dfg->addInput();
+    const auto bIn = dfg->addInput();
+    dfg->addOutput(
+        dfg->add(Op::Add, Operand::ref(aIn), Operand::ref(bIn)));
+    const auto ty =
+        delta.registry().addDfgType("addp", std::move(dfg));
+
+    const std::uint64_t n = 512;
+    const Addr shared = img.allocWords(n);
+    TaskGraph g;
+    const auto grp = g.addSharedGroup(shared, n);
+    for (int t = 0; t < 8; ++t) {
+        WriteDesc out;
+        out.base = img.allocWords(n);
+        const TaskId id = g.addTask(
+            ty,
+            {StreamDesc::linear(Space::Dram, img.allocWords(n), n),
+             StreamDesc::linear(Space::Dram, shared, n)},
+            {out});
+        g.setSharedInput(id, 1, grp);
+    }
+    const StatSet stats = delta.run(g);
+    EXPECT_EQ(delta.dispatcher().groupsFired(), 1u);
+    EXPECT_EQ(stats.get("dispatcher.fillLines"),
+              static_cast<double>(n / lineWords));
+    // Every subscriber lane landed the fill once.
+    EXPECT_EQ(stats.sumPrefix("lane0.fillLinesLanded") +
+                  stats.sumPrefix("lane1.fillLinesLanded") +
+                  stats.sumPrefix("lane2.fillLinesLanded") +
+                  stats.sumPrefix("lane3.fillLinesLanded") +
+                  stats.sumPrefix("lane4.fillLinesLanded") +
+                  stats.sumPrefix("lane5.fillLinesLanded") +
+                  stats.sumPrefix("lane6.fillLinesLanded") +
+                  stats.sumPrefix("lane7.fillLinesLanded"),
+              static_cast<double>(8 * n / lineWords));
+}
+
+TEST(Multicast, ReducesDramReadsVersusBaseline)
+{
+    auto linesRead = [&](bool multicast) {
+        DeltaConfig cfg = DeltaConfig::delta(8);
+        cfg.enableMulticast = multicast;
+        Delta delta(cfg);
+        MemImage& img = delta.image();
+        auto dfg = std::make_unique<Dfg>("pass");
+        const auto aIn = dfg->addInput();
+        dfg->addOutput(
+            dfg->add(Op::Add, Operand::ref(aIn), Operand::immI(0)));
+        const auto ty =
+            delta.registry().addDfgType("pass", std::move(dfg));
+        const std::uint64_t n = 2048;
+        const Addr shared = img.allocWords(n);
+        TaskGraph g;
+        const auto grp = g.addSharedGroup(shared, n);
+        for (int t = 0; t < 8; ++t) {
+            WriteDesc out;
+            out.base = img.allocWords(n);
+            const TaskId id = g.addTask(
+                ty, {StreamDesc::linear(Space::Dram, shared, n)},
+                {out});
+            g.setSharedInput(id, 0, grp);
+        }
+        const StatSet stats = delta.run(g);
+        return stats.get("mem.linesRead");
+    };
+    const double with = linesRead(true);
+    const double without = linesRead(false);
+    EXPECT_LT(with * 4, without)
+        << "multicast must collapse 8 reads of the range into 1";
+}
+
+// --- shared landing ----------------------------------------------------------
+
+TEST(SharedLanding, StashesFillsThatBeatTheSetup)
+{
+    MemImage img;
+    Scratchpad spm("spm", ScratchpadConfig{1024, 4});
+    SharedLanding landing(img, spm);
+
+    const Addr base = 256; // line-aligned
+    for (unsigned w = 0; w < 16; ++w)
+        img.writeInt(base + w * wordBytes, 100 + w);
+
+    // Fill arrives before setup: must be stashed and applied later.
+    landing.fill(3, base);
+    EXPECT_FALSE(landing.known(3));
+    landing.setup(GroupSetupMsg{3, base, 16, 32});
+    landing.fill(3, base + lineBytes);
+    EXPECT_TRUE(landing.complete(3));
+    for (unsigned w = 0; w < 16; ++w)
+        EXPECT_EQ(asInt(spm.read(32 + w)), 100 + static_cast<int>(w));
+}
+
+TEST(SharedLanding, UnalignedRangeLandsAtCorrectOffsets)
+{
+    MemImage img;
+    Scratchpad spm("spm", ScratchpadConfig{1024, 4});
+    SharedLanding landing(img, spm);
+
+    const Addr base = 256 + 3 * wordBytes; // mid-line start
+    for (unsigned w = 0; w < 8; ++w)
+        img.writeInt(base + w * wordBytes, 7 + w);
+    landing.setup(GroupSetupMsg{1, base, 8, 0});
+    landing.fill(1, 256);
+    landing.fill(1, 256 + lineBytes);
+    EXPECT_TRUE(landing.complete(1));
+    for (unsigned w = 0; w < 8; ++w)
+        EXPECT_EQ(asInt(spm.read(w)), 7 + static_cast<int>(w));
+}
+
+// --- queue capacity ------------------------------------------------------------
+
+TEST(Dispatcher, RespectsLaneQueueCapacity)
+{
+    DeltaConfig cfg = DeltaConfig::delta(2);
+    cfg.laneQueueCap = 2;
+    Delta delta(cfg);
+    const auto ty = addScaleType(delta.registry());
+    MemImage& img = delta.image();
+    TaskGraph g;
+    for (int t = 0; t < 40; ++t) {
+        WriteDesc out;
+        out.base = img.allocWords(64);
+        g.addTask(ty,
+                  {StreamDesc::linear(Space::Dram, img.allocWords(64),
+                                      64)},
+                  {out});
+    }
+    const StatSet stats = delta.run(g);
+    EXPECT_EQ(stats.get("dispatcher.tasksCompleted"), 40.0);
+}
+
+} // namespace
+} // namespace ts
