@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_grain.dir/fig_grain.cc.o"
+  "CMakeFiles/fig_grain.dir/fig_grain.cc.o.d"
+  "fig_grain"
+  "fig_grain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_grain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

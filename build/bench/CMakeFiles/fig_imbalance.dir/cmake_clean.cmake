@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_imbalance.dir/fig_imbalance.cc.o"
+  "CMakeFiles/fig_imbalance.dir/fig_imbalance.cc.o.d"
+  "fig_imbalance"
+  "fig_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_noc_traffic.dir/fig_noc_traffic.cc.o"
+  "CMakeFiles/fig_noc_traffic.dir/fig_noc_traffic.cc.o.d"
+  "fig_noc_traffic"
+  "fig_noc_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_noc_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_queue.dir/fig_queue.cc.o"
+  "CMakeFiles/fig_queue.dir/fig_queue.cc.o.d"
+  "fig_queue"
+  "fig_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

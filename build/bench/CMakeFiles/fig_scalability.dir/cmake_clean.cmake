@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_scalability.dir/fig_scalability.cc.o"
+  "CMakeFiles/fig_scalability.dir/fig_scalability.cc.o.d"
+  "fig_scalability"
+  "fig_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_arch.dir/tab_arch.cc.o"
+  "CMakeFiles/tab_arch.dir/tab_arch.cc.o.d"
+  "tab_arch"
+  "tab_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

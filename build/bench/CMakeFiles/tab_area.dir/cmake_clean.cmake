@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_area.dir/tab_area.cc.o"
+  "CMakeFiles/tab_area.dir/tab_area.cc.o.d"
+  "tab_area"
+  "tab_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

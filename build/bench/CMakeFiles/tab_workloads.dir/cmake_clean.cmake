@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_workloads.dir/tab_workloads.cc.o"
+  "CMakeFiles/tab_workloads.dir/tab_workloads.cc.o.d"
+  "tab_workloads"
+  "tab_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

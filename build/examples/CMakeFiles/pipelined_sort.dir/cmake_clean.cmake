@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipelined_sort.dir/pipelined_sort.cpp.o"
+  "CMakeFiles/pipelined_sort.dir/pipelined_sort.cpp.o.d"
+  "pipelined_sort"
+  "pipelined_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipelined_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/sparse_analytics.cpp" "examples/CMakeFiles/sparse_analytics.dir/sparse_analytics.cpp.o" "gcc" "examples/CMakeFiles/sparse_analytics.dir/sparse_analytics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/ts_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/ts_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/task/CMakeFiles/ts_task.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/ts_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/ts_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ts_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgra/CMakeFiles/ts_cgra.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ts_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

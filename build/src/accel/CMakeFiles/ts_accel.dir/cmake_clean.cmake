@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_accel.dir/area_model.cc.o"
+  "CMakeFiles/ts_accel.dir/area_model.cc.o.d"
+  "CMakeFiles/ts_accel.dir/delta.cc.o"
+  "CMakeFiles/ts_accel.dir/delta.cc.o.d"
+  "CMakeFiles/ts_accel.dir/energy_model.cc.o"
+  "CMakeFiles/ts_accel.dir/energy_model.cc.o.d"
+  "CMakeFiles/ts_accel.dir/lane.cc.o"
+  "CMakeFiles/ts_accel.dir/lane.cc.o.d"
+  "CMakeFiles/ts_accel.dir/mem_node.cc.o"
+  "CMakeFiles/ts_accel.dir/mem_node.cc.o.d"
+  "libts_accel.a"
+  "libts_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

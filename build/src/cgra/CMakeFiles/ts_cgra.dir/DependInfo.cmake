@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cgra/dfg.cc" "src/cgra/CMakeFiles/ts_cgra.dir/dfg.cc.o" "gcc" "src/cgra/CMakeFiles/ts_cgra.dir/dfg.cc.o.d"
+  "/root/repo/src/cgra/fabric.cc" "src/cgra/CMakeFiles/ts_cgra.dir/fabric.cc.o" "gcc" "src/cgra/CMakeFiles/ts_cgra.dir/fabric.cc.o.d"
+  "/root/repo/src/cgra/mapper.cc" "src/cgra/CMakeFiles/ts_cgra.dir/mapper.cc.o" "gcc" "src/cgra/CMakeFiles/ts_cgra.dir/mapper.cc.o.d"
+  "/root/repo/src/cgra/op.cc" "src/cgra/CMakeFiles/ts_cgra.dir/op.cc.o" "gcc" "src/cgra/CMakeFiles/ts_cgra.dir/op.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ts_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_cgra.dir/dfg.cc.o"
+  "CMakeFiles/ts_cgra.dir/dfg.cc.o.d"
+  "CMakeFiles/ts_cgra.dir/fabric.cc.o"
+  "CMakeFiles/ts_cgra.dir/fabric.cc.o.d"
+  "CMakeFiles/ts_cgra.dir/mapper.cc.o"
+  "CMakeFiles/ts_cgra.dir/mapper.cc.o.d"
+  "CMakeFiles/ts_cgra.dir/op.cc.o"
+  "CMakeFiles/ts_cgra.dir/op.cc.o.d"
+  "libts_cgra.a"
+  "libts_cgra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_cgra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_mem.dir/main_memory.cc.o"
+  "CMakeFiles/ts_mem.dir/main_memory.cc.o.d"
+  "CMakeFiles/ts_mem.dir/mem_image.cc.o"
+  "CMakeFiles/ts_mem.dir/mem_image.cc.o.d"
+  "CMakeFiles/ts_mem.dir/scratchpad.cc.o"
+  "CMakeFiles/ts_mem.dir/scratchpad.cc.o.d"
+  "libts_mem.a"
+  "libts_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

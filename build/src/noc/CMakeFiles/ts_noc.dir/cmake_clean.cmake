@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_noc.dir/noc.cc.o"
+  "CMakeFiles/ts_noc.dir/noc.cc.o.d"
+  "libts_noc.a"
+  "libts_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

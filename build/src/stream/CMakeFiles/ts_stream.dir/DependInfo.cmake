@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/fetcher.cc" "src/stream/CMakeFiles/ts_stream.dir/fetcher.cc.o" "gcc" "src/stream/CMakeFiles/ts_stream.dir/fetcher.cc.o.d"
+  "/root/repo/src/stream/pipe_set.cc" "src/stream/CMakeFiles/ts_stream.dir/pipe_set.cc.o" "gcc" "src/stream/CMakeFiles/ts_stream.dir/pipe_set.cc.o.d"
+  "/root/repo/src/stream/read_engine.cc" "src/stream/CMakeFiles/ts_stream.dir/read_engine.cc.o" "gcc" "src/stream/CMakeFiles/ts_stream.dir/read_engine.cc.o.d"
+  "/root/repo/src/stream/stream_desc.cc" "src/stream/CMakeFiles/ts_stream.dir/stream_desc.cc.o" "gcc" "src/stream/CMakeFiles/ts_stream.dir/stream_desc.cc.o.d"
+  "/root/repo/src/stream/write_engine.cc" "src/stream/CMakeFiles/ts_stream.dir/write_engine.cc.o" "gcc" "src/stream/CMakeFiles/ts_stream.dir/write_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ts_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ts_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgra/CMakeFiles/ts_cgra.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

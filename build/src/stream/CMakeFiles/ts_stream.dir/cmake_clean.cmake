@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_stream.dir/fetcher.cc.o"
+  "CMakeFiles/ts_stream.dir/fetcher.cc.o.d"
+  "CMakeFiles/ts_stream.dir/pipe_set.cc.o"
+  "CMakeFiles/ts_stream.dir/pipe_set.cc.o.d"
+  "CMakeFiles/ts_stream.dir/read_engine.cc.o"
+  "CMakeFiles/ts_stream.dir/read_engine.cc.o.d"
+  "CMakeFiles/ts_stream.dir/stream_desc.cc.o"
+  "CMakeFiles/ts_stream.dir/stream_desc.cc.o.d"
+  "CMakeFiles/ts_stream.dir/write_engine.cc.o"
+  "CMakeFiles/ts_stream.dir/write_engine.cc.o.d"
+  "libts_stream.a"
+  "libts_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

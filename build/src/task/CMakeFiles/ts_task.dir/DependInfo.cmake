@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/task/dispatcher.cc" "src/task/CMakeFiles/ts_task.dir/dispatcher.cc.o" "gcc" "src/task/CMakeFiles/ts_task.dir/dispatcher.cc.o.d"
+  "/root/repo/src/task/shared_landing.cc" "src/task/CMakeFiles/ts_task.dir/shared_landing.cc.o" "gcc" "src/task/CMakeFiles/ts_task.dir/shared_landing.cc.o.d"
+  "/root/repo/src/task/task_graph.cc" "src/task/CMakeFiles/ts_task.dir/task_graph.cc.o" "gcc" "src/task/CMakeFiles/ts_task.dir/task_graph.cc.o.d"
+  "/root/repo/src/task/task_types.cc" "src/task/CMakeFiles/ts_task.dir/task_types.cc.o" "gcc" "src/task/CMakeFiles/ts_task.dir/task_types.cc.o.d"
+  "/root/repo/src/task/task_unit.cc" "src/task/CMakeFiles/ts_task.dir/task_unit.cc.o" "gcc" "src/task/CMakeFiles/ts_task.dir/task_unit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ts_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ts_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/ts_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgra/CMakeFiles/ts_cgra.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/ts_stream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_task.dir/dispatcher.cc.o"
+  "CMakeFiles/ts_task.dir/dispatcher.cc.o.d"
+  "CMakeFiles/ts_task.dir/shared_landing.cc.o"
+  "CMakeFiles/ts_task.dir/shared_landing.cc.o.d"
+  "CMakeFiles/ts_task.dir/task_graph.cc.o"
+  "CMakeFiles/ts_task.dir/task_graph.cc.o.d"
+  "CMakeFiles/ts_task.dir/task_types.cc.o"
+  "CMakeFiles/ts_task.dir/task_types.cc.o.d"
+  "CMakeFiles/ts_task.dir/task_unit.cc.o"
+  "CMakeFiles/ts_task.dir/task_unit.cc.o.d"
+  "libts_task.a"
+  "libts_task.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_task.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

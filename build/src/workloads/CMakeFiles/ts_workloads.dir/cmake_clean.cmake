@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_workloads.dir/centroid.cc.o"
+  "CMakeFiles/ts_workloads.dir/centroid.cc.o.d"
+  "CMakeFiles/ts_workloads.dir/cholesky.cc.o"
+  "CMakeFiles/ts_workloads.dir/cholesky.cc.o.d"
+  "CMakeFiles/ts_workloads.dir/join.cc.o"
+  "CMakeFiles/ts_workloads.dir/join.cc.o.d"
+  "CMakeFiles/ts_workloads.dir/lu.cc.o"
+  "CMakeFiles/ts_workloads.dir/lu.cc.o.d"
+  "CMakeFiles/ts_workloads.dir/msort.cc.o"
+  "CMakeFiles/ts_workloads.dir/msort.cc.o.d"
+  "CMakeFiles/ts_workloads.dir/spmv.cc.o"
+  "CMakeFiles/ts_workloads.dir/spmv.cc.o.d"
+  "CMakeFiles/ts_workloads.dir/suite.cc.o"
+  "CMakeFiles/ts_workloads.dir/suite.cc.o.d"
+  "CMakeFiles/ts_workloads.dir/tricount.cc.o"
+  "CMakeFiles/ts_workloads.dir/tricount.cc.o.d"
+  "libts_workloads.a"
+  "libts_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_accel.cc" "tests/CMakeFiles/ts_tests.dir/test_accel.cc.o" "gcc" "tests/CMakeFiles/ts_tests.dir/test_accel.cc.o.d"
+  "/root/repo/tests/test_cgra.cc" "tests/CMakeFiles/ts_tests.dir/test_cgra.cc.o" "gcc" "tests/CMakeFiles/ts_tests.dir/test_cgra.cc.o.d"
+  "/root/repo/tests/test_errors.cc" "tests/CMakeFiles/ts_tests.dir/test_errors.cc.o" "gcc" "tests/CMakeFiles/ts_tests.dir/test_errors.cc.o.d"
+  "/root/repo/tests/test_mem.cc" "tests/CMakeFiles/ts_tests.dir/test_mem.cc.o" "gcc" "tests/CMakeFiles/ts_tests.dir/test_mem.cc.o.d"
+  "/root/repo/tests/test_noc.cc" "tests/CMakeFiles/ts_tests.dir/test_noc.cc.o" "gcc" "tests/CMakeFiles/ts_tests.dir/test_noc.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/ts_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/ts_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_smoke.cc" "tests/CMakeFiles/ts_tests.dir/test_smoke.cc.o" "gcc" "tests/CMakeFiles/ts_tests.dir/test_smoke.cc.o.d"
+  "/root/repo/tests/test_stream.cc" "tests/CMakeFiles/ts_tests.dir/test_stream.cc.o" "gcc" "tests/CMakeFiles/ts_tests.dir/test_stream.cc.o.d"
+  "/root/repo/tests/test_task.cc" "tests/CMakeFiles/ts_tests.dir/test_task.cc.o" "gcc" "tests/CMakeFiles/ts_tests.dir/test_task.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/ts_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/ts_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/accel/CMakeFiles/ts_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ts_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/task/CMakeFiles/ts_task.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/ts_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/ts_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ts_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgra/CMakeFiles/ts_cgra.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ts_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_tests.dir/test_accel.cc.o"
+  "CMakeFiles/ts_tests.dir/test_accel.cc.o.d"
+  "CMakeFiles/ts_tests.dir/test_cgra.cc.o"
+  "CMakeFiles/ts_tests.dir/test_cgra.cc.o.d"
+  "CMakeFiles/ts_tests.dir/test_errors.cc.o"
+  "CMakeFiles/ts_tests.dir/test_errors.cc.o.d"
+  "CMakeFiles/ts_tests.dir/test_mem.cc.o"
+  "CMakeFiles/ts_tests.dir/test_mem.cc.o.d"
+  "CMakeFiles/ts_tests.dir/test_noc.cc.o"
+  "CMakeFiles/ts_tests.dir/test_noc.cc.o.d"
+  "CMakeFiles/ts_tests.dir/test_sim.cc.o"
+  "CMakeFiles/ts_tests.dir/test_sim.cc.o.d"
+  "CMakeFiles/ts_tests.dir/test_smoke.cc.o"
+  "CMakeFiles/ts_tests.dir/test_smoke.cc.o.d"
+  "CMakeFiles/ts_tests.dir/test_stream.cc.o"
+  "CMakeFiles/ts_tests.dir/test_stream.cc.o.d"
+  "CMakeFiles/ts_tests.dir/test_task.cc.o"
+  "CMakeFiles/ts_tests.dir/test_task.cc.o.d"
+  "CMakeFiles/ts_tests.dir/test_workloads.cc.o"
+  "CMakeFiles/ts_tests.dir/test_workloads.cc.o.d"
+  "ts_tests"
+  "ts_tests.pdb"
+  "ts_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
