@@ -10,6 +10,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 
 #include "workloads/workload.hh"
@@ -25,6 +27,37 @@ struct RunResult
     StatSet stats;
 };
 
+/**
+ * When TS_BENCH_JSON names an (existing) directory, every runOnce()
+ * writes its full StatSet there as `<seq>_<workload>_<policy>.json`,
+ * so figure programs emit machine-readable results alongside the
+ * text tables.
+ */
+inline void
+emitJson(const std::string& tag, Wk w, const DeltaConfig& cfg,
+         const RunResult& r)
+{
+    const char* dir = std::getenv("TS_BENCH_JSON");
+    if (dir == nullptr || *dir == '\0')
+        return;
+    static int seq = 0;
+    const std::string path = std::string(dir) + "/" +
+                             std::to_string(seq++) + "_" + tag +
+                             ".json";
+    std::ofstream os(path);
+    if (!os) {
+        warn("bench: cannot write '", path, "'");
+        return;
+    }
+    os << "{\n  \"workload\": \"" << wkName(w) << "\",\n"
+       << "  \"policy\": \"" << schedPolicyName(cfg.policy) << "\",\n"
+       << "  \"lanes\": " << cfg.lanes << ",\n"
+       << "  \"correct\": " << (r.correct ? "true" : "false") << ",\n"
+       << "  \"stats\": ";
+    r.stats.dumpJson(os);
+    os << "}\n";
+}
+
 /** Build and simulate one workload under one configuration. */
 inline RunResult
 runOnce(Wk w, const DeltaConfig& cfg, const SuiteParams& sp)
@@ -37,6 +70,10 @@ runOnce(Wk w, const DeltaConfig& cfg, const SuiteParams& sp)
     r.stats = delta.run(graph);
     r.cycles = r.stats.get("delta.cycles");
     r.correct = wl->check(delta.image());
+    emitJson(std::string(wkName(w)) + "_" +
+                 schedPolicyName(cfg.policy) + "_l" +
+                 std::to_string(cfg.lanes),
+             w, cfg, r);
     return r;
 }
 

@@ -71,5 +71,17 @@ main()
     std::printf("  NoC word-hops  : %.0f\n", stats.get("noc.wordHops"));
     std::printf("  lane imbalance : %.3f (max/mean busy)\n",
                 stats.get("delta.imbalance"));
+    std::printf("  cycle breakdown: %.0f%% busy, %.0f%% memWait, "
+                "%.0f%% nocWait, %.0f%% idle\n",
+                100 * stats.get("delta.accounting.frac.busy"),
+                100 * stats.get("delta.accounting.frac.memWait"),
+                100 * stats.get("delta.accounting.frac.nocWait"),
+                100 * stats.get("delta.accounting.frac.idle"));
+    if (delta.tracer().enabled()) {
+        std::printf("  trace          : %s (%.0f events; load in "
+                    "https://ui.perfetto.dev)\n",
+                    delta.tracer().path().c_str(),
+                    stats.get("trace.events"));
+    }
     return errors == 0 ? 0 : 1;
 }

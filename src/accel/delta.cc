@@ -1,8 +1,10 @@
 #include "accel/delta.hh"
 
+#include <array>
 #include <cmath>
 
 #include "sim/logging.hh"
+#include "trace/accounting.hh"
 
 namespace ts
 {
@@ -52,6 +54,9 @@ Delta::Delta(const DeltaConfig& cfg)
     if (cfg_.lanes == 0 || cfg_.lanes > 62)
         fatal("Delta supports 1..62 lanes, got ", cfg_.lanes);
 
+    tracer_ = std::make_unique<trace::Tracer>(
+        cfg_.trace.enabled ? cfg_.trace : trace::Tracer::fromEnv());
+
     noc_ = std::make_unique<Noc>(sim_, meshFor(cfg_.lanes,
                                                cfg_.nocLinks));
 
@@ -85,12 +90,28 @@ Delta::Delta(const DeltaConfig& cfg)
 
 Delta::~Delta() = default;
 
+namespace
+{
+
+/** Deactivates tracing on scope exit (including fatal() unwinds). */
+struct TraceActivation
+{
+    explicit TraceActivation(trace::Tracer* t)
+    {
+        trace::Tracer::setActive(t);
+    }
+    ~TraceActivation() { trace::Tracer::setActive(nullptr); }
+};
+
+} // namespace
+
 StatSet
 Delta::run(const TaskGraph& graph)
 {
     TS_ASSERT(!ran_, "a Delta instance runs one graph");
     ran_ = true;
 
+    TraceActivation activation(tracer_.get());
     dispatcher_->loadGraph(graph);
     const Tick cycles = sim_.run(cfg_.maxCycles);
 
@@ -115,6 +136,45 @@ Delta::run(const TaskGraph& graph)
               busySum / static_cast<double>(cfg_.lanes));
     stats.set("delta.imbalance",
               busySum > 0 ? busyMax * cfg_.lanes / busySum : 1.0);
+
+    // Top-down cycle accounting: per-lane buckets are reported by
+    // each task unit; aggregate them here and check the invariant
+    // that every lane cycle is attributed to exactly one bucket.
+    std::array<double, kNumCycleClasses> agg{};
+    for (const auto& lane : lanes_) {
+        const CycleBuckets& b = lane->taskUnit().cycleBuckets();
+        TS_ASSERT(b.total() == cycles,
+                  "cycle-accounting buckets must sum to delta.cycles");
+        for (std::size_t c = 0; c < kNumCycleClasses; ++c)
+            agg[c] += static_cast<double>(b.counts[c]);
+    }
+    for (std::size_t c = 0; c < kNumCycleClasses; ++c) {
+        const char* cls = cycleClassName(static_cast<CycleClass>(c));
+        stats.set(std::string("delta.accounting.") + cls, agg[c]);
+        stats.set(std::string("delta.accounting.frac.") + cls,
+                  cycles > 0 ? agg[c] / (static_cast<double>(cycles) *
+                                         cfg_.lanes)
+                             : 0.0);
+    }
+
+    if (tracer_->enabled()) {
+        // Leave the per-lane summary in the trace, then seal it.
+        for (std::uint32_t i = 0; i < cfg_.lanes; ++i) {
+            const CycleBuckets& b =
+                lanes_[i]->taskUnit().cycleBuckets();
+            const std::string series = "lane" + std::to_string(i);
+            for (std::size_t c = 0; c < kNumCycleClasses; ++c) {
+                tracer_->counter(
+                    (std::string("accounting.") +
+                     cycleClassName(static_cast<CycleClass>(c)))
+                        .c_str(),
+                    series.c_str(), static_cast<double>(b.counts[c]));
+            }
+        }
+        stats.set("trace.events",
+                  static_cast<double>(tracer_->events()));
+        tracer_->finish();
+    }
     return stats;
 }
 

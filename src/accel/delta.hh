@@ -17,6 +17,7 @@
 #include "accel/lane.hh"
 #include "accel/mem_node.hh"
 #include "task/dispatcher.hh"
+#include "trace/trace.hh"
 
 namespace ts
 {
@@ -38,6 +39,13 @@ struct DeltaConfig
     NocConfig nocLinks; ///< width/height are derived from lanes
 
     Tick maxCycles = 200'000'000;
+
+    /**
+     * Cycle-level tracing (Perfetto/chrome://tracing JSON).  When not
+     * enabled here, the TS_TRACE environment variable (an output
+     * path) enables it instead; see src/trace/trace.hh.
+     */
+    trace::TracerConfig trace;
 
     /** TaskStream configuration (all mechanisms on). */
     static DeltaConfig delta(std::uint32_t lanes = 8);
@@ -75,6 +83,9 @@ class Delta
     StatSet run(const TaskGraph& graph);
 
     std::uint32_t numLanes() const { return cfg_.lanes; }
+
+    /** The run's tracer (disabled unless configured; never null). */
+    const trace::Tracer& tracer() const { return *tracer_; }
     const Lane& lane(std::uint32_t i) const { return *lanes_.at(i); }
     const Dispatcher& dispatcher() const { return *dispatcher_; }
     const Noc& noc() const { return *noc_; }
@@ -88,6 +99,7 @@ class Delta
     DeltaConfig cfg_;
     MemImage img_;
     Simulator sim_;
+    std::unique_ptr<trace::Tracer> tracer_;
     std::unique_ptr<Noc> noc_;
     TaskTypeRegistry registry_;
     std::unique_ptr<MemNode> memNode_;

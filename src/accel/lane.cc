@@ -2,6 +2,7 @@
 
 #include "mem/request.hh"
 #include "sim/logging.hh"
+#include "trace/trace.hh"
 
 namespace ts
 {
@@ -82,6 +83,11 @@ Lane::requestLine(Addr lineAddr, std::function<void()> onData)
     inflight_.emplace(nextTag_, std::move(onData));
     ++nextTag_;
     ++lineReads_;
+    if (trace::on()) {
+        trace::active()->counter(
+            (name() + ".mshr").c_str(), "inflight",
+            static_cast<double>(inflight_.size()));
+    }
     return true;
 }
 
@@ -142,6 +148,11 @@ Lane::tick(Tick)
                       name(), ": response for unknown tag ", resp.tag);
             auto cb = std::move(it->second);
             inflight_.erase(it);
+            if (trace::on()) {
+                trace::active()->counter(
+                    (name() + ".mshr").c_str(), "inflight",
+                    static_cast<double>(inflight_.size()));
+            }
             cb();
             break;
           }

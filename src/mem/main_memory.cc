@@ -1,6 +1,7 @@
 #include "mem/main_memory.hh"
 
 #include "sim/logging.hh"
+#include "trace/trace.hh"
 
 namespace ts
 {
@@ -26,7 +27,13 @@ MainMemory::tick(Tick now)
 {
     // Accept new requests into the pending queue.
     while (!reqIn_.empty() && pending_.size() < cfg_.queueCapacity)
-        pending_.push_back(reqIn_.pop());
+        pending_.push_back(Pending{reqIn_.pop(), now});
+    if (trace::on() && pending_.size() != tracedPending_) {
+        tracedPending_ = pending_.size();
+        trace::active()->counter(
+            "dram.queue", "pending",
+            static_cast<double>(tracedPending_));
+    }
 
     // Issue up to issueWidth requests whose banks are free.  Requests
     // may issue out of order across banks (FR-FCFS-like), but stay
@@ -35,7 +42,7 @@ MainMemory::tick(Tick now)
     std::uint32_t issued = 0;
     for (auto it = pending_.begin();
          it != pending_.end() && issued < cfg_.issueWidth;) {
-        const std::uint32_t bank = bankOf(it->lineAddr);
+        const std::uint32_t bank = bankOf(it->req.lineAddr);
         if (bankFreeAt_[bank] > now) {
             ++bankConflictStalls_;
             ++it;
@@ -43,13 +50,28 @@ MainMemory::tick(Tick now)
         }
         bankFreeAt_[bank] = now + cfg_.bankOccupancy;
         ++issued;
-        if (it->write) {
+        if (trace::on()) {
+            auto* t = trace::active();
+            if (now > it->enqueuedAt) {
+                t->complete(t->track("dram.queue"), it->enqueuedAt,
+                            now - it->enqueuedAt, "qwait",
+                            trace::args("line", it->req.lineAddr));
+            }
+            t->complete(
+                t->track("dram.bank" + std::to_string(bank)), now,
+                it->req.write ? cfg_.bankOccupancy
+                              : cfg_.serviceLatency,
+                it->req.write ? "write" : "read",
+                trace::args("line", it->req.lineAddr, "src",
+                            it->req.srcNode));
+        }
+        if (it->req.write) {
             ++linesWritten_;
         } else {
             ++linesRead_;
             ++inflight_;
-            MemResp resp{it->lineAddr, it->srcNode, it->multicastMask,
-                         it->tag};
+            MemResp resp{it->req.lineAddr, it->req.srcNode,
+                         it->req.multicastMask, it->req.tag};
             sim_.schedule(cfg_.serviceLatency, [this, resp]() {
                 if (respOut_.push(resp)) {
                     --inflight_;

@@ -58,6 +58,14 @@ class MainMemory : public Ticked
     std::uint64_t linesWritten() const { return linesWritten_; }
 
   private:
+    /** A request waiting to issue, with its arrival cycle (queue-wait
+     *  attribution in the trace). */
+    struct Pending
+    {
+        MemReq req;
+        Tick enqueuedAt;
+    };
+
     std::uint32_t bankOf(Addr lineAddr) const;
     void retryResponse(const MemResp& resp);
 
@@ -66,8 +74,9 @@ class MainMemory : public Ticked
     Channel<MemReq>& reqIn_;
     Channel<MemResp>& respOut_;
 
-    std::deque<MemReq> pending_;
+    std::deque<Pending> pending_;
     std::vector<Tick> bankFreeAt_;
+    std::size_t tracedPending_ = static_cast<std::size_t>(-1);
 
     std::uint64_t linesRead_ = 0;
     std::uint64_t linesWritten_ = 0;

@@ -1,6 +1,7 @@
 #include "noc/noc.hh"
 
 #include "sim/logging.hh"
+#include "trace/trace.hh"
 
 namespace ts
 {
@@ -105,6 +106,18 @@ class NocRouter : public Ticked
         }
 
         Packet head = in.pop();
+        if (trace::on()) {
+            unsigned branches = 0;
+            for (unsigned d = 0; d < NumDirs; ++d)
+                branches += masks[d] != 0 ? 1 : 0;
+            if (branches > 1) {
+                auto* t = trace::active();
+                t->instant(t->track("noc.mcast"), "fanout",
+                           trace::args("router", id_, "branches",
+                                       branches, "words",
+                                       head.sizeWords));
+            }
+        }
         for (unsigned d = 0; d < NumDirs; ++d) {
             if (masks[d] == 0)
                 continue;
@@ -121,6 +134,11 @@ class NocRouter : public Ticked
             TS_ASSERT(ok);
             if (d == LocalPort) {
                 ++noc_.delivered_;
+                if (trace::on()) {
+                    trace::active()->counter(
+                        "noc.traffic", "delivered",
+                        static_cast<double>(noc_.delivered_));
+                }
             } else {
                 const Tick ser = std::max<Tick>(
                     1, divCeil<std::uint32_t>(head.sizeWords,
@@ -196,9 +214,19 @@ Noc::inject(Packet pkt)
     TS_ASSERT(pkt.dstMask != 0, "packet with empty destination set");
     TS_ASSERT((pkt.dstMask >> numNodes()) == 0 || numNodes() == 64,
               "destination outside mesh");
+    const std::uint32_t src = pkt.src;
+    const std::uint64_t dstMask = pkt.dstMask;
+    const std::uint32_t words = pkt.sizeWords;
+    const PktKind kind = pkt.kind;
     if (!injectCh_[pkt.src]->push(std::move(pkt)))
         return false;
     ++injected_;
+    if (trace::on()) {
+        auto* t = trace::active();
+        t->instant(t->track("noc.inject"), pktKindName(kind),
+                   trace::args("src", src, "dstMask", dstMask, "words",
+                               words));
+    }
     return true;
 }
 

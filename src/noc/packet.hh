@@ -33,6 +33,23 @@ enum class PktKind : std::uint8_t
     Generic,      ///< tests and miscellaneous control
 };
 
+/** Human-readable packet-kind name (tracing and diagnostics). */
+inline const char*
+pktKindName(PktKind k)
+{
+    switch (k) {
+      case PktKind::MemReq: return "memReq";
+      case PktKind::MemResp: return "memResp";
+      case PktKind::TaskDispatch: return "taskDispatch";
+      case PktKind::TaskStart: return "taskStart";
+      case PktKind::TaskComplete: return "taskComplete";
+      case PktKind::PipeChunk: return "pipeChunk";
+      case PktKind::SharedFill: return "sharedFill";
+      case PktKind::Generic: return "generic";
+    }
+    return "?";
+}
+
 /** A network packet. */
 struct Packet
 {

@@ -10,11 +10,18 @@
  *
  * Both error forms throw (rather than abort) so that library users
  * and unit tests can observe and recover from them.
+ *
+ * warn()/inform() are gated by a runtime verbosity level read once
+ * from the TS_LOG environment variable:
+ *   TS_LOG=0  silent (suppress warnings and info)
+ *   TS_LOG=1  warnings only (the default)
+ *   TS_LOG=2  warnings + informational messages
  */
 
 #ifndef TS_SIM_LOGGING_HH
 #define TS_SIM_LOGGING_HH
 
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <stdexcept>
@@ -69,6 +76,19 @@ formatAll(const Args&... args)
 
 } // namespace detail
 
+/** Stderr verbosity: 0 silent, 1 warnings (default), 2 info. */
+inline int
+logVerbosity()
+{
+    static const int level = [] {
+        const char* env = std::getenv("TS_LOG");
+        if (env == nullptr || *env == '\0')
+            return 1;
+        return std::atoi(env);
+    }();
+    return level;
+}
+
 /** Abort simulation with a user-facing error. */
 template <typename... Args>
 [[noreturn]] void
@@ -85,19 +105,23 @@ panic(const Args&... args)
     throw PanicError(detail::formatAll("panic: ", args...));
 }
 
-/** Print a non-fatal warning to stderr. */
+/** Print a non-fatal warning to stderr (TS_LOG >= 1). */
 template <typename... Args>
 void
 warn(const Args&... args)
 {
+    if (logVerbosity() < 1)
+        return;
     std::cerr << "warn: " << detail::formatAll(args...) << std::endl;
 }
 
-/** Print an informational message to stderr. */
+/** Print an informational message to stderr (TS_LOG >= 2). */
 template <typename... Args>
 void
 inform(const Args&... args)
 {
+    if (logVerbosity() < 2)
+        return;
     std::cerr << "info: " << detail::formatAll(args...) << std::endl;
 }
 

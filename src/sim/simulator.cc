@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "sim/logging.hh"
+#include "trace/trace.hh"
 
 namespace ts
 {
@@ -31,6 +32,8 @@ Simulator::schedule(Tick delay, EventQueue::Callback cb)
 void
 Simulator::doCycle()
 {
+    if (trace::on())
+        trace::active()->setNow(now_);
     events_.fireUpTo(now_);
     for (Ticked* t : ticked_)
         t->tick(now_);

@@ -1,7 +1,9 @@
 #include "sim/stats.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
+#include <limits>
 
 #include "sim/logging.hh"
 
@@ -71,6 +73,25 @@ StatSet::dump(std::ostream& os) const
 {
     for (const auto& [name, value] : values_)
         os << std::left << std::setw(48) << name << " " << value << "\n";
+}
+
+void
+StatSet::dumpJson(std::ostream& os) const
+{
+    os << "{";
+    bool first = true;
+    const auto precision = os.precision();
+    os << std::setprecision(std::numeric_limits<double>::max_digits10);
+    for (const auto& [name, value] : values_) {
+        os << (first ? "\n" : ",\n") << "  \"" << name << "\": ";
+        // NaN/inf are not valid JSON numbers; emit null instead.
+        if (std::isfinite(value))
+            os << value;
+        else
+            os << "null";
+        first = false;
+    }
+    os << "\n}\n" << std::setprecision(static_cast<int>(precision));
 }
 
 Histogram::Histogram(std::vector<double> bounds)

@@ -47,6 +47,10 @@ class StatSet
     /** Pretty-print every statistic, one per line. */
     void dump(std::ostream& os) const;
 
+    /** Write every statistic as one flat JSON object (dotted-path
+     *  keys), full double precision, sorted by name. */
+    void dumpJson(std::ostream& os) const;
+
     /** Remove all statistics. */
     void clear() { values_.clear(); }
 

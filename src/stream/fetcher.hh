@@ -97,6 +97,9 @@ class WordFetcher
         return t;
     }
 
+    /** DRAM line requests issued but not yet answered. */
+    std::uint32_t outstanding() const { return outstanding_; }
+
     std::uint64_t linesRequested() const { return linesRequested_; }
     std::uint64_t spmReads() const { return spmReads_; }
 

@@ -1,9 +1,30 @@
 #include "stream/read_engine.hh"
 
 #include "sim/logging.hh"
+#include "trace/trace.hh"
 
 namespace ts
 {
+
+namespace
+{
+
+const char*
+streamKindName(StreamDesc::Kind k)
+{
+    switch (k) {
+      case StreamDesc::Kind::Linear: return "linear";
+      case StreamDesc::Kind::Strided2D: return "strided2d";
+      case StreamDesc::Kind::Indirect: return "indirect";
+      case StreamDesc::Kind::Csr: return "csr";
+      case StreamDesc::Kind::CsrGather: return "csrGather";
+      case StreamDesc::Kind::CsrIndirectSeg: return "csrIndirectSeg";
+      case StreamDesc::Kind::PipeIn: return "pipeIn";
+    }
+    return "?";
+}
+
+} // namespace
 
 ReadEngine::ReadEngine(std::string name, const MemImage& img,
                        Scratchpad* spm, MemPortIf* mem, PipeSet* pipes,
@@ -45,6 +66,29 @@ ReadEngine::program(const StreamDesc& d, TokenFifo* dest)
     ptrF_.reset(d.idxSpace);
     idxF_.reset(d.idxSpace);
     dataF_.reset(d.dataSpace);
+
+    if (trace::on()) {
+        auto* t = trace::active();
+        t->begin(t->track(name()), streamKindName(d_.kind),
+                 trace::args("count", d_.count, "repeat", d_.repeat));
+    }
+}
+
+bool
+ReadEngine::waitingOnMem() const
+{
+    if (!active_ || d_.kind == StreamDesc::Kind::PipeIn)
+        return false;
+    return ptrF_.outstanding() + idxF_.outstanding() +
+               dataF_.outstanding() >
+           0;
+}
+
+bool
+ReadEngine::waitingOnPipe() const
+{
+    return active_ && d_.kind == StreamDesc::Kind::PipeIn &&
+           !pipes_->hasData(d_.pipeId);
 }
 
 Addr
@@ -332,8 +376,13 @@ ReadEngine::tick(Tick now)
         return;
     generate(now);
     deliver();
-    if (generationDone() && repeatLeft_ == 0)
+    if (generationDone() && repeatLeft_ == 0) {
         active_ = false;
+        if (trace::on()) {
+            auto* t = trace::active();
+            t->end(t->track(name()));
+        }
+    }
 }
 
 std::uint64_t

@@ -49,6 +49,13 @@ class ReadEngine : public Ticked
     /** Whether a programmed stream is still in flight. */
     bool active() const { return active_; }
 
+    /** Cycle-accounting probe: stream blocked on DRAM fetches. */
+    bool waitingOnMem() const;
+
+    /** Cycle-accounting probe: pipe-input stream starved of chunks
+     *  from the producer lane (data still crossing the NoC). */
+    bool waitingOnPipe() const;
+
     void tick(Tick now) override;
     bool busy() const override { return active_; }
     void reportStats(StatSet& stats) const override;

@@ -1,6 +1,7 @@
 #include "stream/write_engine.hh"
 
 #include "sim/logging.hh"
+#include "trace/trace.hh"
 
 namespace ts
 {
@@ -29,6 +30,13 @@ WriteEngine::program(const WriteDesc& d, TokenFifo* src)
     chunk_.clear();
     chunkPending_ = false;
     ++streamsRun_;
+
+    if (trace::on()) {
+        auto* t = trace::active();
+        t->begin(t->track(name()),
+                 d_.pipeDstMask != 0 ? "write+pipe" : "write",
+                 trace::args("base", d_.base));
+    }
 }
 
 void
@@ -119,8 +127,13 @@ WriteEngine::tick(Tick now)
         }
     }
 
-    if (sawStreamEnd_ && flushTraffic())
+    if (sawStreamEnd_ && flushTraffic()) {
         active_ = false;
+        if (trace::on()) {
+            auto* t = trace::active();
+            t->end(t->track(name()));
+        }
+    }
 }
 
 void

@@ -41,6 +41,15 @@ class WriteEngine : public Ticked
     /** Whether the programmed stream is still in flight. */
     bool active() const { return active_; }
 
+    /** Cycle-accounting probe: line writes back-pressured. */
+    bool blockedOnMem() const
+    {
+        return active_ && !pendingLines_.empty();
+    }
+
+    /** Cycle-accounting probe: pipe chunk awaiting NoC injection. */
+    bool blockedOnNoc() const { return active_ && chunkPending_; }
+
     void tick(Tick now) override;
     bool busy() const override { return active_; }
     void reportStats(StatSet& stats) const override;

@@ -8,6 +8,7 @@
 #include "mem/request.hh"
 
 #include "sim/logging.hh"
+#include "trace/trace.hh"
 
 namespace ts
 {
@@ -101,7 +102,15 @@ Dispatcher::processInbox(Tick now)
         Packet pkt = inbox.pop();
         switch (pkt.kind) {
           case PktKind::TaskStart:
-            break; // informational; lanes track their own busy time
+            // Informational; lanes track their own busy time.
+            if (trace::on()) {
+                const auto msg = std::any_cast<StartMsg>(pkt.payload);
+                auto* t = trace::active();
+                t->instant(t->track(name()), "taskStart",
+                           trace::args("uid", msg.uid, "lane",
+                                       msg.lane));
+            }
+            break;
           case PktKind::TaskComplete:
             onComplete(std::any_cast<CompleteMsg>(pkt.payload), now);
             break;
@@ -118,6 +127,13 @@ Dispatcher::onComplete(const CompleteMsg& msg, Tick now)
     TS_ASSERT(ts.dispatched && !ts.completed);
     ts.completed = true;
     ++completed_;
+    if (trace::on()) {
+        auto* t = trace::active();
+        t->instant(t->track(name()), "taskComplete",
+                   trace::args("uid", msg.uid, "lane", msg.lane));
+        t->counter("dispatcher.tasks", "completed",
+                   static_cast<double>(completed_));
+    }
     TS_ASSERT(levelRemaining_[ts.level] > 0);
     --levelRemaining_[ts.level];
     while (curLevel_ < levelRemaining_.size() &&
@@ -295,6 +311,12 @@ Dispatcher::enqueueDispatch(TaskId id, DispatchMsg msg)
     ++laneQueued_[ts.lane];
     laneWork_[ts.lane] += ts.workEst;
     ++laneDispatched_[ts.lane];
+    if (trace::on()) {
+        auto* t = trace::active();
+        t->instant(t->track(name()), "dispatch",
+                   trace::args("uid", id, "lane", ts.lane, "workEst",
+                               ts.workEst));
+    }
 
     Packet pkt;
     pkt.src = cfg_.selfNode;
@@ -313,6 +335,11 @@ Dispatcher::fireGroup(std::uint32_t groupId)
     TS_ASSERT(!gs.fired);
     gs.fired = true;
     ++groupsFired_;
+    if (trace::on()) {
+        auto* t = trace::active();
+        t->instant(t->track(name()), "groupFire",
+                   trace::args("group", groupId, "words", gs.g.words));
+    }
 
     gs.landingOffset = landingBrk_;
     landingBrk_ += divCeil<std::uint64_t>(gs.g.words, lineWords) *
@@ -508,6 +535,12 @@ Dispatcher::tryDispatchHead(Tick now)
             if (cfg_.enablePipeline && inBatch(c) && canForward) {
                 es.activated = true;
                 ++pipesActivated_;
+                if (trace::on()) {
+                    auto* t = trace::active();
+                    t->instant(t->track(name()), "pipeActivated",
+                               trace::args("producer", id, "consumer",
+                                           c));
+                }
                 const std::uint64_t pid = pipeIdOf(id, es.e.producerPort);
                 DispatchMsg& pm = msgs.at(id);
                 WriteDesc& out = pm.outputs.at(es.e.producerPort);
@@ -520,6 +553,12 @@ Dispatcher::tryDispatchHead(Tick now)
                 cm.releasePipes.push_back(pid);
             } else {
                 ++pipesDegraded_;
+                if (trace::on()) {
+                    auto* t = trace::active();
+                    t->instant(t->track(name()), "pipeDegraded",
+                               trace::args("producer", id, "consumer",
+                                           c));
+                }
             }
         }
     }
@@ -582,6 +621,13 @@ Dispatcher::tick(Tick now)
         if (!tryDispatchHead(now))
             break;
         --dispatches;
+    }
+
+    if (trace::on() && readyQ_.size() != tracedReadyDepth_) {
+        tracedReadyDepth_ = readyQ_.size();
+        trace::active()->counter(
+            "dispatcher.readyQ", "depth",
+            static_cast<double>(tracedReadyDepth_));
     }
 }
 

@@ -166,6 +166,9 @@ class Dispatcher : public Ticked
     std::uint32_t curLevel_ = 0;
     std::vector<std::uint32_t> levelRemaining_;
 
+    /** Last ready-queue depth sampled into the trace. */
+    std::size_t tracedReadyDepth_ = static_cast<std::size_t>(-1);
+
     std::uint64_t pipesActivated_ = 0;
     std::uint64_t pipesDegraded_ = 0;
     std::uint64_t groupsFired_ = 0;

@@ -1,6 +1,7 @@
 #include "task/task_unit.hh"
 
 #include "sim/logging.hh"
+#include "trace/trace.hh"
 
 namespace ts
 {
@@ -80,9 +81,73 @@ TaskUnit::dfgExecutionDone() const
     return ports_.fabric->drained();
 }
 
+CycleClass
+TaskUnit::classify(bool fabricProgressed) const
+{
+    switch (phase_) {
+      case Phase::Idle:
+        if (!inbox_.empty())
+            return CycleClass::Busy; // picks up a task this cycle
+        return sendQ_.empty() ? CycleClass::Idle : CycleClass::NocWait;
+      case Phase::WaitFill:
+        return CycleClass::MemWait; // multicast landing in flight
+      case Phase::Config:
+      case Phase::BuiltinCompute:
+        return CycleClass::Busy;
+      case Phase::BuiltinWrite:
+        return builtinWriteBlocked_ ? CycleClass::MemWait
+                                    : CycleClass::Busy;
+      case Phase::Finish:
+        return sendQ_.empty() ? CycleClass::Busy : CycleClass::NocWait;
+      case Phase::Running:
+      case Phase::BuiltinRead: {
+        // A cycle where the fabric fired a PE is forward progress,
+        // however many fetches are still in flight (prefetch overlap
+        // is the common case, not a stall).
+        if (phase_ == Phase::Running && fabricProgressed)
+            return CycleClass::Busy;
+        bool mem = false;
+        bool net = false;
+        for (const ReadEngine* re : ports_.readEngines) {
+            mem |= re->waitingOnMem();
+            net |= re->waitingOnPipe();
+        }
+        for (const WriteEngine* we : ports_.writeEngines) {
+            mem |= we->blockedOnMem();
+            net |= we->blockedOnNoc();
+        }
+        if (mem)
+            return CycleClass::MemWait;
+        if (net)
+            return CycleClass::NocWait;
+        return CycleClass::Busy;
+      }
+    }
+    return CycleClass::Idle;
+}
+
+void
+TaskUnit::accountCycle()
+{
+    const std::uint64_t firings = ports_.fabric->firings();
+    const CycleClass cls = classify(firings != lastFirings_);
+    lastFirings_ = firings;
+    buckets_.account(cls);
+    if (trace::on() && (cls != lastClass_ || !stateSpanOpen_)) {
+        auto* t = trace::active();
+        const trace::TrackId tid = t->track(name() + ".state");
+        if (stateSpanOpen_)
+            t->end(tid);
+        t->begin(tid, cycleClassName(cls));
+        stateSpanOpen_ = true;
+    }
+    lastClass_ = cls;
+}
+
 void
 TaskUnit::tick(Tick now)
 {
+    accountCycle();
     sendPending();
 
     if (phase_ != Phase::Idle)
@@ -95,6 +160,15 @@ TaskUnit::tick(Tick now)
         cur_ = std::move(inbox_.front());
         inbox_.pop_front();
         ++busyCycles_;
+        if (trace::on()) {
+            auto* t = trace::active();
+            t->begin(t->track(name()),
+                     registry_.type(cur_.type).name.c_str(),
+                     trace::args("uid", cur_.uid, "workEst",
+                                 cur_.workEst));
+            t->counter(name().c_str(), "queueDepth",
+                       static_cast<double>(queueDepth()));
+        }
         phase_ = Phase::WaitFill;
         [[fallthrough]];
 
@@ -178,14 +252,18 @@ TaskUnit::tick(Tick now)
       case Phase::BuiltinWrite: {
         std::uint32_t budget = 2;
         while (budget > 0 && builtinLinesLeft_ > 0) {
-            if (!ports_.memPort->writeLine(builtinWriteCursor_))
+            if (!ports_.memPort->writeLine(builtinWriteCursor_)) {
+                builtinWriteBlocked_ = true;
                 return;
+            }
+            builtinWriteBlocked_ = false;
             builtinWriteCursor_ += lineBytes;
             --builtinLinesLeft_;
             --budget;
         }
         if (builtinLinesLeft_ > 0)
             return;
+        builtinWriteBlocked_ = false;
         phase_ = Phase::Finish;
         return;
       }
@@ -196,6 +274,12 @@ TaskUnit::tick(Tick now)
         queueMsg(PktKind::TaskComplete,
                  CompleteMsg{cur_.uid, ports_.laneIndex}, 1);
         ++tasksRun_;
+        if (trace::on()) {
+            auto* t = trace::active();
+            t->end(t->track(name()));
+            t->counter(name().c_str(), "queueDepth",
+                       static_cast<double>(inbox_.size()));
+        }
         phase_ = Phase::Idle;
         return;
     }
@@ -217,6 +301,7 @@ TaskUnit::reportStats(StatSet& stats) const
               static_cast<double>(waitFillCycles_));
     stats.set(name() + ".configWaitCycles",
               static_cast<double>(configWaitCycles_));
+    buckets_.report(stats, name());
 }
 
 } // namespace ts

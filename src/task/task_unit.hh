@@ -20,6 +20,7 @@
 #include "stream/write_engine.hh"
 #include "task/messages.hh"
 #include "task/shared_landing.hh"
+#include "trace/accounting.hh"
 
 namespace ts
 {
@@ -63,6 +64,9 @@ class TaskUnit : public Ticked
     /** Cycles this lane spent with a task in flight. */
     std::uint64_t busyCycles() const { return busyCycles_; }
 
+    /** Top-down cycle accounting (buckets sum to cycles ticked). */
+    const CycleBuckets& cycleBuckets() const { return buckets_; }
+
     /** Current queue depth (including the running task). */
     std::size_t queueDepth() const
     {
@@ -87,6 +91,8 @@ class TaskUnit : public Ticked
     void queueMsg(PktKind kind, std::any payload,
                   std::uint32_t sizeWords);
     bool dfgExecutionDone() const;
+    CycleClass classify(bool fabricProgressed) const;
+    void accountCycle();
 
     const TaskTypeRegistry& registry_;
     TaskUnitPorts ports_;
@@ -104,6 +110,12 @@ class TaskUnit : public Ticked
     std::uint64_t busyCycles_ = 0;
     std::uint64_t waitFillCycles_ = 0;
     std::uint64_t configWaitCycles_ = 0;
+
+    CycleBuckets buckets_;
+    std::uint64_t lastFirings_ = 0;
+    CycleClass lastClass_ = CycleClass::Idle;
+    bool stateSpanOpen_ = false;
+    bool builtinWriteBlocked_ = false;
 };
 
 } // namespace ts

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Top-down cycle accounting: every lane cycle is attributed to
+ * exactly one bucket, so per-lane buckets always sum to total cycles
+ * and "where did the time go" has a first-order answer.
+ *
+ * The classification is hierarchical (top-down): a cycle with a task
+ * in flight is *busy* only if execution is not blocked; blocked
+ * cycles are attributed to the dominant blocker — outstanding memory
+ * (DRAM fills, multicast landing waits, write-line back-pressure)
+ * before network (pipe-chunk back-pressure, upstream pipe starvation,
+ * outgoing control messages) — and lanes with no task at all are
+ * *idle*.
+ */
+
+#ifndef TS_TRACE_ACCOUNTING_HH
+#define TS_TRACE_ACCOUNTING_HH
+
+#include <array>
+#include <cstdint>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace ts
+{
+
+/** Exclusive per-cycle lane states, in attribution priority order. */
+enum class CycleClass : std::uint8_t
+{
+    Busy,    ///< executing: fabric/engines making forward progress
+    MemWait, ///< blocked on memory (fills, fetches, write drains)
+    NocWait, ///< blocked on the network (pipes, message injection)
+    Idle,    ///< no task queued or in flight
+};
+
+constexpr std::size_t kNumCycleClasses = 4;
+
+/** Short stat-key name of a cycle class. */
+inline const char*
+cycleClassName(CycleClass c)
+{
+    switch (c) {
+      case CycleClass::Busy: return "busy";
+      case CycleClass::MemWait: return "memWait";
+      case CycleClass::NocWait: return "nocWait";
+      case CycleClass::Idle: return "idle";
+    }
+    return "?";
+}
+
+/** Per-lane cycle buckets; one counter per CycleClass. */
+struct CycleBuckets
+{
+    std::array<std::uint64_t, kNumCycleClasses> counts{};
+
+    void
+    account(CycleClass c)
+    {
+        ++counts[static_cast<std::size_t>(c)];
+    }
+
+    std::uint64_t
+    of(CycleClass c) const
+    {
+        return counts[static_cast<std::size_t>(c)];
+    }
+
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t t = 0;
+        for (const std::uint64_t c : counts)
+            t += c;
+        return t;
+    }
+
+    /** Report one stat per bucket under `<prefix>.cycles.<class>`. */
+    void
+    report(StatSet& stats, const std::string& prefix) const
+    {
+        for (std::size_t i = 0; i < kNumCycleClasses; ++i) {
+            stats.set(prefix + ".cycles." +
+                          cycleClassName(static_cast<CycleClass>(i)),
+                      static_cast<double>(counts[i]));
+        }
+    }
+};
+
+} // namespace ts
+
+#endif // TS_TRACE_ACCOUNTING_HH

@@ -1,0 +1,251 @@
+#include "trace/trace.hh"
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace ts
+{
+
+namespace trace
+{
+
+namespace detail
+{
+Tracer* gActive = nullptr;
+} // namespace detail
+
+namespace
+{
+
+/** Escape a string for inclusion in a JSON string literal. */
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char hex[8];
+                std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+                out += hex;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Tracer::Tracer(TracerConfig cfg) : cfg_(std::move(cfg))
+{
+    if (!cfg_.enabled)
+        return;
+    out_.open(cfg_.path, std::ios::out | std::ios::trunc);
+    if (!out_) {
+        warn("trace: cannot open '", cfg_.path, "'; tracing disabled");
+        return;
+    }
+    enabled_ = true;
+    buf_.reserve(1u << 16);
+    header();
+}
+
+Tracer::~Tracer()
+{
+    finish();
+    if (detail::gActive == this)
+        detail::gActive = nullptr;
+}
+
+TracerConfig
+Tracer::fromEnv()
+{
+    TracerConfig cfg;
+    const char* env = std::getenv("TS_TRACE");
+    if (env == nullptr || *env == '\0')
+        return cfg;
+
+    cfg.enabled = true;
+    std::string path = env;
+
+    // One process may run many accelerator instances (the benches);
+    // suffix each instance after the first so traces coexist.
+    static unsigned instance = 0;
+    const unsigned idx = instance++;
+    if (idx > 0) {
+        const std::size_t dot = path.rfind('.');
+        const std::string tag = "." + std::to_string(idx);
+        if (dot == std::string::npos || dot == 0)
+            path += tag;
+        else
+            path.insert(dot, tag);
+    }
+    cfg.path = path;
+    return cfg;
+}
+
+void
+Tracer::setActive(Tracer* t)
+{
+    detail::gActive = (t != nullptr && t->enabled()) ? t : nullptr;
+}
+
+void
+Tracer::header()
+{
+    buf_ += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+    // Process metadata: one simulated accelerator = one "process".
+    buf_ += "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+            "\"args\":{\"name\":\"" +
+            jsonEscape(cfg_.processName) + "\"}}";
+    ++events_;
+}
+
+TrackId
+Tracer::track(const std::string& name)
+{
+    auto it = tracks_.find(name);
+    if (it != tracks_.end())
+        return it->second;
+    const TrackId tid = nextTrack_++;
+    tracks_.emplace(name, tid);
+    if (enabled_ && !finished_) {
+        buf_ += ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":" +
+                std::to_string(tid) +
+                ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+                jsonEscape(name) + "\"}}";
+        buf_ += ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":" +
+                std::to_string(tid) +
+                ",\"name\":\"thread_sort_index\",\"args\":"
+                "{\"sort_index\":" +
+                std::to_string(tid) + "}}";
+        events_ += 2;
+        maybeFlush();
+    }
+    return tid;
+}
+
+void
+Tracer::emitPrefix(char ph, Tick ts, TrackId tid)
+{
+    buf_ += ",\n{\"ph\":\"";
+    buf_ += ph;
+    buf_ += "\",\"ts\":" + std::to_string(ts) +
+            ",\"pid\":1,\"tid\":" + std::to_string(tid);
+}
+
+void
+Tracer::begin(TrackId tid, const char* name, std::string args)
+{
+    if (!enabled_ || finished_)
+        return;
+    emitPrefix('B', now_, tid);
+    buf_ += ",\"name\":\"";
+    buf_ += name;
+    buf_ += '"';
+    if (!args.empty())
+        buf_ += ",\"args\":{" + args + "}";
+    buf_ += '}';
+    ++events_;
+    maybeFlush();
+}
+
+void
+Tracer::end(TrackId tid)
+{
+    if (!enabled_ || finished_)
+        return;
+    emitPrefix('E', now_, tid);
+    buf_ += '}';
+    ++events_;
+    maybeFlush();
+}
+
+void
+Tracer::complete(TrackId tid, Tick start, Tick dur, const char* name,
+                 std::string args)
+{
+    if (!enabled_ || finished_)
+        return;
+    emitPrefix('X', start, tid);
+    buf_ += ",\"dur\":" + std::to_string(dur) + ",\"name\":\"";
+    buf_ += name;
+    buf_ += '"';
+    if (!args.empty())
+        buf_ += ",\"args\":{" + args + "}";
+    buf_ += '}';
+    ++events_;
+    maybeFlush();
+}
+
+void
+Tracer::instant(TrackId tid, const char* name, std::string args)
+{
+    if (!enabled_ || finished_)
+        return;
+    emitPrefix('i', now_, tid);
+    buf_ += ",\"s\":\"t\",\"name\":\"";
+    buf_ += name;
+    buf_ += '"';
+    if (!args.empty())
+        buf_ += ",\"args\":{" + args + "}";
+    buf_ += '}';
+    ++events_;
+    maybeFlush();
+}
+
+void
+Tracer::counter(const char* name, const char* series, double value)
+{
+    if (!enabled_ || finished_)
+        return;
+    emitPrefix('C', now_, 0);
+    buf_ += ",\"name\":\"";
+    buf_ += name;
+    buf_ += "\",\"args\":{\"";
+    buf_ += series;
+    buf_ += "\":";
+    // Counters are almost always integral; print them tersely.
+    if (value == static_cast<double>(static_cast<std::int64_t>(value)))
+        buf_ += std::to_string(static_cast<std::int64_t>(value));
+    else
+        buf_ += std::to_string(value);
+    buf_ += "}}";
+    ++events_;
+    maybeFlush();
+}
+
+void
+Tracer::maybeFlush()
+{
+    if (buf_.size() >= (1u << 16)) {
+        out_ << buf_;
+        buf_.clear();
+    }
+}
+
+void
+Tracer::finish()
+{
+    if (!enabled_ || finished_)
+        return;
+    finished_ = true;
+    buf_ += "\n]}\n";
+    out_ << buf_;
+    buf_.clear();
+    out_.flush();
+    out_.close();
+}
+
+} // namespace trace
+
+} // namespace ts
