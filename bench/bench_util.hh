@@ -19,6 +19,39 @@
 namespace ts::bench
 {
 
+/**
+ * Workloads this bench process runs: the TS_WORKLOADS environment
+ * variable (comma-separated names, "all" or unset = whole suite).
+ * An unknown name fails fast with the valid names listed.  Both the
+ * registration and table-printing loops must use this same list.
+ */
+inline const std::vector<Wk>&
+suiteWorkloads()
+{
+    static const std::vector<Wk> selected = [] {
+        const char* list = std::getenv("TS_WORKLOADS");
+        return workloadsFromList(list == nullptr ? "" : list);
+    }();
+    return selected;
+}
+
+/** Suite scaling knobs: TS_SCALE (problem-size multiplier, default
+ *  1.0) and TS_SEED override the defaults — small CI runs use
+ *  TS_SCALE=0.25 without rebuilding. */
+inline SuiteParams
+suiteParams()
+{
+    SuiteParams sp;
+    if (const char* s = std::getenv("TS_SCALE")) {
+        sp.scale = std::strtod(s, nullptr);
+        if (!(sp.scale > 0))
+            fatal("TS_SCALE must be a positive number, got '", s, "'");
+    }
+    if (const char* s = std::getenv("TS_SEED"))
+        sp.seed = std::strtoull(s, nullptr, 10);
+    return sp;
+}
+
 /** Outcome of one simulated run. */
 struct RunResult
 {

@@ -60,7 +60,7 @@ std::map<Wk, std::vector<double>> gCycles;
 void
 runWorkload(benchmark::State& state, Wk w)
 {
-    SuiteParams sp;
+    const SuiteParams sp = suiteParams();
     for (auto _ : state) {
         std::vector<double> cycles;
         for (const Step& step : steps()) {
@@ -89,7 +89,9 @@ printTable()
     std::puts("");
     rule();
     std::vector<std::vector<double>> cols(allSteps.size());
-    for (const Wk w : allWorkloads()) {
+    for (const Wk w : suiteWorkloads()) {
+        if (gCycles.count(w) == 0)
+            continue; // filtered out by --benchmark_filter
         const auto& cycles = gCycles.at(w);
         std::printf("%-10s", wkName(w));
         for (std::size_t i = 0; i < cycles.size(); ++i) {
@@ -116,7 +118,7 @@ printTable()
 int
 main(int argc, char** argv)
 {
-    for (const Wk w : allWorkloads()) {
+    for (const Wk w : suiteWorkloads()) {
         benchmark::RegisterBenchmark(
             (std::string("fig2/") + wkName(w)).c_str(),
             [w](benchmark::State& s) { runWorkload(s, w); })

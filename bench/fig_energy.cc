@@ -26,7 +26,7 @@ std::map<Wk, std::pair<EnergyReport, EnergyReport>> gRows;
 void
 runWorkload(benchmark::State& state, Wk w)
 {
-    SuiteParams sp;
+    const SuiteParams sp = suiteParams();
     for (auto _ : state) {
         const RunResult st =
             runOnce(w, DeltaConfig::staticBaseline(8), sp);
@@ -51,7 +51,9 @@ printTable()
                 "delta(uJ)", "ratio", "largest static component");
     rule(78);
     std::vector<double> ratios;
-    for (const Wk w : allWorkloads()) {
+    for (const Wk w : suiteWorkloads()) {
+        if (gRows.count(w) == 0)
+            continue; // filtered out by --benchmark_filter
         const auto& [st, dy] = gRows.at(w);
         const EnergyEntry* biggest = &st.entries.front();
         for (const auto& e : st.entries) {
@@ -79,7 +81,7 @@ printTable()
 int
 main(int argc, char** argv)
 {
-    for (const Wk w : allWorkloads()) {
+    for (const Wk w : suiteWorkloads()) {
         benchmark::RegisterBenchmark(
             (std::string("fig8/") + wkName(w)).c_str(),
             [w](benchmark::State& s) { runWorkload(s, w); })

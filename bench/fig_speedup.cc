@@ -33,8 +33,7 @@ std::map<Wk, Row> gRows;
 void
 runPair(benchmark::State& state, Wk w)
 {
-    SuiteParams sp;
-    sp.scale = 1.0;
+    const SuiteParams sp = suiteParams();
     for (auto _ : state) {
         const RunResult stat =
             runOnce(w, DeltaConfig::staticBaseline(8), sp);
@@ -53,7 +52,7 @@ runPair(benchmark::State& state, Wk w)
 void
 registerAll()
 {
-    for (const Wk w : allWorkloads()) {
+    for (const Wk w : suiteWorkloads()) {
         benchmark::RegisterBenchmark(
             (std::string("fig1/") + wkName(w)).c_str(),
             [w](benchmark::State& s) { runPair(s, w); })
@@ -73,7 +72,9 @@ printTable()
                 "delta(cyc)", "speedup", "correct");
     rule();
     std::vector<double> speedups;
-    for (const Wk w : allWorkloads()) {
+    for (const Wk w : suiteWorkloads()) {
+        if (gRows.count(w) == 0)
+            continue; // filtered out by --benchmark_filter
         const Row& r = gRows.at(w);
         const double sp = r.staticCycles / r.deltaCycles;
         speedups.push_back(sp);

@@ -34,7 +34,7 @@ std::map<Wk, Row> gRows;
 Row
 characterize(Wk w)
 {
-    SuiteParams sp;
+    const SuiteParams sp = suiteParams();
     auto wl = makeWorkload(w, sp);
     Delta delta(DeltaConfig::delta(8));
     TaskGraph g;
@@ -70,7 +70,7 @@ void
 runAll(benchmark::State& state)
 {
     for (auto _ : state) {
-        for (const Wk w : allWorkloads())
+        for (const Wk w : suiteWorkloads())
             gRows[w] = characterize(w);
         state.counters["workloads"] =
             static_cast<double>(gRows.size());
@@ -87,7 +87,9 @@ printTable()
                 "tasks", "barriers", "pipelines", "groups",
                 "mean work", "CV");
     rule(78);
-    for (const Wk w : allWorkloads()) {
+    for (const Wk w : suiteWorkloads()) {
+        if (gRows.count(w) == 0)
+            continue;
         const Row& r = gRows.at(w);
         std::printf("%-10s %7zu %9zu %9zu %7zu %11.0f %7.2f\n",
                     wkName(w), r.tasks, r.barriers, r.pipelines,

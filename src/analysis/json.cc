@@ -1,0 +1,210 @@
+#include "analysis/json.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace ts
+{
+namespace analysis
+{
+
+namespace
+{
+
+class Reader
+{
+  public:
+    explicit Reader(const std::string& text) : s_(text) {}
+
+    bool
+    parse(Json& out)
+    {
+        skip();
+        if (!value(out))
+            return false;
+        skip();
+        return pos_ == s_.size();
+    }
+
+  private:
+    bool
+    value(Json& out)
+    {
+        if (pos_ >= s_.size())
+            return false;
+        switch (s_[pos_]) {
+          case '{': return object(out);
+          case '[': return array(out);
+          case '"': out.kind = Json::Kind::Str; return string(out.str);
+          case 't':
+            out.kind = Json::Kind::Bool;
+            out.b = true;
+            return literal("true");
+          case 'f':
+            out.kind = Json::Kind::Bool;
+            out.b = false;
+            return literal("false");
+          case 'n': out.kind = Json::Kind::Null; return literal("null");
+          default: return number(out);
+        }
+    }
+
+    bool
+    object(Json& out)
+    {
+        out.kind = Json::Kind::Obj;
+        ++pos_; // '{'
+        skip();
+        if (peek('}'))
+            return true;
+        for (;;) {
+            std::string key;
+            skip();
+            if (pos_ >= s_.size() || s_[pos_] != '"' || !string(key))
+                return false;
+            skip();
+            if (pos_ >= s_.size() || s_[pos_++] != ':')
+                return false;
+            skip();
+            Json v;
+            if (!value(v))
+                return false;
+            out.obj.emplace(std::move(key), std::move(v));
+            skip();
+            if (peek('}'))
+                return true;
+            if (pos_ >= s_.size() || s_[pos_++] != ',')
+                return false;
+        }
+    }
+
+    bool
+    array(Json& out)
+    {
+        out.kind = Json::Kind::Arr;
+        ++pos_; // '['
+        skip();
+        if (peek(']'))
+            return true;
+        for (;;) {
+            skip();
+            Json v;
+            if (!value(v))
+                return false;
+            out.arr.push_back(std::move(v));
+            skip();
+            if (peek(']'))
+                return true;
+            if (pos_ >= s_.size() || s_[pos_++] != ',')
+                return false;
+        }
+    }
+
+    bool
+    string(std::string& out)
+    {
+        ++pos_; // '"'
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= s_.size())
+                return false;
+            const char esc = s_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (pos_ + 4 > s_.size())
+                    return false;
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = s_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return false;
+                }
+                // ASCII round-trips; anything wider is replaced (the
+                // simulator never emits non-ASCII keys).
+                out += code < 0x80 ? static_cast<char>(code) : '?';
+                break;
+              }
+              default: return false;
+            }
+        }
+        if (pos_ >= s_.size())
+            return false;
+        ++pos_; // closing '"'
+        return true;
+    }
+
+    bool
+    number(Json& out)
+    {
+        const char* begin = s_.c_str() + pos_;
+        char* end = nullptr;
+        out.num = std::strtod(begin, &end);
+        if (end == begin)
+            return false;
+        out.kind = Json::Kind::Num;
+        pos_ += static_cast<std::size_t>(end - begin);
+        return true;
+    }
+
+    bool
+    literal(const char* lit)
+    {
+        for (const char* p = lit; *p != '\0'; ++p, ++pos_) {
+            if (pos_ >= s_.size() || s_[pos_] != *p)
+                return false;
+        }
+        return true;
+    }
+
+    void
+    skip()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    bool
+    peek(char c)
+    {
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    const std::string& s_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+bool
+parseJson(const std::string& text, Json& out)
+{
+    return Reader(text).parse(out);
+}
+
+} // namespace analysis
+} // namespace ts

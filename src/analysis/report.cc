@@ -1,0 +1,318 @@
+#include "analysis/report.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace ts
+{
+namespace analysis
+{
+
+namespace
+{
+
+/** Fixed-width number rendering: integers plain, fractions short. */
+std::string
+fmt(double v)
+{
+    std::ostringstream os;
+    if (std::floor(v) == v && std::abs(v) < 1e15)
+        os << static_cast<long long>(v);
+    else
+        os << std::fixed << std::setprecision(1) << v;
+    return os.str();
+}
+
+std::string
+pct(double frac)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(1) << frac * 100.0 << "%";
+    return os.str();
+}
+
+std::string
+bar(double frac, std::size_t width = 32)
+{
+    frac = std::clamp(frac, 0.0, 1.0);
+    const auto n =
+        static_cast<std::size_t>(std::lround(frac * width));
+    return std::string(n, '#');
+}
+
+} // namespace
+
+std::vector<std::pair<std::string, double>>
+RunStats::matchPrefix(const std::string& prefix) const
+{
+    std::vector<std::pair<std::string, double>> out;
+    for (auto it = values.lower_bound(prefix); it != values.end();
+         ++it) {
+        if (it->first.compare(0, prefix.size(), prefix) != 0)
+            break;
+        out.push_back(*it);
+    }
+    return out;
+}
+
+RunStats
+statsFromJson(const Json& doc)
+{
+    RunStats out;
+    if (!doc.isObj())
+        fatal("stats document is not a JSON object");
+
+    const Json* flat = &doc;
+    if (doc.has("stats") && doc.at("stats").isObj()) {
+        // TS_BENCH_JSON wrapper: metadata + nested stats object.
+        flat = &doc.at("stats");
+        if (doc.has("workload"))
+            out.workload = doc.at("workload").str;
+        if (doc.has("policy"))
+            out.policy = doc.at("policy").str;
+    }
+    for (const auto& [name, v] : flat->obj) {
+        if (v.isNum())
+            out.values.emplace(name, v.num);
+        else if (v.kind == Json::Kind::Bool)
+            out.values.emplace(name, v.b ? 1.0 : 0.0);
+        // null (non-finite) entries are dropped.
+    }
+    return out;
+}
+
+RunStats
+loadStats(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open stats file '", path, "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    Json doc;
+    if (!parseJson(buf.str(), doc))
+        fatal("malformed JSON in stats file '", path, "'");
+    return statsFromJson(doc);
+}
+
+std::vector<TaskTypeRow>
+slowestTaskTypes(const RunStats& s, std::size_t topk)
+{
+    std::vector<TaskTypeRow> rows;
+    for (const auto& [name, value] : s.matchPrefix("task.")) {
+        // task.<type>.serviceCycles.count anchors one row per type.
+        const std::string suffix = ".serviceCycles.count";
+        if (name.size() <= 5 + suffix.size() ||
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) != 0) {
+            continue;
+        }
+        const std::string type =
+            name.substr(5, name.size() - 5 - suffix.size());
+        const std::string base = "task." + type + ".serviceCycles.";
+        TaskTypeRow r;
+        r.type = type;
+        r.count = value;
+        r.mean = s.getOr(base + "mean");
+        r.p50 = s.getOr(base + "p50");
+        r.p95 = s.getOr(base + "p95");
+        r.p99 = s.getOr(base + "p99");
+        r.max = s.getOr(base + "max");
+        rows.push_back(std::move(r));
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const TaskTypeRow& a, const TaskTypeRow& b) {
+                  return a.p95 > b.p95;
+              });
+    if (rows.size() > topk)
+        rows.resize(topk);
+    return rows;
+}
+
+double
+speedupVs(const RunStats& run, const RunStats& baseline)
+{
+    const double mine = run.getOr("delta.cycles");
+    const double theirs = baseline.getOr("delta.cycles");
+    return mine > 0 && theirs > 0 ? theirs / mine : 0.0;
+}
+
+void
+printHeader(std::ostream& os, const RunStats& s)
+{
+    os << "delta-report";
+    if (!s.workload.empty())
+        os << " — workload " << s.workload;
+    if (!s.policy.empty())
+        os << " (" << s.policy << ")";
+    os << "\n";
+    os << "  cycles " << fmt(s.getOr("delta.cycles")) << ", lanes "
+       << fmt(s.getOr("delta.lanes")) << ", imbalance "
+       << std::fixed << std::setprecision(2)
+       << s.getOr("delta.imbalance", 1.0) << "\n\n";
+}
+
+void
+printWaterfall(std::ostream& os, const RunStats& s)
+{
+    static const char* const classes[] = {"busy", "memWait", "nocWait",
+                                          "idle"};
+    if (!s.has("delta.accounting.busy"))
+        return;
+    const double laneCycles =
+        s.getOr("delta.cycles") * s.getOr("delta.lanes");
+    os << "Cycle accounting (" << fmt(s.getOr("delta.lanes"))
+       << " lanes x " << fmt(s.getOr("delta.cycles"))
+       << " cycles = " << fmt(laneCycles) << " lane-cycles):\n";
+    for (const char* cls : classes) {
+        const double v =
+            s.getOr(std::string("delta.accounting.") + cls);
+        const double f =
+            s.getOr(std::string("delta.accounting.frac.") + cls,
+                    laneCycles > 0 ? v / laneCycles : 0.0);
+        os << "  " << std::left << std::setw(8) << cls << std::right
+           << std::setw(12) << fmt(v) << "  " << std::setw(6)
+           << pct(f) << "  " << bar(f) << "\n";
+    }
+    os << "\n";
+}
+
+void
+printAttribution(std::ostream& os, const RunStats& s)
+{
+    if (!s.has("delta.attrib.loadbalance.imbalanceCyclesAvoided"))
+        return;
+    os << "Mechanism attribution:\n";
+    os << "  loadbalance  imbalance avoided  "
+       << fmt(s.getOr(
+              "delta.attrib.loadbalance.imbalanceCyclesAvoided"))
+       << " cycles (shadow-static max service "
+       << fmt(s.getOr(
+              "delta.attrib.loadbalance.shadowStaticMaxService"))
+       << " vs "
+       << fmt(s.getOr("delta.attrib.loadbalance.actualMaxService"))
+       << " actual)\n";
+    os << "  pipeline     overlap recovered  "
+       << fmt(s.getOr("delta.attrib.pipeline.overlapCycles"))
+       << " cycles ("
+       << fmt(s.getOr("delta.attrib.pipeline.pipesActivated"))
+       << " pipes activated, "
+       << fmt(s.getOr("delta.attrib.pipeline.pipesDegraded"))
+       << " degraded)\n";
+    os << "  multicast    DRAM lines saved   "
+       << fmt(s.getOr("delta.attrib.multicast.dramLinesSaved"))
+       << " (" << fmt(s.getOr("delta.attrib.multicast.dramBytesSaved"))
+       << " bytes), word-hops saved "
+       << fmt(s.getOr("delta.attrib.multicast.wordHopsSaved"))
+       << " across " << fmt(s.getOr("delta.attrib.multicast.packets"))
+       << " multicast packets\n\n";
+}
+
+void
+printCritPath(std::ostream& os, const RunStats& s)
+{
+    if (!s.has("delta.critpath.boundCycles"))
+        return;
+    const double cycles = s.getOr("delta.cycles");
+    const double bound = s.getOr("delta.critpath.boundCycles");
+    os << "Critical path (dependence-weighted, measured spans):\n";
+    os << "  critical path  " << fmt(s.getOr("delta.critpath.cycles"))
+       << " cycles over " << fmt(s.getOr("delta.critpath.pathTasks"))
+       << " tasks\n";
+    os << "  serial work    "
+       << fmt(s.getOr("delta.critpath.serialCycles")) << " cycles\n";
+    os << "  lower bound    " << fmt(bound)
+       << " cycles (max of path, serial/lanes)\n";
+    os << "  achieved       " << fmt(cycles) << " cycles -> "
+       << pct(cycles > 0 ? bound / cycles : 0.0)
+       << " of bound utilization\n\n";
+}
+
+void
+printTaskTypes(std::ostream& os, const RunStats& s, std::size_t topk)
+{
+    const std::vector<TaskTypeRow> rows = slowestTaskTypes(s, topk);
+    if (rows.empty())
+        return;
+    os << "Slowest task types (by p95 service cycles):\n";
+    os << "  " << std::left << std::setw(16) << "type" << std::right
+       << std::setw(8) << "count" << std::setw(10) << "mean"
+       << std::setw(10) << "p50" << std::setw(10) << "p95"
+       << std::setw(10) << "p99" << std::setw(10) << "max" << "\n";
+    for (const TaskTypeRow& r : rows) {
+        os << "  " << std::left << std::setw(16) << r.type
+           << std::right << std::setw(8) << fmt(r.count)
+           << std::setw(10) << fmt(r.mean) << std::setw(10)
+           << fmt(r.p50) << std::setw(10) << fmt(r.p95)
+           << std::setw(10) << fmt(r.p99) << std::setw(10)
+           << fmt(r.max) << "\n";
+    }
+    os << "\n";
+}
+
+void
+printTraceSummary(std::ostream& os, const Json& trace)
+{
+    // Perfetto/chrome trace: {"traceEvents": [...]} or a bare array.
+    const Json* events = nullptr;
+    if (trace.isObj() && trace.has("traceEvents") &&
+        trace.at("traceEvents").isArr()) {
+        events = &trace.at("traceEvents");
+    } else if (trace.isArr()) {
+        events = &trace;
+    }
+    if (events == nullptr) {
+        os << "Trace: unrecognized format\n\n";
+        return;
+    }
+    std::map<std::string, std::size_t> perTrack;
+    for (const Json& e : events->arr) {
+        if (e.isObj() && e.has("name") &&
+            e.at("name").kind == Json::Kind::Str) {
+            ++perTrack[e.at("name").str];
+        }
+    }
+    os << "Trace: " << events->arr.size() << " events, "
+       << perTrack.size() << " distinct names; busiest:\n";
+    std::vector<std::pair<std::string, std::size_t>> tracks(
+        perTrack.begin(), perTrack.end());
+    std::sort(tracks.begin(), tracks.end(),
+              [](const auto& a, const auto& b) {
+                  return a.second > b.second;
+              });
+    for (std::size_t i = 0; i < tracks.size() && i < 5; ++i) {
+        os << "  " << std::left << std::setw(24) << tracks[i].first
+           << std::right << std::setw(10) << tracks[i].second
+           << " events\n";
+    }
+    os << "\n";
+}
+
+void
+printReport(std::ostream& os, const RunStats& s,
+            const ReportOptions& opt)
+{
+    printHeader(os, s);
+    printWaterfall(os, s);
+    printAttribution(os, s);
+    printCritPath(os, s);
+    printTaskTypes(os, s, opt.topk);
+    if (opt.baseline != nullptr) {
+        const double x = speedupVs(s, *opt.baseline);
+        os << "Speedup vs baseline: " << std::fixed
+           << std::setprecision(2) << x << "x ("
+           << fmt(s.getOr("delta.cycles")) << " vs "
+           << fmt(opt.baseline->getOr("delta.cycles"))
+           << " cycles)\n\n";
+    }
+    if (opt.trace != nullptr)
+        printTraceSummary(os, *opt.trace);
+}
+
+} // namespace analysis
+} // namespace ts

@@ -1,6 +1,7 @@
 #include "mem/main_memory.hh"
 
 #include "sim/logging.hh"
+#include "sim/stats.hh"
 #include "trace/trace.hh"
 
 namespace ts
@@ -50,6 +51,8 @@ MainMemory::tick(Tick now)
         }
         bankFreeAt_[bank] = now + cfg_.bankOccupancy;
         ++issued;
+        statSample("dram.queueWait",
+                   static_cast<double>(now - it->enqueuedAt));
         if (trace::on()) {
             auto* t = trace::active();
             if (now > it->enqueuedAt) {

@@ -1,6 +1,7 @@
 #include "noc/noc.hh"
 
 #include "sim/logging.hh"
+#include "sim/stats.hh"
 #include "trace/trace.hh"
 
 namespace ts
@@ -134,6 +135,16 @@ class NocRouter : public Ticked
             TS_ASSERT(ok);
             if (d == LocalPort) {
                 ++noc_.delivered_;
+                if (head.mcast)
+                    ++noc_.mcastDeliveries_;
+                if (statsOn()) {
+                    const auto lat =
+                        static_cast<double>(now - head.injectedAt);
+                    statSample("noc.pktLatency", lat);
+                    statSample(std::string("noc.pktLatency.") +
+                                   pktKindName(head.kind),
+                               lat);
+                }
                 if (trace::on()) {
                     trace::active()->counter(
                         "noc.traffic", "delivered",
@@ -145,6 +156,8 @@ class NocRouter : public Ticked
                                               noc_.cfg_.linkWords));
                 linkFreeAt_[d] = now + ser;
                 noc_.wordHops_ += head.sizeWords;
+                if (head.mcast)
+                    noc_.mcastWordHops_ += head.sizeWords;
             }
         }
     }
@@ -155,7 +168,7 @@ class NocRouter : public Ticked
     std::array<Tick, NumDirs> linkFreeAt_;
 };
 
-Noc::Noc(Simulator& sim, const NocConfig& cfg) : cfg_(cfg)
+Noc::Noc(Simulator& sim, const NocConfig& cfg) : sim_(sim), cfg_(cfg)
 {
     const std::uint32_t n = numNodes();
     if (n == 0 || n > 64)
@@ -218,9 +231,28 @@ Noc::inject(Packet pkt)
     const std::uint64_t dstMask = pkt.dstMask;
     const std::uint32_t words = pkt.sizeWords;
     const PktKind kind = pkt.kind;
+    pkt.injectedAt = sim_.now();
+    pkt.mcast = __builtin_popcountll(dstMask) > 1;
+    const bool mcast = pkt.mcast;
     if (!injectCh_[pkt.src]->push(std::move(pkt)))
         return false;
     ++injected_;
+    if (mcast) {
+        ++mcastPackets_;
+        // What this fanout would cost as one unicast per member:
+        // the tree's actual word-hops accumulate in mcastWordHops_
+        // as branches traverse links, and the difference is the
+        // traffic the multicast mechanism saved.
+        std::uint64_t rest = dstMask;
+        while (rest != 0) {
+            const auto dst =
+                static_cast<std::uint32_t>(__builtin_ctzll(rest));
+            rest &= rest - 1;
+            mcastUnicastEquivWordHops_ +=
+                static_cast<std::uint64_t>(hopDistance(src, dst)) *
+                words;
+        }
+    }
     if (trace::on()) {
         auto* t = trace::active();
         t->instant(t->track("noc.inject"), pktKindName(kind),
@@ -254,6 +286,13 @@ Noc::reportStats(StatSet& stats) const
     stats.set("noc.wordHops", static_cast<double>(wordHops_));
     stats.set("noc.delivered", static_cast<double>(delivered_));
     stats.set("noc.injected", static_cast<double>(injected_));
+    stats.set("noc.mcast.packets", static_cast<double>(mcastPackets_));
+    stats.set("noc.mcast.deliveries",
+              static_cast<double>(mcastDeliveries_));
+    stats.set("noc.mcast.wordHops",
+              static_cast<double>(mcastWordHops_));
+    stats.set("noc.mcast.unicastEquivWordHops",
+              static_cast<double>(mcastUnicastEquivWordHops_));
 }
 
 } // namespace ts

@@ -62,6 +62,22 @@ class Noc
     /** Total packets delivered to local ports. */
     std::uint64_t delivered() const { return delivered_; }
 
+    /** Word-hops traversed by multicast (fanout > 1) packets. */
+    std::uint64_t mcastWordHops() const { return mcastWordHops_; }
+
+    /** Word-hops the same multicast traffic would have cost as one
+     *  unicast packet per destination (sum of Manhattan distances
+     *  times payload size, accumulated at injection). */
+    std::uint64_t
+    mcastUnicastEquivWordHops() const
+    {
+        return mcastUnicastEquivWordHops_;
+    }
+
+    /** Multicast packets injected / local deliveries they produced. */
+    std::uint64_t mcastPackets() const { return mcastPackets_; }
+    std::uint64_t mcastDeliveries() const { return mcastDeliveries_; }
+
     /** Report traffic statistics. */
     void reportStats(StatSet& stats) const;
 
@@ -71,6 +87,7 @@ class Noc
   private:
     friend class NocRouter;
 
+    Simulator& sim_;
     NocConfig cfg_;
     std::vector<std::unique_ptr<class NocRouter>> routers_;
     std::vector<Channel<Packet>*> injectCh_;
@@ -79,6 +96,10 @@ class Noc
     std::uint64_t wordHops_ = 0;
     std::uint64_t delivered_ = 0;
     std::uint64_t injected_ = 0;
+    std::uint64_t mcastWordHops_ = 0;
+    std::uint64_t mcastUnicastEquivWordHops_ = 0;
+    std::uint64_t mcastPackets_ = 0;
+    std::uint64_t mcastDeliveries_ = 0;
 };
 
 } // namespace ts

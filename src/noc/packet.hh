@@ -63,6 +63,14 @@ struct Packet
      *  the current hop (wormhole serialization). */
     Tick notBefore = 0;
 
+    /** Cycle the packet entered the network (latency statistics). */
+    Tick injectedAt = 0;
+
+    /** Whether the packet was injected with >1 destination; copies
+     *  made at tree splits inherit the flag so multicast traffic can
+     *  be attributed separately from unicast. */
+    bool mcast = false;
+
     /** Convenience: unicast destination mask. */
     static std::uint64_t
     unicast(std::uint32_t node)

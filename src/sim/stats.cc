@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <iomanip>
 #include <limits>
 
@@ -9,6 +10,66 @@
 
 namespace ts
 {
+
+namespace
+{
+
+StatSet* gActiveStats = nullptr;
+
+std::vector<double>
+log2Bounds()
+{
+    // 0, 1, 2, 4, ... 2^46: covers cycle-valued samples of any
+    // realistic run with <2x relative bucket error.
+    std::vector<double> b;
+    b.push_back(0.0);
+    for (int e = 0; e <= 46; ++e)
+        b.push_back(static_cast<double>(std::uint64_t{1} << e));
+    return b;
+}
+
+} // namespace
+
+StatSet*
+StatSet::active()
+{
+    return gActiveStats;
+}
+
+void
+StatSet::setActive(StatSet* s)
+{
+    gActiveStats = s;
+}
+
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
 
 void
 StatSet::set(const std::string& name, double value)
@@ -22,15 +83,58 @@ StatSet::add(const std::string& name, double value)
     values_[name] += value;
 }
 
+void
+StatSet::sample(const std::string& name, double value)
+{
+    hists_[name].sample(value);
+    histsDirty_ = true;
+}
+
+const Histogram*
+StatSet::histogram(const std::string& name) const
+{
+    auto it = hists_.find(name);
+    return it == hists_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string>
+StatSet::histogramNames() const
+{
+    std::vector<std::string> out;
+    out.reserve(hists_.size());
+    for (const auto& [name, h] : hists_)
+        out.push_back(name);
+    return out;
+}
+
+void
+StatSet::sync() const
+{
+    if (!histsDirty_)
+        return;
+    for (const auto& [name, h] : hists_) {
+        values_[name + ".count"] = static_cast<double>(h.count());
+        values_[name + ".mean"] = h.mean();
+        values_[name + ".min"] = h.min();
+        values_[name + ".max"] = h.max();
+        values_[name + ".p50"] = h.percentile(0.50);
+        values_[name + ".p95"] = h.percentile(0.95);
+        values_[name + ".p99"] = h.percentile(0.99);
+    }
+    histsDirty_ = false;
+}
+
 bool
 StatSet::has(const std::string& name) const
 {
+    sync();
     return values_.count(name) != 0;
 }
 
 double
 StatSet::get(const std::string& name) const
 {
+    sync();
     auto it = values_.find(name);
     if (it == values_.end())
         fatal("unknown statistic '", name, "'");
@@ -40,6 +144,7 @@ StatSet::get(const std::string& name) const
 double
 StatSet::getOr(const std::string& name, double fallback) const
 {
+    sync();
     auto it = values_.find(name);
     return it == values_.end() ? fallback : it->second;
 }
@@ -47,6 +152,7 @@ StatSet::getOr(const std::string& name, double fallback) const
 double
 StatSet::sumPrefix(const std::string& prefix) const
 {
+    sync();
     double sum = 0.0;
     for (auto it = values_.lower_bound(prefix); it != values_.end(); ++it) {
         if (it->first.compare(0, prefix.size(), prefix) != 0)
@@ -59,6 +165,7 @@ StatSet::sumPrefix(const std::string& prefix) const
 std::vector<std::pair<std::string, double>>
 StatSet::matchPrefix(const std::string& prefix) const
 {
+    sync();
     std::vector<std::pair<std::string, double>> out;
     for (auto it = values_.lower_bound(prefix); it != values_.end(); ++it) {
         if (it->first.compare(0, prefix.size(), prefix) != 0)
@@ -68,9 +175,17 @@ StatSet::matchPrefix(const std::string& prefix) const
     return out;
 }
 
+std::size_t
+StatSet::size() const
+{
+    sync();
+    return values_.size();
+}
+
 void
 StatSet::dump(std::ostream& os) const
 {
+    sync();
     for (const auto& [name, value] : values_)
         os << std::left << std::setw(48) << name << " " << value << "\n";
 }
@@ -78,12 +193,14 @@ StatSet::dump(std::ostream& os) const
 void
 StatSet::dumpJson(std::ostream& os) const
 {
+    sync();
     os << "{";
     bool first = true;
     const auto precision = os.precision();
     os << std::setprecision(std::numeric_limits<double>::max_digits10);
     for (const auto& [name, value] : values_) {
-        os << (first ? "\n" : ",\n") << "  \"" << name << "\": ";
+        os << (first ? "\n" : ",\n") << "  \"" << jsonEscape(name)
+           << "\": ";
         // NaN/inf are not valid JSON numbers; emit null instead.
         if (std::isfinite(value))
             os << value;
@@ -93,6 +210,8 @@ StatSet::dumpJson(std::ostream& os) const
     }
     os << "\n}\n" << std::setprecision(static_cast<int>(precision));
 }
+
+Histogram::Histogram() : Histogram(log2Bounds()) {}
 
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1, 0)
@@ -107,6 +226,10 @@ Histogram::sample(double v)
     while (i < bounds_.size() && v > bounds_[i])
         ++i;
     ++buckets_[i];
+    if (count_ == 0)
+        min_ = v;
+    else
+        min_ = std::min(min_, v);
     ++count_;
     sum_ += v;
     max_ = std::max(max_, v);
@@ -118,16 +241,52 @@ Histogram::mean() const
     return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }
 
+double
+Histogram::percentile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * static_cast<double>(count_);
+    double cum = 0.0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        const double next = cum + static_cast<double>(buckets_[i]);
+        if (next >= target) {
+            const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+            const double hi =
+                i < bounds_.size() ? bounds_[i] : max_;
+            const double frac =
+                (target - cum) / static_cast<double>(buckets_[i]);
+            const double v = lo + frac * (hi - lo);
+            return std::clamp(v, min_, max_);
+        }
+        cum = next;
+    }
+    return max_;
+}
+
 void
 Histogram::report(StatSet& stats, const std::string& prefix) const
 {
-    stats.set(prefix + ".count", static_cast<double>(count_));
-    stats.set(prefix + ".mean", mean());
-    stats.set(prefix + ".max", max_);
+    reportSummary(stats, prefix);
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
         stats.set(prefix + ".bucket" + std::to_string(i),
                   static_cast<double>(buckets_[i]));
     }
+}
+
+void
+Histogram::reportSummary(StatSet& stats, const std::string& prefix) const
+{
+    stats.set(prefix + ".count", static_cast<double>(count_));
+    stats.set(prefix + ".mean", mean());
+    stats.set(prefix + ".min", min());
+    stats.set(prefix + ".max", max_);
+    stats.set(prefix + ".p50", percentile(0.50));
+    stats.set(prefix + ".p95", percentile(0.95));
+    stats.set(prefix + ".p99", percentile(0.99));
 }
 
 } // namespace ts

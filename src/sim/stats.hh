@@ -4,6 +4,17 @@
  *
  * Components own plain counters and report them into a StatSet, a
  * hierarchical name -> value map that experiments query and dump.
+ *
+ * Beyond scalar counters, a StatSet collects *distributions*: call
+ * sample(name, v) repeatedly and the set maintains a log-bucketed
+ * Histogram per name, surfacing derived statistics (count, mean, min,
+ * max, p50, p95, p99) as ordinary dotted-path values so dumps, JSON
+ * output, and prefix queries see them transparently.
+ *
+ * During a simulation run one StatSet may be made *active* (see
+ * StatSet::setActive), mirroring the tracer's activation model; probe
+ * sites then call statSample() without plumbing a StatSet reference
+ * through every component.
  */
 
 #ifndef TS_SIM_STATS_HH
@@ -18,6 +29,68 @@
 namespace ts
 {
 
+class StatSet;
+
+/**
+ * A bucketed histogram for distribution-style statistics (e.g.
+ * per-task latencies, packet latencies).  Default-constructed
+ * histograms use logarithmic (power-of-two) buckets, which cover the
+ * full dynamic range of cycle-valued samples with bounded error;
+ * explicit bucket boundaries remain available for fixed-range uses.
+ */
+class Histogram
+{
+  public:
+    /** Log-bucketed histogram: boundaries 0, 1, 2, 4, ... 2^46. */
+    Histogram();
+
+    /** Create with the given bucket boundaries (ascending). */
+    explicit Histogram(std::vector<double> bounds);
+
+    /** Record one sample. */
+    void sample(double v);
+
+    /** Number of samples recorded so far. */
+    std::uint64_t count() const { return count_; }
+
+    /** Mean of all samples. */
+    double mean() const;
+
+    /** Smallest sample seen (0 when empty). */
+    double min() const { return count_ == 0 ? 0.0 : min_; }
+
+    /** Largest sample seen (0 when empty). */
+    double max() const { return max_; }
+
+    /**
+     * Approximate quantile @p q in [0, 1], interpolated linearly
+     * within the containing bucket and clamped to [min, max].  With
+     * log buckets the relative error is bounded by the bucket ratio.
+     */
+    double percentile(double q) const;
+
+    /** Count in bucket i (the final bucket is overflow). */
+    std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+
+    /** Number of buckets, including the overflow bucket. */
+    std::size_t numBuckets() const { return buckets_.size(); }
+
+    /** Report buckets and moments into a StatSet under a prefix. */
+    void report(StatSet& stats, const std::string& prefix) const;
+
+    /** Report only derived statistics (count/mean/min/max/p50/p95/
+     *  p99), not raw buckets, under a prefix. */
+    void reportSummary(StatSet& stats, const std::string& prefix) const;
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
 /** A flat, ordered collection of named statistic values. */
 class StatSet
 {
@@ -27,6 +100,19 @@ class StatSet
 
     /** Add to a statistic, creating it at zero if absent. */
     void add(const std::string& name, double value);
+
+    /**
+     * Record one sample of the distribution @p name (log-bucketed).
+     * Derived statistics appear as `<name>.count`, `.mean`, `.min`,
+     * `.max`, `.p50`, `.p95`, `.p99` in every read/dump.
+     */
+    void sample(const std::string& name, double value);
+
+    /** The histogram behind a sampled distribution, or nullptr. */
+    const Histogram* histogram(const std::string& name) const;
+
+    /** All sampled distribution names, sorted. */
+    std::vector<std::string> histogramNames() const;
 
     /** Whether a statistic with this exact name exists. */
     bool has(const std::string& name) const;
@@ -48,57 +134,60 @@ class StatSet
     void dump(std::ostream& os) const;
 
     /** Write every statistic as one flat JSON object (dotted-path
-     *  keys), full double precision, sorted by name. */
+     *  keys, escaped), full double precision, sorted by name.
+     *  Non-finite values serialize as null. */
     void dumpJson(std::ostream& os) const;
 
     /** Remove all statistics. */
-    void clear() { values_.clear(); }
+    void
+    clear()
+    {
+        values_.clear();
+        hists_.clear();
+        histsDirty_ = false;
+    }
 
-    /** Number of statistics recorded. */
-    std::size_t size() const { return values_.size(); }
+    /** Number of statistics recorded (including derived ones). */
+    std::size_t size() const;
+
+    /**
+     * The StatSet receiving statSample() probes, or nullptr.  At most
+     * one run collects samples at a time (the simulator is
+     * single-threaded); Delta::run activates its result set for the
+     * duration of the simulation.
+     */
+    static StatSet* active();
+
+    /** Make @p s the sampling sink (nullptr deactivates). */
+    static void setActive(StatSet* s);
 
   private:
-    std::map<std::string, double> values_;
+    /** Materialize derived histogram statistics into values_. */
+    void sync() const;
+
+    mutable std::map<std::string, double> values_;
+    std::map<std::string, Histogram> hists_;
+    mutable bool histsDirty_ = false;
 };
 
-/**
- * A fixed-bucket histogram for distribution-style statistics
- * (e.g. per-lane busy cycles, packet latencies).
- */
-class Histogram
+/** Escape a string for use inside a JSON string literal. */
+std::string jsonEscape(const std::string& s);
+
+/** Sample into the active run StatSet, if any (probe-site helper). */
+inline void
+statSample(const std::string& name, double value)
 {
-  public:
-    /** Create with the given bucket boundaries (ascending). */
-    explicit Histogram(std::vector<double> bounds);
+    if (StatSet* s = StatSet::active())
+        s->sample(name, value);
+}
 
-    /** Record one sample. */
-    void sample(double v);
-
-    /** Number of samples recorded so far. */
-    std::uint64_t count() const { return count_; }
-
-    /** Mean of all samples. */
-    double mean() const;
-
-    /** Largest sample seen (0 when empty). */
-    double max() const { return max_; }
-
-    /** Count in bucket i (the final bucket is overflow). */
-    std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
-
-    /** Number of buckets, including the overflow bucket. */
-    std::size_t numBuckets() const { return buckets_.size(); }
-
-    /** Report buckets and moments into a StatSet under a prefix. */
-    void report(StatSet& stats, const std::string& prefix) const;
-
-  private:
-    std::vector<double> bounds_;
-    std::vector<std::uint64_t> buckets_;
-    std::uint64_t count_ = 0;
-    double sum_ = 0.0;
-    double max_ = 0.0;
-};
+/** Whether a run StatSet is collecting samples (guard for probe
+ *  sites whose key construction is not free). */
+inline bool
+statsOn()
+{
+    return StatSet::active() != nullptr;
+}
 
 } // namespace ts
 

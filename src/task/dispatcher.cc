@@ -8,6 +8,7 @@
 #include "mem/request.hh"
 
 #include "sim/logging.hh"
+#include "sim/stats.hh"
 #include "trace/trace.hh"
 
 namespace ts
@@ -47,6 +48,8 @@ Dispatcher::Dispatcher(Noc& noc, const MemImage& img,
     laneQueued_.assign(cfg_.laneNodes.size(), 0);
     laneWork_.assign(cfg_.laneNodes.size(), 0.0);
     laneDispatched_.assign(cfg_.laneNodes.size(), 0);
+    actualService_.assign(cfg_.laneNodes.size(), 0.0);
+    shadowService_.assign(cfg_.laneNodes.size(), 0.0);
 }
 
 void
@@ -101,16 +104,19 @@ Dispatcher::processInbox(Tick now)
     while (!inbox.empty()) {
         Packet pkt = inbox.pop();
         switch (pkt.kind) {
-          case PktKind::TaskStart:
-            // Informational; lanes track their own busy time.
+          case PktKind::TaskStart: {
+            const auto msg = std::any_cast<StartMsg>(pkt.payload);
+            TaskState& ts = states_.at(msg.uid);
+            ts.started = true;
+            ts.startAt = now;
             if (trace::on()) {
-                const auto msg = std::any_cast<StartMsg>(pkt.payload);
                 auto* t = trace::active();
                 t->instant(t->track(name()), "taskStart",
                            trace::args("uid", msg.uid, "lane",
                                        msg.lane));
             }
             break;
+          }
           case PktKind::TaskComplete:
             onComplete(std::any_cast<CompleteMsg>(pkt.payload), now);
             break;
@@ -126,7 +132,36 @@ Dispatcher::onComplete(const CompleteMsg& msg, Tick now)
     TaskState& ts = states_.at(msg.uid);
     TS_ASSERT(ts.dispatched && !ts.completed);
     ts.completed = true;
+    ts.endAt = now;
     ++completed_;
+
+    // Attribution: charge this task's measured service time to its
+    // actual lane and to the lane the static owner-compute baseline
+    // would have used; the difference in per-lane maxima is the
+    // imbalance the dispatch policy avoided.
+    const auto service =
+        static_cast<double>(now - (ts.started ? ts.startAt : now));
+    actualService_[msg.lane] += service;
+    shadowService_[msg.uid % cfg_.laneNodes.size()] += service;
+
+    // Overlap recovered by pipelining: consumers of this producer's
+    // activated pipes that already started executed concurrently
+    // with the producer — cycles a barrier dependence would have
+    // serialized.
+    for (std::size_t ei : ts.outEdges) {
+        const EdgeState& es = edges_[ei];
+        if (es.e.kind != DepKind::Pipeline || !es.activated)
+            continue;
+        const TaskState& cs = states_[es.e.consumer];
+        if (!cs.started)
+            continue;
+        const Tick overlapEnd =
+            cs.completed ? std::min(now, cs.endAt) : now;
+        if (overlapEnd > cs.startAt) {
+            pipeOverlapCycles_ +=
+                static_cast<double>(overlapEnd - cs.startAt);
+        }
+    }
     if (trace::on()) {
         auto* t = trace::active();
         t->instant(t->track(name()), "taskComplete",
@@ -499,6 +534,7 @@ Dispatcher::tryDispatchHead(Tick now)
         m.inputs = states_[id].inst->inputs;
         m.outputs = states_[id].inst->outputs;
         m.workEst = states_[id].workEst;
+        m.dispatchedAt = now;
         msgs.emplace(id, std::move(m));
     }
 
@@ -578,6 +614,10 @@ Dispatcher::tryDispatchHead(Tick now)
                 if (!gs.fired)
                     fireGroup(gId);
                 StreamDesc& d = mm.inputs[port];
+                // Unicast-replay cost of this member's read, had the
+                // range not been multicast into every scratchpad.
+                mcastUnicastLinesEquiv_ += divCeil<std::uint64_t>(
+                    d.elementCount(img_), lineWords);
                 d.dataSpace = Space::Spm;
                 d.dataBase = gs.landingOffset +
                              (d.dataBase - gs.g.rangeBase) / wordBytes;
@@ -591,6 +631,8 @@ Dispatcher::tryDispatchHead(Tick now)
 
     // 5. Commit: mark dispatched and queue the dispatch packets in
     // uid order (producers before consumers).
+    statSample("dispatcher.readyWait",
+               static_cast<double>(now - rs.readyAt));
     readyQ_.pop_front();
     for (TaskId id : placed) {
         auto node = msgs.extract(id);
@@ -631,6 +673,50 @@ Dispatcher::tick(Tick now)
     }
 }
 
+double
+Dispatcher::actualMaxServiceCycles() const
+{
+    double m = 0;
+    for (const double v : actualService_)
+        m = std::max(m, v);
+    return m;
+}
+
+double
+Dispatcher::shadowStaticMaxServiceCycles() const
+{
+    double m = 0;
+    for (const double v : shadowService_)
+        m = std::max(m, v);
+    return m;
+}
+
+double
+Dispatcher::imbalanceCyclesAvoided() const
+{
+    return std::max(0.0, shadowStaticMaxServiceCycles() -
+                             actualMaxServiceCycles());
+}
+
+std::vector<TaskSpan>
+Dispatcher::taskSpans() const
+{
+    std::vector<TaskSpan> out;
+    out.reserve(completed_);
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+        const TaskState& ts = states_[i];
+        if (!ts.completed)
+            continue;
+        TaskSpan s;
+        s.uid = static_cast<TaskId>(i);
+        s.start = ts.started ? ts.startAt : ts.endAt;
+        s.end = ts.endAt;
+        s.lane = ts.lane;
+        out.push_back(s);
+    }
+    return out;
+}
+
 bool
 Dispatcher::busy() const
 {
@@ -652,6 +738,16 @@ Dispatcher::reportStats(StatSet& stats) const
               static_cast<double>(fillLinesRequested_));
     stats.set("dispatcher.tasksCompleted",
               static_cast<double>(completed_));
+    stats.set("dispatcher.attrib.actualMaxService",
+              actualMaxServiceCycles());
+    stats.set("dispatcher.attrib.shadowStaticMaxService",
+              shadowStaticMaxServiceCycles());
+    stats.set("dispatcher.attrib.imbalanceCyclesAvoided",
+              imbalanceCyclesAvoided());
+    stats.set("dispatcher.attrib.pipeOverlapCycles",
+              pipeOverlapCycles_);
+    stats.set("dispatcher.attrib.mcastUnicastLinesEquiv",
+              static_cast<double>(mcastUnicastLinesEquiv_));
     for (std::size_t l = 0; l < laneDispatched_.size(); ++l) {
         stats.set("dispatcher.lane" + std::to_string(l) + ".dispatched",
                   static_cast<double>(laneDispatched_[l]));

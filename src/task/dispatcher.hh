@@ -104,6 +104,44 @@ class Dispatcher : public Ticked
         return laneWork_.at(lane);
     }
 
+    // -- Mechanism attribution (see delta.attrib.* in Delta::run) --
+
+    /** Measured per-lane service cycles under the actual assignment;
+     *  max over lanes is the compute-critical lane. */
+    double actualMaxServiceCycles() const;
+
+    /** Max per-lane service cycles under the shadow static
+     *  owner-compute assignment (lane = uid % lanes) fed with the
+     *  same measured service times. */
+    double shadowStaticMaxServiceCycles() const;
+
+    /**
+     * Cycles of load imbalance the dispatch policy avoided relative
+     * to the shadow static assignment (clamped at zero).
+     */
+    double imbalanceCyclesAvoided() const;
+
+    /** Producer/consumer execution overlap enabled by activated
+     *  pipeline edges (cycles, summed over edges). */
+    double pipeOverlapCycles() const { return pipeOverlapCycles_; }
+
+    /** DRAM lines shared-fill multicast actually requested. */
+    std::uint64_t fillLinesRequested() const
+    {
+        return fillLinesRequested_;
+    }
+
+    /** DRAM lines the same shared reads would have cost with one
+     *  unicast fetch per member (replay estimate). */
+    std::uint64_t mcastUnicastLinesEquiv() const
+    {
+        return mcastUnicastLinesEquiv_;
+    }
+
+    /** Measured execution spans of all completed tasks (for
+     *  TaskGraph::criticalPath). */
+    std::vector<TaskSpan> taskSpans() const;
+
   private:
     struct EdgeState
     {
@@ -120,6 +158,9 @@ class Dispatcher : public Ticked
         bool completed = false;
         std::int32_t lane = -1;
         Tick readyAt = 0;
+        bool started = false; ///< TaskStart seen
+        Tick startAt = 0;     ///< cycle the lane began executing
+        Tick endAt = 0;       ///< cycle TaskComplete arrived
         std::uint32_t level = 0; ///< longest path from the roots
         double workEst = 0;
         std::vector<std::size_t> inEdges;
@@ -174,6 +215,13 @@ class Dispatcher : public Ticked
     std::uint64_t groupsFired_ = 0;
     std::uint64_t groupMembersDegraded_ = 0;
     std::uint64_t fillLinesRequested_ = 0;
+
+    /** Per-lane measured service cycles: actual assignment vs. the
+     *  shadow static owner-compute assignment (attribution). */
+    std::vector<double> actualService_;
+    std::vector<double> shadowService_;
+    double pipeOverlapCycles_ = 0;
+    std::uint64_t mcastUnicastLinesEquiv_ = 0;
 };
 
 } // namespace ts

@@ -34,6 +34,10 @@ struct DispatchMsg
     std::vector<WriteDesc> outputs;   ///< resolved destinations
     double workEst = 1.0;
 
+    /** Cycle the dispatcher committed this dispatch (end-to-end task
+     *  latency statistics at the executing lane). */
+    Tick dispatchedAt = 0;
+
     /** Gate start on this group's fill completion (kNoGroup: none). */
     std::uint32_t waitGroup = kNoGroup;
 

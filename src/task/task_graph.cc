@@ -88,4 +88,53 @@ TaskGraph::validate() const
         TS_ASSERT(!g.members.empty(), "shared group with no members");
 }
 
+CritPathResult
+TaskGraph::criticalPath(const std::vector<TaskSpan>& spans) const
+{
+    CritPathResult r;
+    if (tasks_.empty())
+        return r;
+
+    // Service time per task (zero when unmeasured).
+    std::vector<Tick> service(tasks_.size(), 0);
+    for (const TaskSpan& s : spans) {
+        if (s.uid < tasks_.size())
+            service[s.uid] = s.service();
+    }
+    for (const Tick s : service)
+        r.serialCycles += s;
+
+    // Longest path ending at each task.  Edges satisfy
+    // producer < consumer, so ascending uid is a topological order;
+    // finalize each consumer only after every smaller uid.
+    std::vector<std::vector<TaskId>> preds(tasks_.size());
+    for (const DepEdge& e : edges_)
+        preds[e.consumer].push_back(e.producer);
+
+    std::vector<Tick> dist(tasks_.size(), 0);
+    std::vector<std::int64_t> pred(tasks_.size(), -1);
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+        dist[i] = service[i];
+        for (const TaskId p : preds[i]) {
+            const Tick through = dist[p] + service[i];
+            if (through > dist[i]) {
+                dist[i] = through;
+                pred[i] = p;
+            }
+        }
+    }
+
+    TaskId tail = 0;
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+        if (dist[i] > dist[tail])
+            tail = static_cast<TaskId>(i);
+    }
+    r.criticalPathCycles = dist[tail];
+
+    for (std::int64_t at = tail; at >= 0; at = pred[at])
+        r.path.push_back(static_cast<TaskId>(at));
+    std::reverse(r.path.begin(), r.path.end());
+    return r;
+}
+
 } // namespace ts

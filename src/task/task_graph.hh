@@ -16,6 +16,7 @@
 #ifndef TS_TASK_TASK_GRAPH_HH
 #define TS_TASK_TASK_GRAPH_HH
 
+#include <algorithm>
 #include <vector>
 
 #include "task/task_types.hh"
@@ -47,6 +48,45 @@ struct SharedGroup
     Addr rangeBase = 0;       ///< line-aligned byte address
     std::uint64_t words = 0;  ///< range length in words
     std::vector<TaskId> members;
+};
+
+/** Measured execution span of one task (dispatcher-recorded). */
+struct TaskSpan
+{
+    TaskId uid = 0;
+    Tick start = 0;       ///< cycle the lane began executing
+    Tick end = 0;         ///< cycle the dispatcher saw completion
+    std::int32_t lane = -1;
+
+    Tick service() const { return end >= start ? end - start : 0; }
+};
+
+/** Result of dependence-weighted critical-path analysis. */
+struct CritPathResult
+{
+    /** Longest dependence-weighted path through the measured spans
+     *  (a lower bound on any schedule of this graph on these
+     *  service times). */
+    Tick criticalPathCycles = 0;
+
+    /** Sum of all measured service times (serial execution cost). */
+    Tick serialCycles = 0;
+
+    /** Tasks on the critical path, producer-to-consumer order. */
+    std::vector<TaskId> path;
+
+    /**
+     * Lower bound on makespan for @p lanes lanes:
+     * max(critical path, serial work / lanes).
+     */
+    Tick
+    boundCycles(std::uint32_t lanes) const
+    {
+        if (lanes == 0)
+            return criticalPathCycles;
+        const Tick balanced = (serialCycles + lanes - 1) / lanes;
+        return std::max(criticalPathCycles, balanced);
+    }
 };
 
 /** Host-side container for a workload's tasks. */
@@ -94,6 +134,15 @@ class TaskGraph
 
     /** Validate structural invariants (topological ids, ranges). */
     void validate() const;
+
+    /**
+     * Dependence-weighted longest path over this graph, weighting
+     * each task by its measured service time in @p spans (indexed by
+     * uid; tasks missing a span weigh zero).  Tasks are topological
+     * by uid, so one forward sweep suffices.
+     */
+    CritPathResult
+    criticalPath(const std::vector<TaskSpan>& spans) const;
 
   private:
     std::vector<TaskInstance> tasks_;

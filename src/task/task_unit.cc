@@ -1,6 +1,7 @@
 #include "task/task_unit.hh"
 
 #include "sim/logging.hh"
+#include "sim/stats.hh"
 #include "trace/trace.hh"
 
 namespace ts
@@ -159,6 +160,7 @@ TaskUnit::tick(Tick now)
             return;
         cur_ = std::move(inbox_.front());
         inbox_.pop_front();
+        startedAt_ = now;
         ++busyCycles_;
         if (trace::on()) {
             auto* t = trace::active();
@@ -274,6 +276,13 @@ TaskUnit::tick(Tick now)
         queueMsg(PktKind::TaskComplete,
                  CompleteMsg{cur_.uid, ports_.laneIndex}, 1);
         ++tasksRun_;
+        if (statsOn()) {
+            const std::string& type = registry_.type(cur_.type).name;
+            statSample("task." + type + ".serviceCycles",
+                       static_cast<double>(now - startedAt_));
+            statSample("task." + type + ".latencyCycles",
+                       static_cast<double>(now - cur_.dispatchedAt));
+        }
         if (trace::on()) {
             auto* t = trace::active();
             t->end(t->track(name()));

@@ -102,6 +102,7 @@ class TaskUnit : public Ticked
 
     Phase phase_ = Phase::Idle;
     DispatchMsg cur_;
+    Tick startedAt_ = 0; ///< cycle cur_ was popped from the inbox
     Tick computeUntil_ = 0;
     std::uint64_t builtinLinesLeft_ = 0;
     Addr builtinWriteCursor_ = 0;

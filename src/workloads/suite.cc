@@ -40,6 +40,19 @@ wkName(Wk w)
 namespace
 {
 
+/** The valid workload names, comma-separated (error messages). */
+std::string
+validWorkloadNames()
+{
+    std::string out;
+    for (const Wk w : allWorkloads()) {
+        if (!out.empty())
+            out += ", ";
+        out += wkName(w);
+    }
+    return out;
+}
+
 /** Round up to a power of two. */
 std::uint64_t
 pow2Ceil(double v)
@@ -51,6 +64,47 @@ pow2Ceil(double v)
 }
 
 } // namespace
+
+Wk
+wkFromName(const std::string& name)
+{
+    for (const Wk w : allWorkloads()) {
+        if (name == wkName(w))
+            return w;
+    }
+    fatal("unknown workload '", name,
+          "'; valid workloads: ", validWorkloadNames());
+}
+
+std::vector<Wk>
+workloadsFromList(const std::string& list)
+{
+    if (list.empty() || list == "all")
+        return allWorkloads();
+
+    std::vector<Wk> out;
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        std::string tok = list.substr(pos, comma - pos);
+        const auto b = tok.find_first_not_of(" \t");
+        const auto e = tok.find_last_not_of(" \t");
+        tok = b == std::string::npos
+                  ? std::string{}
+                  : tok.substr(b, e - b + 1);
+        if (!tok.empty())
+            out.push_back(wkFromName(tok));
+        pos = comma + 1;
+    }
+    if (out.empty()) {
+        fatal("workload list '", list,
+              "' selects nothing; valid workloads: ",
+              validWorkloadNames());
+    }
+    return out;
+}
 
 std::unique_ptr<Workload>
 makeWorkload(Wk w, const SuiteParams& sp)

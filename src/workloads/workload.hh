@@ -61,6 +61,17 @@ const std::vector<Wk>& allWorkloads();
 /** Canonical short name. */
 const char* wkName(Wk w);
 
+/** Parse a canonical short name; fatal() on an unknown name with a
+ *  message listing every valid workload name. */
+Wk wkFromName(const std::string& name);
+
+/**
+ * Parse a comma-separated list of workload names (whitespace around
+ * entries is ignored).  Empty or "all" selects the whole suite; any
+ * unknown name is fatal() with the valid names listed.
+ */
+std::vector<Wk> workloadsFromList(const std::string& list);
+
 /** Instantiate a workload. */
 std::unique_ptr<Workload> makeWorkload(Wk w, const SuiteParams& params);
 

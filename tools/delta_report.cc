@@ -1,0 +1,131 @@
+/**
+ * @file
+ * delta-report: human-readable diagnosis of a Delta run.
+ *
+ * Ingests the flat stats JSON a run writes (TS_STATS_JSON, or a
+ * TS_BENCH_JSON per-bench file) and prints the cycle-accounting
+ * waterfall, per-mechanism speedup attribution, the critical-path
+ * bound, and the slowest task types with latency percentiles.
+ *
+ * Usage:
+ *   delta-report RUN.json [options]
+ *     --baseline FILE.json     compare against another run (speedup)
+ *     --trace TRACE.json       summarize a Perfetto trace alongside
+ *     --topk N                 task-type rows to print (default 5)
+ *     --assert-speedup-min X   exit 1 unless speedup >= X (CI gates;
+ *                              requires --baseline)
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "analysis/report.hh"
+#include "sim/logging.hh"
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char* argv0)
+{
+    std::cerr
+        << "usage: " << argv0 << " RUN.json [options]\n"
+        << "  --baseline FILE.json     compare against another run\n"
+        << "  --trace TRACE.json       summarize a Perfetto trace\n"
+        << "  --topk N                 task-type rows (default 5)\n"
+        << "  --assert-speedup-min X   exit 1 unless speedup >= X\n";
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace ts;
+    using namespace ts::analysis;
+
+    std::string runPath;
+    std::string baselinePath;
+    std::string tracePath;
+    std::size_t topk = 5;
+    double speedupMin = -1.0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--baseline") {
+            baselinePath = next();
+        } else if (arg == "--trace") {
+            tracePath = next();
+        } else if (arg == "--topk") {
+            topk = static_cast<std::size_t>(
+                std::strtoul(next().c_str(), nullptr, 10));
+        } else if (arg == "--assert-speedup-min") {
+            speedupMin = std::strtod(next().c_str(), nullptr);
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "unknown option '" << arg << "'\n";
+            usage(argv[0]);
+        } else if (runPath.empty()) {
+            runPath = arg;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (runPath.empty())
+        usage(argv[0]);
+    if (speedupMin >= 0 && baselinePath.empty()) {
+        std::cerr << "--assert-speedup-min requires --baseline\n";
+        return 2;
+    }
+
+    try {
+        const RunStats run = loadStats(runPath);
+
+        RunStats baseline;
+        Json trace;
+        ReportOptions opt;
+        opt.topk = topk;
+        if (!baselinePath.empty()) {
+            baseline = loadStats(baselinePath);
+            opt.baseline = &baseline;
+        }
+        if (!tracePath.empty()) {
+            std::ifstream in(tracePath);
+            if (!in)
+                fatal("cannot open trace file '", tracePath, "'");
+            std::ostringstream buf;
+            buf << in.rdbuf();
+            if (!parseJson(buf.str(), trace))
+                fatal("malformed JSON in trace '", tracePath, "'");
+            opt.trace = &trace;
+        }
+
+        printReport(std::cout, run, opt);
+
+        if (speedupMin >= 0) {
+            const double x = speedupVs(run, baseline);
+            if (x < speedupMin) {
+                std::cerr << "FAIL: speedup " << x
+                          << "x below required minimum " << speedupMin
+                          << "x\n";
+                return 1;
+            }
+            std::cout << "speedup gate passed: " << x
+                      << "x >= " << speedupMin << "x\n";
+        }
+    } catch (const FatalError& e) {
+        std::cerr << "delta-report: " << e.what() << "\n";
+        return 2;
+    }
+    return 0;
+}
