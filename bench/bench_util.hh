@@ -3,53 +3,70 @@
  * Shared infrastructure for the experiment benchmarks: run one
  * workload under one configuration, verify correctness, and collect
  * the statistics the paper-style tables report.
+ *
+ * All knobs come from the shared options layer (ts::driver
+ * RunOptions): call bench::init(&argc, argv) first thing in main()
+ * to consume the shared flags (--workloads, --scale, --seed,
+ * --trace, --bench-json, --log, -j; each with its TS_* environment
+ * fallback) and hand the untouched remainder to
+ * benchmark::Initialize().  No bench reads the environment itself.
  */
 
 #ifndef TS_BENCH_BENCH_UTIL_HH
 #define TS_BENCH_BENCH_UTIL_HH
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <string>
 
+#include "driver/options.hh"
 #include "workloads/workload.hh"
 
 namespace ts::bench
 {
 
+/** This process's run options.  Defaults to the environment
+ *  fallbacks until init() overwrites them with parsed flags. */
+inline driver::RunOptions&
+options()
+{
+    static driver::RunOptions opt = [] {
+        driver::RunOptions o = driver::RunOptions::fromEnv();
+        o.applyLogLevel();
+        return o;
+    }();
+    return opt;
+}
+
+/** Parse the shared flags out of argv (call before
+ *  benchmark::Initialize, which consumes the rest). */
+inline void
+init(int* argc, char** argv)
+{
+    options() = driver::parseCommandLine(*argc, argv);
+}
+
 /**
- * Workloads this bench process runs: the TS_WORKLOADS environment
- * variable (comma-separated names, "all" or unset = whole suite).
- * An unknown name fails fast with the valid names listed.  Both the
- * registration and table-printing loops must use this same list.
+ * Workloads this bench process runs (--workloads/TS_WORKLOADS,
+ * "all" or unset = whole suite; unknown names fail fast with the
+ * valid names listed).  Both the registration and table-printing
+ * loops must use this same list.
  */
 inline const std::vector<Wk>&
 suiteWorkloads()
 {
-    static const std::vector<Wk> selected = [] {
-        const char* list = std::getenv("TS_WORKLOADS");
-        return workloadsFromList(list == nullptr ? "" : list);
-    }();
-    return selected;
+    return options().workloads;
 }
 
-/** Suite scaling knobs: TS_SCALE (problem-size multiplier, default
- *  1.0) and TS_SEED override the defaults — small CI runs use
- *  TS_SCALE=0.25 without rebuilding. */
+/** Suite scaling knobs (--scale/TS_SCALE problem-size multiplier,
+ *  --seed/TS_SEED) — small CI runs use --scale 0.25 without
+ *  rebuilding. */
 inline SuiteParams
 suiteParams()
 {
-    SuiteParams sp;
-    if (const char* s = std::getenv("TS_SCALE")) {
-        sp.scale = std::strtod(s, nullptr);
-        if (!(sp.scale > 0))
-            fatal("TS_SCALE must be a positive number, got '", s, "'");
-    }
-    if (const char* s = std::getenv("TS_SEED"))
-        sp.seed = std::strtoull(s, nullptr, 10);
-    return sp;
+    return options().suiteParams();
 }
 
 /** Outcome of one simulated run. */
@@ -61,22 +78,23 @@ struct RunResult
 };
 
 /**
- * When TS_BENCH_JSON names an (existing) directory, every runOnce()
- * writes its full StatSet there as `<seq>_<workload>_<policy>.json`,
- * so figure programs emit machine-readable results alongside the
- * text tables.
+ * When --bench-json/TS_BENCH_JSON names an (existing) directory,
+ * every runOnce() writes its full StatSet there as
+ * `<seq>_<workload>_<policy>.json`, so figure programs emit
+ * machine-readable results alongside the text tables.
  */
 inline void
 emitJson(const std::string& tag, Wk w, const DeltaConfig& cfg,
          const RunResult& r)
 {
-    const char* dir = std::getenv("TS_BENCH_JSON");
-    if (dir == nullptr || *dir == '\0')
+    const std::string& dir = options().benchJsonDir;
+    if (dir.empty())
         return;
-    static int seq = 0;
-    const std::string path = std::string(dir) + "/" +
-                             std::to_string(seq++) + "_" + tag +
-                             ".json";
+    static std::atomic<int> seq{0};
+    const std::string path =
+        dir + "/" +
+        std::to_string(seq.fetch_add(1, std::memory_order_relaxed)) +
+        "_" + tag + ".json";
     std::ofstream os(path);
     if (!os) {
         warn("bench: cannot write '", path, "'");
@@ -91,12 +109,13 @@ emitJson(const std::string& tag, Wk w, const DeltaConfig& cfg,
     os << "}\n";
 }
 
-/** Build and simulate one workload under one configuration. */
+/** Build and simulate one workload under one configuration (trace
+ *  and stats outputs injected from the shared options). */
 inline RunResult
 runOnce(Wk w, const DeltaConfig& cfg, const SuiteParams& sp)
 {
     auto wl = makeWorkload(w, sp);
-    Delta delta(cfg);
+    Delta delta(options().applyTo(cfg));
     TaskGraph graph;
     wl->build(delta, graph);
     RunResult r;

@@ -10,14 +10,16 @@
  *   +pipe      pipelined inter-task dependence recovery
  *   +mcast     shared-read multicast recovery (= full Delta)
  *
- * Rows are per-workload speedups over the static baseline.
+ * Rows are per-workload speedups over the static baseline.  A thin
+ * wrapper over the sweep engine: the workloads x ablation-ladder
+ * grid runs on a host thread pool (-j N).
  */
 
-#include <benchmark/benchmark.h>
-
-#include <map>
+#include <cstdio>
+#include <iostream>
 
 #include "bench_util.hh"
+#include "driver/sweep.hh"
 
 namespace
 {
@@ -25,77 +27,38 @@ namespace
 using namespace ts;
 using namespace ts::bench;
 
-struct Step
-{
-    const char* name;
-    DeltaConfig cfg;
+/** Sweep preset name -> table column header. */
+constexpr std::pair<const char*, const char*> kSteps[] = {
+    {"static", "static"}, {"dyn", "+dyn"},     {"work", "+work"},
+    {"pipe", "+pipe"},    {"delta", "+mcast"},
 };
 
-std::vector<Step>
-steps()
-{
-    std::vector<Step> out;
-    out.push_back({"static", DeltaConfig::staticBaseline(8)});
-
-    DeltaConfig dyn = DeltaConfig::delta(8);
-    dyn.policy = SchedPolicy::DynCount;
-    dyn.enablePipeline = false;
-    dyn.enableMulticast = false;
-    out.push_back({"+dyn", dyn});
-
-    DeltaConfig work = dyn;
-    work.policy = SchedPolicy::WorkAware;
-    out.push_back({"+work", work});
-
-    DeltaConfig pipe = work;
-    pipe.enablePipeline = true;
-    out.push_back({"+pipe", pipe});
-
-    out.push_back({"+mcast", DeltaConfig::delta(8)});
-    return out;
-}
-
-std::map<Wk, std::vector<double>> gCycles;
-
 void
-runWorkload(benchmark::State& state, Wk w)
+printTable(const driver::SweepReport& report)
 {
-    const SuiteParams sp = suiteParams();
-    for (auto _ : state) {
-        std::vector<double> cycles;
-        for (const Step& step : steps()) {
-            const RunResult r = runOnce(w, step.cfg, sp);
-            if (!r.correct)
-                state.SkipWithError("incorrect result");
-            cycles.push_back(r.cycles);
-        }
-        gCycles[w] = cycles;
-        state.counters["speedup_full"] =
-            cycles.front() / cycles.back();
-    }
-}
-
-void
-printTable()
-{
-    const auto allSteps = steps();
+    const driver::RunOptions& opt = options();
     std::puts("");
     std::puts("Fig-2  Mechanism ablation: speedup over static-parallel "
               "as structures are recovered (8 lanes)");
     rule();
     std::printf("%-10s", "workload");
-    for (const Step& s : allSteps)
-        std::printf(" %8s", s.name);
+    for (const auto& [cfg, header] : kSteps)
+        std::printf(" %8s", header);
     std::puts("");
     rule();
-    std::vector<std::vector<double>> cols(allSteps.size());
-    for (const Wk w : suiteWorkloads()) {
-        if (gCycles.count(w) == 0)
-            continue; // filtered out by --benchmark_filter
-        const auto& cycles = gCycles.at(w);
+    std::vector<std::vector<double>> cols(std::size(kSteps));
+    for (const Wk w : report.spec.workloads) {
+        const driver::RunOutcome* base =
+            report.find(w, "static", opt.seed, opt.scale);
+        if (base == nullptr || !base->ok())
+            continue;
         std::printf("%-10s", wkName(w));
-        for (std::size_t i = 0; i < cycles.size(); ++i) {
-            const double sp = cycles.front() / cycles[i];
+        for (std::size_t i = 0; i < std::size(kSteps); ++i) {
+            const driver::RunOutcome* r =
+                report.find(w, kSteps[i].first, opt.seed, opt.scale);
+            const double sp = r != nullptr && r->ok() && r->cycles > 0
+                                  ? base->cycles / r->cycles
+                                  : 0.0;
             cols[i].push_back(sp);
             std::printf(" %7.2fx", sp);
         }
@@ -118,15 +81,29 @@ printTable()
 int
 main(int argc, char** argv)
 {
-    for (const Wk w : suiteWorkloads()) {
-        benchmark::RegisterBenchmark(
-            (std::string("fig2/") + wkName(w)).c_str(),
-            [w](benchmark::State& s) { runWorkload(s, w); })
-            ->Iterations(1)
-            ->Unit(benchmark::kMillisecond);
+    try {
+        const driver::RunOptions opt =
+            driver::parseCommandLine(argc, argv, /*strict=*/true);
+        bench::options() = opt;
+
+        driver::SweepSpec spec;
+        spec.workloads = opt.workloads;
+        spec.configs = driver::sweepConfigsFromList(
+            "static,dyn,work,pipe,delta");
+        spec.seeds = {opt.seed};
+        spec.scales = {opt.scale};
+        spec.baseline = "static";
+        spec.jobs = opt.jobs;
+        spec.benchJsonDir = opt.benchJsonDir;
+        spec.tracePath = opt.tracePath;
+        spec.progress = true;
+
+        const driver::SweepReport report =
+            driver::Sweep(std::move(spec)).run();
+        printTable(report);
+        return report.allOk() ? 0 : 1;
+    } catch (const ts::FatalError& e) {
+        std::cerr << "fig_ablation: " << e.what() << "\n";
+        return 2;
     }
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    printTable();
-    return 0;
 }

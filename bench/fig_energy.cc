@@ -6,14 +6,18 @@
  * also an energy story: multicast removes DRAM fetches (the dominant
  * per-event cost) and pipelining removes memory round trips.  This
  * figure breaks modeled energy down by component for both designs.
+ *
+ * A thin wrapper over the sweep engine: the workloads x
+ * {static, delta} grid runs on a host thread pool (-j N); the energy
+ * model evaluates each run's aggregated StatSet.
  */
 
-#include <benchmark/benchmark.h>
-
-#include <map>
+#include <cstdio>
+#include <iostream>
 
 #include "accel/energy_model.hh"
 #include "bench_util.hh"
+#include "driver/sweep.hh"
 
 namespace
 {
@@ -21,29 +25,10 @@ namespace
 using namespace ts;
 using namespace ts::bench;
 
-std::map<Wk, std::pair<EnergyReport, EnergyReport>> gRows;
-
 void
-runWorkload(benchmark::State& state, Wk w)
+printTable(const driver::SweepReport& report)
 {
-    const SuiteParams sp = suiteParams();
-    for (auto _ : state) {
-        const RunResult st =
-            runOnce(w, DeltaConfig::staticBaseline(8), sp);
-        const RunResult dy = runOnce(w, DeltaConfig::delta(8), sp);
-        if (!st.correct || !dy.correct)
-            state.SkipWithError("incorrect result");
-        gRows[w] = {computeEnergy(st.stats, 8),
-                    computeEnergy(dy.stats, 8)};
-        state.counters["energy_ratio"] =
-            gRows[w].first.totalNanojoules() /
-            gRows[w].second.totalNanojoules();
-    }
-}
-
-void
-printTable()
-{
+    const driver::RunOptions& opt = options();
     std::puts("");
     std::puts("Fig-8  Modeled energy (uJ), static vs Delta, 8 lanes");
     rule(78);
@@ -51,21 +36,26 @@ printTable()
                 "delta(uJ)", "ratio", "largest static component");
     rule(78);
     std::vector<double> ratios;
-    for (const Wk w : suiteWorkloads()) {
-        if (gRows.count(w) == 0)
-            continue; // filtered out by --benchmark_filter
-        const auto& [st, dy] = gRows.at(w);
-        const EnergyEntry* biggest = &st.entries.front();
-        for (const auto& e : st.entries) {
+    for (const Wk w : report.spec.workloads) {
+        const driver::RunOutcome* st =
+            report.find(w, "static", opt.seed, opt.scale);
+        const driver::RunOutcome* dy =
+            report.find(w, "delta", opt.seed, opt.scale);
+        if (st == nullptr || dy == nullptr || !st->ok() || !dy->ok())
+            continue;
+        const EnergyReport se = computeEnergy(st->stats, 8);
+        const EnergyReport de = computeEnergy(dy->stats, 8);
+        const EnergyEntry* biggest = &se.entries.front();
+        for (const auto& e : se.entries) {
             if (e.nanojoules > biggest->nanojoules)
                 biggest = &e;
         }
         const double ratio =
-            st.totalNanojoules() / dy.totalNanojoules();
+            se.totalNanojoules() / de.totalNanojoules();
         ratios.push_back(ratio);
         std::printf("%-10s %12.1f %12.1f %7.2fx   %s\n", wkName(w),
-                    st.totalNanojoules() / 1000.0,
-                    dy.totalNanojoules() / 1000.0, ratio,
+                    se.totalNanojoules() / 1000.0,
+                    de.totalNanojoules() / 1000.0, ratio,
                     biggest->name.c_str());
     }
     rule(78);
@@ -81,14 +71,28 @@ printTable()
 int
 main(int argc, char** argv)
 {
-    for (const Wk w : suiteWorkloads()) {
-        benchmark::RegisterBenchmark(
-            (std::string("fig8/") + wkName(w)).c_str(),
-            [w](benchmark::State& s) { runWorkload(s, w); })
-            ->Iterations(1);
+    try {
+        const driver::RunOptions opt =
+            driver::parseCommandLine(argc, argv, /*strict=*/true);
+        bench::options() = opt;
+
+        driver::SweepSpec spec;
+        spec.workloads = opt.workloads;
+        spec.configs = driver::sweepConfigsFromList("static,delta");
+        spec.seeds = {opt.seed};
+        spec.scales = {opt.scale};
+        spec.baseline = "static";
+        spec.jobs = opt.jobs;
+        spec.benchJsonDir = opt.benchJsonDir;
+        spec.tracePath = opt.tracePath;
+        spec.progress = true;
+
+        const driver::SweepReport report =
+            driver::Sweep(std::move(spec)).run();
+        printTable(report);
+        return report.allOk() ? 0 : 1;
+    } catch (const ts::FatalError& e) {
+        std::cerr << "fig_energy: " << e.what() << "\n";
+        return 2;
     }
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    printTable();
-    return 0;
 }

@@ -109,6 +109,7 @@ printTable()
 int
 main(int argc, char** argv)
 {
+    bench::init(&argc, argv);
     for (const auto g : kRowsPerTask) {
         benchmark::RegisterBenchmark(
             ("fig4/spmv/rpt:" + std::to_string(g)).c_str(),

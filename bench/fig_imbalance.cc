@@ -105,6 +105,7 @@ printTable()
 int
 main(int argc, char** argv)
 {
+    bench::init(&argc, argv);
     for (const Wk w : kWorkloads) {
         benchmark::RegisterBenchmark(
             (std::string("fig6/") + wkName(w)).c_str(),

@@ -107,6 +107,7 @@ printTable()
 int
 main(int argc, char** argv)
 {
+    bench::init(&argc, argv);
     for (const Wk w : kWorkloads) {
         for (const auto c : kCaps) {
             benchmark::RegisterBenchmark(

@@ -71,6 +71,7 @@ printTable()
 int
 main(int argc, char** argv)
 {
+    bench::init(&argc, argv);
     for (const Wk w : kWorkloads) {
         for (const auto lanes : kLanes) {
             benchmark::RegisterBenchmark(

@@ -4,16 +4,23 @@
  * pipelined dependences + shared-read multicast) versus the
  * equivalent static-parallel design, per workload and geomean.
  *
+ * A thin wrapper over the parallel sweep engine: the
+ * workloads x {static, delta} grid runs on a host thread pool
+ * (-j N, default hardware concurrency) and the table renders from
+ * the aggregated report.  Accepts every shared run option plus
+ * --seeds/--scales-style grids via tools/delta-sweep; per-run
+ * StatSets land in --bench-json DIR.
+ *
  * Reproduction target (from the paper's abstract): the TaskStream
  * execution model improves performance by ~2.2x over the equivalent
  * static-parallel design.
  */
 
-#include <benchmark/benchmark.h>
-
-#include <map>
+#include <cstdio>
+#include <iostream>
 
 #include "bench_util.hh"
+#include "driver/sweep.hh"
 
 namespace
 {
@@ -21,49 +28,10 @@ namespace
 using namespace ts;
 using namespace ts::bench;
 
-struct Row
-{
-    double staticCycles = 0;
-    double deltaCycles = 0;
-    bool correct = false;
-};
-
-std::map<Wk, Row> gRows;
-
 void
-runPair(benchmark::State& state, Wk w)
+printTable(const driver::SweepReport& report)
 {
-    const SuiteParams sp = suiteParams();
-    for (auto _ : state) {
-        const RunResult stat =
-            runOnce(w, DeltaConfig::staticBaseline(8), sp);
-        const RunResult dyn = runOnce(w, DeltaConfig::delta(8), sp);
-        Row row;
-        row.staticCycles = stat.cycles;
-        row.deltaCycles = dyn.cycles;
-        row.correct = stat.correct && dyn.correct;
-        gRows[w] = row;
-        state.counters["static_cycles"] = stat.cycles;
-        state.counters["delta_cycles"] = dyn.cycles;
-        state.counters["speedup"] = stat.cycles / dyn.cycles;
-    }
-}
-
-void
-registerAll()
-{
-    for (const Wk w : suiteWorkloads()) {
-        benchmark::RegisterBenchmark(
-            (std::string("fig1/") + wkName(w)).c_str(),
-            [w](benchmark::State& s) { runPair(s, w); })
-            ->Iterations(1)
-            ->Unit(benchmark::kMillisecond);
-    }
-}
-
-void
-printTable()
-{
+    const driver::RunOptions& opt = options();
     std::puts("");
     std::puts("Fig-1  Delta (TaskStream) vs equivalent static-parallel "
               "design, 8 lanes");
@@ -72,15 +40,21 @@ printTable()
                 "delta(cyc)", "speedup", "correct");
     rule();
     std::vector<double> speedups;
-    for (const Wk w : suiteWorkloads()) {
-        if (gRows.count(w) == 0)
-            continue; // filtered out by --benchmark_filter
-        const Row& r = gRows.at(w);
-        const double sp = r.staticCycles / r.deltaCycles;
+    for (const Wk w : report.spec.workloads) {
+        const driver::RunOutcome* st =
+            report.find(w, "static", opt.seed, opt.scale);
+        const driver::RunOutcome* dy =
+            report.find(w, "delta", opt.seed, opt.scale);
+        if (st == nullptr || dy == nullptr || st->failed ||
+            dy->failed)
+            continue;
+        const double sp = dy->cycles > 0
+                              ? st->cycles / dy->cycles
+                              : 0.0;
         speedups.push_back(sp);
         std::printf("%-10s %14.0f %14.0f %8.2fx %8s\n", wkName(w),
-                    r.staticCycles, r.deltaCycles, sp,
-                    r.correct ? "yes" : "NO");
+                    st->cycles, dy->cycles, sp,
+                    st->correct && dy->correct ? "yes" : "NO");
     }
     rule();
     std::printf("%-10s %14s %14s %8.2fx\n", "geomean", "", "",
@@ -93,9 +67,28 @@ printTable()
 int
 main(int argc, char** argv)
 {
-    registerAll();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    printTable();
-    return 0;
+    try {
+        const driver::RunOptions opt =
+            driver::parseCommandLine(argc, argv, /*strict=*/true);
+        bench::options() = opt;
+
+        driver::SweepSpec spec;
+        spec.workloads = opt.workloads;
+        spec.configs = driver::sweepConfigsFromList("static,delta");
+        spec.seeds = {opt.seed};
+        spec.scales = {opt.scale};
+        spec.baseline = "static";
+        spec.jobs = opt.jobs;
+        spec.benchJsonDir = opt.benchJsonDir;
+        spec.tracePath = opt.tracePath;
+        spec.progress = true;
+
+        const driver::SweepReport report =
+            driver::Sweep(std::move(spec)).run();
+        printTable(report);
+        return report.allOk() ? 0 : 1;
+    } catch (const ts::FatalError& e) {
+        std::cerr << "fig_speedup: " << e.what() << "\n";
+        return 2;
+    }
 }

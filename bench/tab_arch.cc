@@ -85,6 +85,7 @@ printTable()
 int
 main(int argc, char** argv)
 {
+    bench::init(&argc, argv);
     benchmark::RegisterBenchmark("tab1/sanity", sanity)->Iterations(1);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

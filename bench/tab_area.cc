@@ -79,6 +79,7 @@ printTable()
 int
 main(int argc, char** argv)
 {
+    bench::init(&argc, argv);
     benchmark::RegisterBenchmark("tab3/pipe_occupancy",
                                  measurePipeOccupancy)
         ->Iterations(1);

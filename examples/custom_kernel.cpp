@@ -16,14 +16,17 @@
 #include <set>
 
 #include "accel/delta.hh"
+#include "driver/options.hh"
 #include "sim/rng.hh"
 
 using namespace ts;
 
 int
-main()
+main(int argc, char** argv)
 {
-    Delta delta(DeltaConfig::delta(8));
+    const driver::RunOptions opt =
+        driver::parseCommandLineOrExit(argc, argv);
+    Delta delta(opt.applyTo(DeltaConfig::delta(8)));
     MemImage& img = delta.image();
     Rng rng(2026);
 

@@ -11,12 +11,15 @@
 
 #include <cstdio>
 
+#include "driver/options.hh"
 #include "workloads/msort.hh"
 
 using namespace ts;
 
 namespace
 {
+
+driver::RunOptions gOpt;
 
 void
 runConfig(const char* label, bool enablePipeline,
@@ -29,7 +32,7 @@ runConfig(const char* label, bool enablePipeline,
 
     DeltaConfig cfg = DeltaConfig::delta(lanes);
     cfg.enablePipeline = enablePipeline;
-    Delta delta(cfg);
+    Delta delta(gOpt.applyTo(cfg));
     TaskGraph graph;
     wl.build(delta, graph);
     const StatSet stats = delta.run(graph);
@@ -54,8 +57,9 @@ runConfig(const char* label, bool enablePipeline,
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    gOpt = driver::parseCommandLineOrExit(argc, argv);
     std::printf("Merge sort of 16384 keys (16 leaves + 15 pipelined "
                 "merge tasks)\n\n");
     runConfig("memory round trips, 8 ln", false, 8);

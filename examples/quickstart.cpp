@@ -7,20 +7,28 @@
  * checks the result.
  *
  *   $ ./build/examples/quickstart
+ *   $ ./build/examples/quickstart --trace trace.json --stats-json stats.json
  */
 
 #include <cstdio>
 
 #include "accel/delta.hh"
+#include "driver/options.hh"
 
 using namespace ts;
 
 int
-main()
+main(int argc, char** argv)
 {
+    // Shared flags (--trace, --stats-json, --log, ...), each with a
+    // TS_* environment fallback.  This is the only layer that reads
+    // the environment; Delta itself never does.
+    const driver::RunOptions opt =
+        driver::parseCommandLineOrExit(argc, argv);
+
     // 1. Build the accelerator (TaskStream configuration: work-aware
     //    balancing + pipeline recovery + shared-read multicast).
-    Delta delta(DeltaConfig::delta(8));
+    Delta delta(opt.applyTo(DeltaConfig::delta(8)));
     MemImage& img = delta.image();
 
     // 2. Describe the task body as a dataflow graph.  Every input

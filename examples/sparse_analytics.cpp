@@ -16,12 +16,15 @@
 
 #include <cstdio>
 
+#include "driver/options.hh"
 #include "workloads/spmv.hh"
 
 using namespace ts;
 
 namespace
 {
+
+driver::RunOptions gOpt;
 
 double
 runConfig(const char* label, DeltaConfig cfg)
@@ -31,7 +34,7 @@ runConfig(const char* label, DeltaConfig cfg)
     params.cols = 1024;
     SpmvWorkload wl(params);
 
-    Delta delta(cfg);
+    Delta delta(gOpt.applyTo(cfg));
     TaskGraph graph;
     wl.build(delta, graph);
     const StatSet stats = delta.run(graph);
@@ -48,8 +51,9 @@ runConfig(const char* label, DeltaConfig cfg)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    gOpt = driver::parseCommandLineOrExit(argc, argv);
     std::printf("SpMV over a 512x1024 CSR matrix with heavy-row skew, "
                 "8 lanes\n\n");
 

@@ -2,7 +2,6 @@
 
 #include <array>
 #include <cmath>
-#include <cstdlib>
 #include <fstream>
 
 #include "sim/logging.hh"
@@ -56,8 +55,7 @@ Delta::Delta(const DeltaConfig& cfg)
     if (cfg_.lanes == 0 || cfg_.lanes > 62)
         fatal("Delta supports 1..62 lanes, got ", cfg_.lanes);
 
-    tracer_ = std::make_unique<trace::Tracer>(
-        cfg_.trace.enabled ? cfg_.trace : trace::Tracer::fromEnv());
+    tracer_ = std::make_unique<trace::Tracer>(cfg_.trace);
 
     noc_ = std::make_unique<Noc>(sim_, meshFor(cfg_.lanes,
                                                cfg_.nocLinks));
@@ -244,14 +242,14 @@ Delta::run(const TaskGraph& graph)
 
     // Machine-readable dump for tools/delta-report: every run (the
     // quickstart included) can emit its full StatSet as flat JSON.
-    if (const char* path = std::getenv("TS_STATS_JSON")) {
-        std::ofstream out(path);
+    if (!cfg_.statsJsonPath.empty()) {
+        std::ofstream out(cfg_.statsJsonPath);
         if (!out) {
-            warn("TS_STATS_JSON: cannot open '", path,
+            warn("stats JSON: cannot open '", cfg_.statsJsonPath,
                  "' for writing");
         } else {
             stats.dumpJson(out);
-            inform("stats JSON written to ", path);
+            inform("stats JSON written to ", cfg_.statsJsonPath);
         }
     }
     return stats;

@@ -13,6 +13,7 @@
 #define TS_ACCEL_DELTA_HH
 
 #include <memory>
+#include <string>
 
 #include "accel/lane.hh"
 #include "accel/mem_node.hh"
@@ -41,11 +42,21 @@ struct DeltaConfig
     Tick maxCycles = 200'000'000;
 
     /**
-     * Cycle-level tracing (Perfetto/chrome://tracing JSON).  When not
-     * enabled here, the TS_TRACE environment variable (an output
-     * path) enables it instead; see src/trace/trace.hh.
+     * Cycle-level tracing (Perfetto/chrome://tracing JSON).  This is
+     * the only way tracing is enabled: the accelerator never reads
+     * the environment.  The TS_TRACE fallback lives in the options
+     * layer — see ts::driver::RunOptions (src/driver/options.hh),
+     * whose applyTo() injects it here.
      */
     trace::TracerConfig trace;
+
+    /**
+     * When non-empty, Delta::run() dumps the run's full StatSet as
+     * flat JSON to this path.  Injected by RunOptions::applyTo()
+     * (TS_STATS_JSON fallback); never read from the environment
+     * here.
+     */
+    std::string statsJsonPath;
 
     /** TaskStream configuration (all mechanisms on). */
     static DeltaConfig delta(std::uint32_t lanes = 8);

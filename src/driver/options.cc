@@ -1,0 +1,239 @@
+#include "driver/options.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace ts
+{
+namespace driver
+{
+
+namespace
+{
+
+/** Insert @p tag before the extension of @p path ("a.json" + "3" ->
+ *  "a.3.json"; extensionless paths get the tag appended). */
+std::string
+suffixPath(const std::string& path, const std::string& tag)
+{
+    std::string out = path;
+    const std::size_t dot = out.rfind('.');
+    const std::string insert = "." + tag;
+    if (dot == std::string::npos || dot == 0)
+        out += insert;
+    else
+        out.insert(dot, insert);
+    return out;
+}
+
+double
+parseScale(const std::string& s, const char* what)
+{
+    char* end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end == s.c_str() || *end != '\0' || !(v > 0))
+        fatal(what, " must be a positive number, got '", s, "'");
+    return v;
+}
+
+std::uint64_t
+parseSeed(const std::string& s, const char* what)
+{
+    char* end = nullptr;
+    const std::uint64_t v = std::strtoull(s.c_str(), &end, 10);
+    if (end == s.c_str() || *end != '\0')
+        fatal(what, " must be a non-negative integer, got '", s, "'");
+    return v;
+}
+
+int
+parseLogLevel(const std::string& s, const char* what)
+{
+    char* end = nullptr;
+    const long v = std::strtol(s.c_str(), &end, 10);
+    if (end == s.c_str() || *end != '\0' || v < 0 || v > 2)
+        fatal(what, " must be 0, 1, or 2, got '", s, "'");
+    return static_cast<int>(v);
+}
+
+unsigned
+parseJobs(const std::string& s, const char* what)
+{
+    char* end = nullptr;
+    const long v = std::strtol(s.c_str(), &end, 10);
+    if (end == s.c_str() || *end != '\0' || v < 1)
+        fatal(what, " must be a positive integer, got '", s, "'");
+    return static_cast<unsigned>(v);
+}
+
+} // namespace
+
+SuiteParams
+RunOptions::suiteParams() const
+{
+    SuiteParams sp;
+    sp.scale = scale;
+    sp.seed = seed;
+    return sp;
+}
+
+DeltaConfig
+RunOptions::applyTo(DeltaConfig cfg) const
+{
+    if (!cfg.trace.enabled && !tracePath.empty())
+        cfg.trace = nextTraceConfig(tracePath);
+    if (cfg.statsJsonPath.empty())
+        cfg.statsJsonPath = statsJsonPath;
+    return cfg;
+}
+
+void
+RunOptions::applyLogLevel() const
+{
+    setLogVerbosity(logLevel);
+}
+
+RunOptions
+RunOptions::fromEnv()
+{
+    // The single place in the tree that reads the environment: the
+    // legacy TS_* variables remain supported as documented fallbacks
+    // for the shared flags.
+    RunOptions opt;
+    const auto env = [](const char* name) -> std::string {
+        const char* v = std::getenv(name);
+        return v == nullptr ? std::string() : std::string(v);
+    };
+
+    opt.workloads = workloadsFromList(env("TS_WORKLOADS"));
+    if (const std::string s = env("TS_SCALE"); !s.empty())
+        opt.scale = parseScale(s, "TS_SCALE");
+    if (const std::string s = env("TS_SEED"); !s.empty())
+        opt.seed = parseSeed(s, "TS_SEED");
+    if (const std::string s = env("TS_LOG"); !s.empty())
+        opt.logLevel = parseLogLevel(s, "TS_LOG");
+    opt.tracePath = env("TS_TRACE");
+    opt.statsJsonPath = env("TS_STATS_JSON");
+    opt.benchJsonDir = env("TS_BENCH_JSON");
+    return opt;
+}
+
+const char*
+optionsHelp()
+{
+    return
+        "shared run options (each falls back to its TS_* variable):\n"
+        "  --workloads LIST   comma-separated workloads, 'all' = suite\n"
+        "                     [TS_WORKLOADS]\n"
+        "  --scale X          problem-size multiplier, > 0 [TS_SCALE]\n"
+        "  --seed N           base RNG seed [TS_SEED]\n"
+        "  --trace PATH       Perfetto trace output [TS_TRACE]\n"
+        "  --stats-json PATH  flat StatSet JSON dump [TS_STATS_JSON]\n"
+        "  --bench-json DIR   per-run wrapper dumps [TS_BENCH_JSON]\n"
+        "  --log N            stderr verbosity 0|1|2 [TS_LOG]\n"
+        "  -j N, --jobs N     host worker threads (default: hardware\n"
+        "                     concurrency)\n";
+}
+
+RunOptions
+parseCommandLine(int& argc, char** argv, bool strict)
+{
+    RunOptions opt = RunOptions::fromEnv();
+
+    std::vector<char*> keep;
+    keep.reserve(static_cast<std::size_t>(argc));
+    if (argc > 0)
+        keep.push_back(argv[0]);
+
+    int i = 1;
+    const auto value = [&](const char* flag) -> std::string {
+        if (i + 1 >= argc)
+            fatal("option '", flag, "' requires a value\n",
+                  optionsHelp());
+        return argv[++i];
+    };
+
+    for (; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--workloads") {
+            opt.workloads = workloadsFromList(value("--workloads"));
+        } else if (arg == "--scale") {
+            opt.scale = parseScale(value("--scale"), "--scale");
+        } else if (arg == "--seed") {
+            opt.seed = parseSeed(value("--seed"), "--seed");
+        } else if (arg == "--log") {
+            opt.logLevel = parseLogLevel(value("--log"), "--log");
+        } else if (arg == "--trace") {
+            opt.tracePath = value("--trace");
+        } else if (arg == "--stats-json") {
+            opt.statsJsonPath = value("--stats-json");
+        } else if (arg == "--bench-json") {
+            opt.benchJsonDir = value("--bench-json");
+        } else if (arg == "-j" || arg == "--jobs") {
+            opt.jobs = parseJobs(value("--jobs"), "--jobs");
+        } else if (strict && (arg == "--help" || arg == "-h")) {
+            std::fputs(optionsHelp(), stdout);
+            std::exit(0);
+        } else if (strict && !arg.empty() && arg[0] == '-') {
+            fatal("unknown option '", arg, "'\n", optionsHelp());
+        } else {
+            keep.push_back(argv[i]);
+        }
+    }
+
+    argc = static_cast<int>(keep.size());
+    for (std::size_t k = 0; k < keep.size(); ++k)
+        argv[k] = keep[k];
+    if (argc >= 0)
+        argv[argc] = nullptr;
+
+    opt.applyLogLevel();
+    return opt;
+}
+
+RunOptions
+parseCommandLineOrExit(int& argc, char** argv, bool strict)
+{
+    try {
+        return parseCommandLine(argc, argv, strict);
+    } catch (const FatalError& e) {
+        std::fprintf(stderr, "%s: %s\n",
+                     argc > 0 ? argv[0] : "run", e.what());
+        std::exit(2);
+    }
+}
+
+trace::TracerConfig
+nextTraceConfig(const std::string& base)
+{
+    trace::TracerConfig cfg;
+    if (base.empty())
+        return cfg;
+
+    // One process may run many accelerator instances (the benches);
+    // suffix each instance after the first so traces coexist.
+    static std::atomic<unsigned> instance{0};
+    const unsigned idx =
+        instance.fetch_add(1, std::memory_order_relaxed);
+    cfg.enabled = true;
+    cfg.path = idx == 0 ? base : suffixPath(base, std::to_string(idx));
+    return cfg;
+}
+
+trace::TracerConfig
+traceConfigTagged(const std::string& base, const std::string& tag)
+{
+    trace::TracerConfig cfg;
+    if (base.empty())
+        return cfg;
+    cfg.enabled = true;
+    cfg.path = suffixPath(base, tag);
+    return cfg;
+}
+
+} // namespace driver
+} // namespace ts

@@ -1,0 +1,500 @@
+#include "driver/sweep.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+#include "sim/logging.hh"
+#include "task/task_graph.hh"
+
+namespace ts
+{
+namespace driver
+{
+
+namespace
+{
+
+std::string
+formatScale(double scale)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", scale);
+    return buf;
+}
+
+/** Full-precision deterministic double for report JSON (matches the
+ *  StatSet::dumpJson convention, null for non-finite). */
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.*g",
+                  std::numeric_limits<double>::max_digits10, v);
+    return buf;
+}
+
+unsigned
+resolveJobs(unsigned jobs)
+{
+    if (jobs > 0)
+        return jobs;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+/** Sample mean/stddev over @p xs (stddev 0 when n < 2). */
+void
+meanStddev(const std::vector<double>& xs, double& mean,
+           double& stddev)
+{
+    mean = 0.0;
+    stddev = 0.0;
+    if (xs.empty())
+        return;
+    double sum = 0.0;
+    for (const double x : xs)
+        sum += x;
+    mean = sum / static_cast<double>(xs.size());
+    if (xs.size() < 2)
+        return;
+    double ss = 0.0;
+    for (const double x : xs)
+        ss += (x - mean) * (x - mean);
+    stddev = std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+} // namespace
+
+const std::vector<std::string>&
+sweepConfigNames()
+{
+    static const std::vector<std::string> names = {
+        "static", "dyn", "work", "pipe", "delta"};
+    return names;
+}
+
+ConfigVariant
+sweepConfig(const std::string& name, std::uint32_t lanes)
+{
+    ConfigVariant v;
+    v.name = name;
+    if (name == "static") {
+        v.cfg = DeltaConfig::staticBaseline(lanes);
+    } else if (name == "dyn") {
+        v.cfg = DeltaConfig::delta(lanes);
+        v.cfg.policy = SchedPolicy::DynCount;
+        v.cfg.enablePipeline = false;
+        v.cfg.enableMulticast = false;
+    } else if (name == "work") {
+        v.cfg = DeltaConfig::delta(lanes);
+        v.cfg.enablePipeline = false;
+        v.cfg.enableMulticast = false;
+    } else if (name == "pipe") {
+        v.cfg = DeltaConfig::delta(lanes);
+        v.cfg.enableMulticast = false;
+    } else if (name == "delta") {
+        v.cfg = DeltaConfig::delta(lanes);
+    } else {
+        std::string valid;
+        for (const std::string& n : sweepConfigNames())
+            valid += (valid.empty() ? "" : ", ") + n;
+        fatal("unknown sweep config '", name, "'; valid configs: ",
+              valid);
+    }
+    return v;
+}
+
+std::vector<ConfigVariant>
+sweepConfigsFromList(const std::string& list, std::uint32_t lanes)
+{
+    std::vector<ConfigVariant> out;
+    std::string cur;
+    const auto flush = [&] {
+        // Trim surrounding whitespace.
+        const auto b = cur.find_first_not_of(" \t");
+        const auto e = cur.find_last_not_of(" \t");
+        const std::string name =
+            b == std::string::npos ? "" : cur.substr(b, e - b + 1);
+        if (!name.empty())
+            out.push_back(sweepConfig(name, lanes));
+        cur.clear();
+    };
+    for (const char c : list) {
+        if (c == ',')
+            flush();
+        else
+            cur += c;
+    }
+    flush();
+    if (out.empty()) {
+        out.push_back(sweepConfig("static", lanes));
+        out.push_back(sweepConfig("delta", lanes));
+    }
+    return out;
+}
+
+std::string
+SweepSpec::baselineName() const
+{
+    if (!baseline.empty())
+        return baseline;
+    return configs.size() > 1 ? configs.front().name : std::string();
+}
+
+std::string
+RunPoint::tag() const
+{
+    return std::string(wkName(workload)) + "_" + config + "_l" +
+           std::to_string(lanes) + "_s" + std::to_string(seed) +
+           "_x" + formatScale(scale);
+}
+
+Sweep::Sweep(SweepSpec spec) : spec_(std::move(spec))
+{
+    if (spec_.workloads.empty())
+        fatal("sweep: no workloads selected");
+    if (spec_.configs.empty())
+        fatal("sweep: no configs selected");
+    if (spec_.seeds.empty())
+        fatal("sweep: no seeds selected");
+    if (spec_.scales.empty())
+        fatal("sweep: no scales selected");
+    for (const double s : spec_.scales) {
+        if (!(s > 0))
+            fatal("sweep: scales must be positive, got ", s);
+    }
+    if (!spec_.baseline.empty()) {
+        bool found = false;
+        for (const ConfigVariant& c : spec_.configs)
+            found = found || c.name == spec_.baseline;
+        if (!found) {
+            std::string valid;
+            for (const ConfigVariant& c : spec_.configs)
+                valid += (valid.empty() ? "" : ", ") + c.name;
+            fatal("sweep: baseline '", spec_.baseline,
+                  "' is not in the config list (", valid, ")");
+        }
+    }
+
+    // Deterministic grid order: workload-major, then scale, seed,
+    // config — the paired baseline/config runs of one point land
+    // adjacently, and every aggregate walks this same order.
+    for (const Wk w : spec_.workloads) {
+        for (const double scale : spec_.scales) {
+            for (const std::uint64_t seed : spec_.seeds) {
+                for (const ConfigVariant& c : spec_.configs) {
+                    RunPoint p;
+                    p.workload = w;
+                    p.config = c.name;
+                    p.seed = seed;
+                    p.scale = scale;
+                    p.lanes = c.cfg.lanes;
+                    points_.push_back(p);
+                }
+            }
+        }
+    }
+}
+
+namespace
+{
+
+/** Execute one grid point in full isolation on the calling thread. */
+RunOutcome
+executePoint(const SweepSpec& spec, const RunPoint& point)
+{
+    RunOutcome out;
+    out.point = point;
+    try {
+        DeltaConfig cfg;
+        for (const ConfigVariant& c : spec.configs) {
+            if (c.name == point.config)
+                cfg = c.cfg;
+        }
+        if (!spec.tracePath.empty())
+            cfg.trace = traceConfigTagged(spec.tracePath, point.tag());
+
+        SuiteParams sp;
+        sp.seed = point.seed;
+        sp.scale = point.scale;
+        auto wl = makeWorkload(point.workload, sp);
+
+        Delta delta(cfg);
+        TaskGraph graph;
+        wl->build(delta, graph);
+        out.stats = delta.run(graph);
+        out.cycles = out.stats.get("delta.cycles");
+        out.correct = wl->check(delta.image());
+    } catch (const std::exception& e) {
+        out.failed = true;
+        out.error = e.what();
+    }
+
+    if (!spec.benchJsonDir.empty() && !out.failed) {
+        const std::string path =
+            spec.benchJsonDir + "/" + point.tag() + ".json";
+        std::ofstream os(path);
+        if (!os) {
+            warn("sweep: cannot write '", path, "'");
+        } else {
+            os << "{\n  \"workload\": \"" << wkName(point.workload)
+               << "\",\n  \"config\": \"" << point.config
+               << "\",\n  \"lanes\": " << point.lanes
+               << ",\n  \"seed\": " << point.seed
+               << ",\n  \"scale\": " << formatScale(point.scale)
+               << ",\n  \"correct\": "
+               << (out.correct ? "true" : "false")
+               << ",\n  \"stats\": ";
+            out.stats.dumpJson(os);
+            os << "}\n";
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+parallelFor(std::size_t n, unsigned jobs,
+            const std::function<void(std::size_t)>& fn)
+{
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(resolveJobs(jobs), n));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t) {
+        pool.emplace_back([&] {
+            for (;;) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n)
+                    return;
+                fn(i);
+            }
+        });
+    }
+    for (std::thread& t : pool)
+        t.join();
+}
+
+SweepReport
+Sweep::run()
+{
+    SweepReport report;
+    report.spec = spec_;
+    report.runs.resize(points_.size());
+
+    const auto start = std::chrono::steady_clock::now();
+    std::mutex progressMutex;
+    std::size_t done = 0;
+
+    parallelFor(points_.size(), spec_.jobs, [&](std::size_t i) {
+        RunOutcome out = executePoint(spec_, points_[i]);
+        if (spec_.progress) {
+            std::lock_guard<std::mutex> lock(progressMutex);
+            ++done;
+            const double elapsed =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            const double eta =
+                elapsed / static_cast<double>(done) *
+                static_cast<double>(points_.size() - done);
+            std::fprintf(
+                stderr, "[%3zu/%zu] %-32s %s  (%.1fs elapsed",
+                done, points_.size(), out.point.tag().c_str(),
+                out.failed ? "FAILED"
+                           : (out.correct ? "ok" : "INCORRECT"),
+                elapsed);
+            if (done < points_.size())
+                std::fprintf(stderr, ", ETA %.0fs", eta);
+            std::fprintf(stderr, ")\n");
+            if (out.failed)
+                std::fprintf(stderr, "        %s\n",
+                             out.error.c_str());
+        }
+        report.runs[i] = std::move(out);
+    });
+
+    return report;
+}
+
+const RunOutcome*
+SweepReport::find(Wk w, const std::string& config,
+                  std::uint64_t seed, double scale) const
+{
+    for (const RunOutcome& r : runs) {
+        if (r.point.workload == w && r.point.config == config &&
+            r.point.seed == seed && r.point.scale == scale)
+            return &r;
+    }
+    return nullptr;
+}
+
+bool
+SweepReport::allOk() const
+{
+    return failures() == 0;
+}
+
+std::size_t
+SweepReport::failures() const
+{
+    std::size_t n = 0;
+    for (const RunOutcome& r : runs)
+        n += r.ok() ? 0 : 1;
+    return n;
+}
+
+std::vector<CellAggregate>
+SweepReport::aggregates() const
+{
+    std::vector<CellAggregate> out;
+    for (const Wk w : spec.workloads) {
+        for (const double scale : spec.scales) {
+            for (const ConfigVariant& c : spec.configs) {
+                CellAggregate cell;
+                cell.workload = w;
+                cell.config = c.name;
+                cell.scale = scale;
+                std::vector<double> cycles;
+                for (const std::uint64_t seed : spec.seeds) {
+                    const RunOutcome* r =
+                        find(w, c.name, seed, scale);
+                    if (r != nullptr && r->ok())
+                        cycles.push_back(r->cycles);
+                }
+                cell.n = cycles.size();
+                meanStddev(cycles, cell.meanCycles,
+                           cell.stddevCycles);
+                out.push_back(cell);
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<PairedSpeedup>
+SweepReport::pairedSpeedups() const
+{
+    std::vector<PairedSpeedup> out;
+    const std::string base = spec.baselineName();
+    if (base.empty())
+        return out;
+    for (const Wk w : spec.workloads) {
+        for (const double scale : spec.scales) {
+            for (const ConfigVariant& c : spec.configs) {
+                if (c.name == base)
+                    continue;
+                PairedSpeedup ps;
+                ps.workload = w;
+                ps.config = c.name;
+                ps.scale = scale;
+                std::vector<double> ratios;
+                for (const std::uint64_t seed : spec.seeds) {
+                    const RunOutcome* b = find(w, base, seed, scale);
+                    const RunOutcome* r =
+                        find(w, c.name, seed, scale);
+                    if (b != nullptr && r != nullptr && b->ok() &&
+                        r->ok() && r->cycles > 0)
+                        ratios.push_back(b->cycles / r->cycles);
+                }
+                ps.n = ratios.size();
+                meanStddev(ratios, ps.mean, ps.stddev);
+                out.push_back(ps);
+            }
+        }
+    }
+    return out;
+}
+
+void
+SweepReport::writeJson(std::ostream& os) const
+{
+    os << "{\n  \"grid\": {\n    \"workloads\": [";
+    for (std::size_t i = 0; i < spec.workloads.size(); ++i)
+        os << (i > 0 ? ", " : "") << '"' << wkName(spec.workloads[i])
+           << '"';
+    os << "],\n    \"configs\": [";
+    for (std::size_t i = 0; i < spec.configs.size(); ++i)
+        os << (i > 0 ? ", " : "") << '"'
+           << jsonEscape(spec.configs[i].name) << '"';
+    os << "],\n    \"seeds\": [";
+    for (std::size_t i = 0; i < spec.seeds.size(); ++i)
+        os << (i > 0 ? ", " : "") << spec.seeds[i];
+    os << "],\n    \"scales\": [";
+    for (std::size_t i = 0; i < spec.scales.size(); ++i)
+        os << (i > 0 ? ", " : "") << formatScale(spec.scales[i]);
+    os << "],\n    \"baseline\": \""
+       << jsonEscape(spec.baselineName()) << "\"\n  },\n";
+
+    os << "  \"runs\": [";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const RunOutcome& r = runs[i];
+        os << (i > 0 ? ",\n" : "\n") << "    {\"tag\": \""
+           << jsonEscape(r.point.tag()) << "\", \"workload\": \""
+           << wkName(r.point.workload) << "\", \"config\": \""
+           << jsonEscape(r.point.config)
+           << "\", \"seed\": " << r.point.seed
+           << ", \"scale\": " << formatScale(r.point.scale)
+           << ", \"lanes\": " << r.point.lanes << ", \"correct\": "
+           << (r.correct ? "true" : "false") << ", \"failed\": "
+           << (r.failed ? "true" : "false");
+        if (r.failed)
+            os << ", \"error\": \"" << jsonEscape(r.error) << '"';
+        os << ", \"cycles\": " << jsonNumber(r.cycles)
+           << ",\n     \"stats\": ";
+        if (r.failed)
+            os << "{}";
+        else
+            r.stats.dumpJson(os);
+        os << "}";
+    }
+    os << "\n  ],\n";
+
+    os << "  \"aggregates\": [";
+    const auto aggs = aggregates();
+    for (std::size_t i = 0; i < aggs.size(); ++i) {
+        const CellAggregate& a = aggs[i];
+        os << (i > 0 ? ",\n" : "\n") << "    {\"workload\": \""
+           << wkName(a.workload) << "\", \"config\": \""
+           << jsonEscape(a.config)
+           << "\", \"scale\": " << formatScale(a.scale)
+           << ", \"n\": " << a.n
+           << ", \"meanCycles\": " << jsonNumber(a.meanCycles)
+           << ", \"stddevCycles\": " << jsonNumber(a.stddevCycles)
+           << "}";
+    }
+    os << "\n  ],\n";
+
+    os << "  \"speedups\": [";
+    const auto sps = pairedSpeedups();
+    for (std::size_t i = 0; i < sps.size(); ++i) {
+        const PairedSpeedup& s = sps[i];
+        os << (i > 0 ? ",\n" : "\n") << "    {\"workload\": \""
+           << wkName(s.workload) << "\", \"config\": \""
+           << jsonEscape(s.config)
+           << "\", \"scale\": " << formatScale(s.scale)
+           << ", \"n\": " << s.n
+           << ", \"mean\": " << jsonNumber(s.mean)
+           << ", \"stddev\": " << jsonNumber(s.stddev) << "}";
+    }
+    os << "\n  ]\n}\n";
+}
+
+} // namespace driver
+} // namespace ts

@@ -11,17 +11,21 @@
  * Both error forms throw (rather than abort) so that library users
  * and unit tests can observe and recover from them.
  *
- * warn()/inform() are gated by a runtime verbosity level read once
- * from the TS_LOG environment variable:
- *   TS_LOG=0  silent (suppress warnings and info)
- *   TS_LOG=1  warnings only (the default)
- *   TS_LOG=2  warnings + informational messages
+ * warn()/inform() are gated by a runtime verbosity level:
+ *   0  silent (suppress warnings and info)
+ *   1  warnings only (the default)
+ *   2  warnings + informational messages
+ * The level is process-wide and set via setLogVerbosity(); the TS_LOG
+ * environment variable is honored as a fallback by the options layer
+ * (src/driver/options.hh), never read here.  warn()/inform() compose
+ * their full line before a single stream insertion, so messages from
+ * concurrent simulation threads do not interleave mid-line.
  */
 
 #ifndef TS_SIM_LOGGING_HH
 #define TS_SIM_LOGGING_HH
 
-#include <cstdlib>
+#include <atomic>
 #include <iostream>
 #include <sstream>
 #include <stdexcept>
@@ -76,17 +80,30 @@ formatAll(const Args&... args)
 
 } // namespace detail
 
+namespace detail
+{
+
+inline std::atomic<int>&
+logLevelState()
+{
+    static std::atomic<int> level{1};
+    return level;
+}
+
+} // namespace detail
+
 /** Stderr verbosity: 0 silent, 1 warnings (default), 2 info. */
 inline int
 logVerbosity()
 {
-    static const int level = [] {
-        const char* env = std::getenv("TS_LOG");
-        if (env == nullptr || *env == '\0')
-            return 1;
-        return std::atoi(env);
-    }();
-    return level;
+    return detail::logLevelState().load(std::memory_order_relaxed);
+}
+
+/** Set the process-wide stderr verbosity (see logVerbosity()). */
+inline void
+setLogVerbosity(int level)
+{
+    detail::logLevelState().store(level, std::memory_order_relaxed);
 }
 
 /** Abort simulation with a user-facing error. */
@@ -105,24 +122,26 @@ panic(const Args&... args)
     throw PanicError(detail::formatAll("panic: ", args...));
 }
 
-/** Print a non-fatal warning to stderr (TS_LOG >= 1). */
+/** Print a non-fatal warning to stderr (verbosity >= 1). */
 template <typename... Args>
 void
 warn(const Args&... args)
 {
     if (logVerbosity() < 1)
         return;
-    std::cerr << "warn: " << detail::formatAll(args...) << std::endl;
+    std::cerr << detail::formatAll("warn: ", args..., "\n")
+              << std::flush;
 }
 
-/** Print an informational message to stderr (TS_LOG >= 2). */
+/** Print an informational message to stderr (verbosity >= 2). */
 template <typename... Args>
 void
 inform(const Args&... args)
 {
     if (logVerbosity() < 2)
         return;
-    std::cerr << "info: " << detail::formatAll(args...) << std::endl;
+    std::cerr << detail::formatAll("info: ", args..., "\n")
+              << std::flush;
 }
 
 /** panic() unless the given invariant holds. */

@@ -14,7 +14,7 @@ namespace ts
 namespace
 {
 
-StatSet* gActiveStats = nullptr;
+thread_local StatSet* gActiveStats = nullptr;
 
 std::vector<double>
 log2Bounds()

@@ -151,14 +151,17 @@ class StatSet
     std::size_t size() const;
 
     /**
-     * The StatSet receiving statSample() probes, or nullptr.  At most
-     * one run collects samples at a time (the simulator is
-     * single-threaded); Delta::run activates its result set for the
-     * duration of the simulation.
+     * The StatSet receiving this thread's statSample() probes, or
+     * nullptr.  The active pointer is thread_local: each thread runs
+     * at most one simulation at a time, and concurrent Delta
+     * instances on different threads collect samples independently.
+     * Delta::run activates its result set for the duration of the
+     * simulation.
      */
     static StatSet* active();
 
-    /** Make @p s the sampling sink (nullptr deactivates). */
+    /** Make @p s the calling thread's sampling sink (nullptr
+     *  deactivates). */
     static void setActive(StatSet* s);
 
   private:

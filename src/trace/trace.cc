@@ -1,7 +1,5 @@
 #include "trace/trace.hh"
 
-#include <cstdlib>
-
 #include "sim/logging.hh"
 
 namespace ts
@@ -12,7 +10,7 @@ namespace trace
 
 namespace detail
 {
-Tracer* gActive = nullptr;
+thread_local Tracer* gActive = nullptr;
 } // namespace detail
 
 namespace
@@ -64,33 +62,6 @@ Tracer::~Tracer()
     finish();
     if (detail::gActive == this)
         detail::gActive = nullptr;
-}
-
-TracerConfig
-Tracer::fromEnv()
-{
-    TracerConfig cfg;
-    const char* env = std::getenv("TS_TRACE");
-    if (env == nullptr || *env == '\0')
-        return cfg;
-
-    cfg.enabled = true;
-    std::string path = env;
-
-    // One process may run many accelerator instances (the benches);
-    // suffix each instance after the first so traces coexist.
-    static unsigned instance = 0;
-    const unsigned idx = instance++;
-    if (idx > 0) {
-        const std::size_t dot = path.rfind('.');
-        const std::string tag = "." + std::to_string(idx);
-        if (dot == std::string::npos || dot == 0)
-            path += tag;
-        else
-            path.insert(dot, tag);
-    }
-    cfg.path = path;
-    return cfg;
 }
 
 void

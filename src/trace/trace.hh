@@ -19,16 +19,19 @@
  *  - counter events ("C") sample numeric series (queue depths,
  *    per-lane cycle classes).
  *
- * Cost model: exactly one Tracer may be *active* at a time (the
- * simulator is single-threaded).  Instrumentation sites guard with
- * `if (trace::on())`, which compiles to a load-and-branch when
- * tracing is compiled in and to a constant `false` (dead-code
- * eliminating the whole site) when built with -DTS_TRACE_DISABLED.
- * A disabled run therefore produces bit-identical simulation results.
+ * Cost model: exactly one Tracer may be *active* per thread (the
+ * active-sink pointer is thread_local, so concurrent Delta instances
+ * on different threads each trace independently).  Instrumentation
+ * sites guard with `if (trace::on())`, which compiles to a
+ * load-and-branch when tracing is compiled in and to a constant
+ * `false` (dead-code eliminating the whole site) when built with
+ * -DTS_TRACE_DISABLED.  A disabled run therefore produces
+ * bit-identical simulation results.
  *
- * Activation is runtime-gated: either programmatically through
- * DeltaConfig::trace, or by setting the TS_TRACE environment variable
- * to an output path (see Tracer::fromEnv()).
+ * Activation is runtime-gated and programmatic: DeltaConfig::trace
+ * carries the configuration.  The TS_TRACE environment variable is
+ * honored as a fallback by the options layer (src/driver/options.hh),
+ * which is the only place in the tree that reads the environment.
  */
 
 #ifndef TS_TRACE_TRACE_HH
@@ -62,8 +65,9 @@ class Tracer;
 
 namespace detail
 {
-/** The tracer receiving events, or nullptr when tracing is off. */
-extern Tracer* gActive;
+/** The tracer receiving this thread's events, or nullptr when
+ *  tracing is off on this thread. */
+extern thread_local Tracer* gActive;
 } // namespace detail
 
 /** Whether any instrumentation site should emit events. */
@@ -102,20 +106,13 @@ class Tracer
     Tracer(const Tracer&) = delete;
     Tracer& operator=(const Tracer&) = delete;
 
-    /**
-     * Build a config from the environment: TS_TRACE=<path> enables
-     * tracing into <path>.  When several accelerator instances run in
-     * one process (the benches), each instance after the first gets a
-     * ".N" suffix before the extension so traces are not overwritten.
-     */
-    static TracerConfig fromEnv();
-
     bool enabled() const { return enabled_; }
     const std::string& path() const { return cfg_.path; }
 
     /**
-     * Make this tracer the event sink (trace::on() becomes true when
-     * it is enabled).  Passing nullptr deactivates tracing.
+     * Make this tracer the calling thread's event sink (trace::on()
+     * becomes true on this thread when it is enabled).  Passing
+     * nullptr deactivates tracing on this thread.
      */
     static void setActive(Tracer* t);
 

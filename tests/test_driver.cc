@@ -1,0 +1,437 @@
+/**
+ * @file
+ * Driver-layer tests: the RunOptions API (shared flag parser + env
+ * fallbacks, the only environment-reading layer in the tree) and the
+ * parallel sweep engine (grid expansion, -j N determinism, failure
+ * surfacing, deterministic aggregation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/options.hh"
+#include "driver/sweep.hh"
+#include "sim/logging.hh"
+
+using namespace ts;
+using namespace ts::driver;
+
+namespace
+{
+
+/** Owning argv builder for parser tests. */
+struct Argv
+{
+    explicit Argv(std::vector<std::string> args) : strings(std::move(args))
+    {
+        for (std::string& s : strings)
+            ptrs.push_back(s.data());
+        ptrs.push_back(nullptr);
+        argc = static_cast<int>(strings.size());
+    }
+
+    std::vector<std::string> strings;
+    std::vector<char*> ptrs;
+    int argc = 0;
+
+    char** argv() { return ptrs.data(); }
+};
+
+void
+clearSharedEnv()
+{
+    for (const char* v :
+         {"TS_WORKLOADS", "TS_SCALE", "TS_SEED", "TS_LOG", "TS_TRACE",
+          "TS_STATS_JSON", "TS_BENCH_JSON"})
+        ::unsetenv(v);
+}
+
+/** A small, fast grid used by the determinism tests. */
+SweepSpec
+smallSpec()
+{
+    SweepSpec spec;
+    spec.workloads = {Wk::Spmv, Wk::Msort};
+    spec.configs = sweepConfigsFromList("static,delta");
+    spec.seeds = {7, 11};
+    spec.scales = {0.25};
+    spec.baseline = "static";
+    return spec;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// RunOptions: env fallbacks and the shared flag parser.
+// ---------------------------------------------------------------------
+
+TEST(RunOptionsTest, DefaultsSelectWholeSuite)
+{
+    clearSharedEnv();
+    const RunOptions opt = RunOptions::fromEnv();
+    EXPECT_EQ(opt.workloads, allWorkloads());
+    EXPECT_DOUBLE_EQ(opt.scale, 1.0);
+    EXPECT_EQ(opt.seed, 7u);
+    EXPECT_EQ(opt.logLevel, 1);
+    EXPECT_TRUE(opt.tracePath.empty());
+    EXPECT_TRUE(opt.statsJsonPath.empty());
+    EXPECT_TRUE(opt.benchJsonDir.empty());
+    EXPECT_EQ(opt.jobs, 0u);
+}
+
+TEST(RunOptionsTest, EnvFallbacksAreHonored)
+{
+    clearSharedEnv();
+    ASSERT_EQ(::setenv("TS_WORKLOADS", "spmv,msort", 1), 0);
+    ASSERT_EQ(::setenv("TS_SCALE", "0.5", 1), 0);
+    ASSERT_EQ(::setenv("TS_SEED", "123", 1), 0);
+    ASSERT_EQ(::setenv("TS_LOG", "2", 1), 0);
+    ASSERT_EQ(::setenv("TS_STATS_JSON", "/tmp/ts_stats.json", 1), 0);
+    ASSERT_EQ(::setenv("TS_BENCH_JSON", "/tmp/ts_bench", 1), 0);
+    const RunOptions opt = RunOptions::fromEnv();
+    clearSharedEnv();
+
+    EXPECT_EQ(opt.workloads,
+              (std::vector<Wk>{Wk::Spmv, Wk::Msort}));
+    EXPECT_DOUBLE_EQ(opt.scale, 0.5);
+    EXPECT_EQ(opt.seed, 123u);
+    EXPECT_EQ(opt.logLevel, 2);
+    EXPECT_EQ(opt.statsJsonPath, "/tmp/ts_stats.json");
+    EXPECT_EQ(opt.benchJsonDir, "/tmp/ts_bench");
+}
+
+TEST(RunOptionsTest, BadEnvValueFailsFast)
+{
+    clearSharedEnv();
+    ASSERT_EQ(::setenv("TS_SCALE", "-1", 1), 0);
+    EXPECT_THROW(RunOptions::fromEnv(), FatalError);
+    ASSERT_EQ(::setenv("TS_SCALE", "abc", 1), 0);
+    EXPECT_THROW(RunOptions::fromEnv(), FatalError);
+    clearSharedEnv();
+}
+
+TEST(RunOptionsTest, FlagsOverrideEnv)
+{
+    clearSharedEnv();
+    ASSERT_EQ(::setenv("TS_SCALE", "0.5", 1), 0);
+    ASSERT_EQ(::setenv("TS_SEED", "123", 1), 0);
+    Argv a({"prog", "--scale", "2.0", "--seed", "9", "--workloads",
+            "lu", "-j", "4"});
+    const RunOptions opt = parseCommandLine(a.argc, a.argv());
+    clearSharedEnv();
+
+    EXPECT_DOUBLE_EQ(opt.scale, 2.0);
+    EXPECT_EQ(opt.seed, 9u);
+    EXPECT_EQ(opt.workloads, (std::vector<Wk>{Wk::Lu}));
+    EXPECT_EQ(opt.jobs, 4u);
+    EXPECT_EQ(a.argc, 1) << "shared flags must be consumed";
+}
+
+TEST(RunOptionsTest, LenientParserLeavesUnknownArgs)
+{
+    clearSharedEnv();
+    Argv a({"prog", "--benchmark_filter=fig1", "--seed", "3",
+            "positional"});
+    const RunOptions opt = parseCommandLine(a.argc, a.argv());
+    EXPECT_EQ(opt.seed, 3u);
+    ASSERT_EQ(a.argc, 3);
+    EXPECT_STREQ(a.argv()[1], "--benchmark_filter=fig1");
+    EXPECT_STREQ(a.argv()[2], "positional");
+}
+
+TEST(RunOptionsTest, StrictParserRejectsUnknownFlagListingValid)
+{
+    clearSharedEnv();
+    Argv a({"prog", "--no-such-flag"});
+    try {
+        parseCommandLine(a.argc, a.argv(), /*strict=*/true);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("--no-such-flag"), std::string::npos);
+        EXPECT_NE(what.find("--workloads"), std::string::npos)
+            << "the error must list the valid flags";
+    }
+}
+
+TEST(RunOptionsTest, UnknownWorkloadFailsListingValid)
+{
+    clearSharedEnv();
+    Argv a({"prog", "--workloads", "bogus"});
+    try {
+        parseCommandLine(a.argc, a.argv());
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("bogus"), std::string::npos);
+        EXPECT_NE(what.find("spmv"), std::string::npos)
+            << "the error must list the valid workloads";
+    }
+}
+
+TEST(RunOptionsTest, MissingValueFailsFast)
+{
+    clearSharedEnv();
+    Argv a({"prog", "--scale"});
+    EXPECT_THROW(parseCommandLine(a.argc, a.argv()), FatalError);
+}
+
+TEST(RunOptionsTest, ApplyToInjectsTraceAndStats)
+{
+    clearSharedEnv();
+    RunOptions opt = RunOptions::fromEnv();
+    opt.tracePath = "/tmp/ts_applyto_trace.json";
+    opt.statsJsonPath = "/tmp/ts_applyto_stats.json";
+
+    const DeltaConfig cfg = opt.applyTo(DeltaConfig::delta(4));
+    EXPECT_TRUE(cfg.trace.enabled);
+    EXPECT_NE(cfg.trace.path.find("ts_applyto_trace"),
+              std::string::npos);
+    EXPECT_EQ(cfg.statsJsonPath, "/tmp/ts_applyto_stats.json");
+
+    // An explicitly configured tracer wins over the option path.
+    DeltaConfig pre = DeltaConfig::delta(4);
+    pre.trace.enabled = true;
+    pre.trace.path = "explicit.json";
+    EXPECT_EQ(opt.applyTo(pre).trace.path, "explicit.json");
+}
+
+TEST(RunOptionsTest, TaggedTraceConfigIsDeterministic)
+{
+    const trace::TracerConfig a =
+        traceConfigTagged("sweep.json", "spmv_delta_l8_s7_x1");
+    EXPECT_TRUE(a.enabled);
+    EXPECT_EQ(a.path, "sweep.spmv_delta_l8_s7_x1.json");
+    EXPECT_FALSE(traceConfigTagged("", "t").enabled);
+}
+
+// ---------------------------------------------------------------------
+// Sweep: config presets and grid expansion.
+// ---------------------------------------------------------------------
+
+TEST(SweepConfigTest, UnknownNameFailsListingValid)
+{
+    try {
+        sweepConfig("bogus");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("bogus"), std::string::npos);
+        for (const std::string& name : sweepConfigNames())
+            EXPECT_NE(what.find(name), std::string::npos)
+                << "the error must list '" << name << "'";
+    }
+}
+
+TEST(SweepConfigTest, PresetsFormTheAblationLadder)
+{
+    const ConfigVariant st = sweepConfig("static", 8);
+    EXPECT_EQ(st.cfg.policy, SchedPolicy::Static);
+    EXPECT_TRUE(st.cfg.bulkSynchronous);
+
+    const ConfigVariant dyn = sweepConfig("dyn", 8);
+    EXPECT_EQ(dyn.cfg.policy, SchedPolicy::DynCount);
+    EXPECT_FALSE(dyn.cfg.enablePipeline);
+    EXPECT_FALSE(dyn.cfg.enableMulticast);
+
+    const ConfigVariant full = sweepConfig("delta", 16);
+    EXPECT_EQ(full.cfg.policy, SchedPolicy::WorkAware);
+    EXPECT_TRUE(full.cfg.enablePipeline);
+    EXPECT_TRUE(full.cfg.enableMulticast);
+    EXPECT_EQ(full.cfg.lanes, 16u);
+
+    const auto defaults = sweepConfigsFromList("");
+    ASSERT_EQ(defaults.size(), 2u);
+    EXPECT_EQ(defaults[0].name, "static");
+    EXPECT_EQ(defaults[1].name, "delta");
+}
+
+TEST(SweepTest, GridExpandsInDeterministicOrder)
+{
+    SweepSpec spec = smallSpec();
+    const Sweep sweep(spec);
+    const auto& pts = sweep.points();
+    // 2 workloads x 1 scale x 2 seeds x 2 configs.
+    ASSERT_EQ(pts.size(), 8u);
+    EXPECT_EQ(pts[0].tag(), "spmv_static_l8_s7_x0.25");
+    EXPECT_EQ(pts[1].tag(), "spmv_delta_l8_s7_x0.25");
+    EXPECT_EQ(pts[2].tag(), "spmv_static_l8_s11_x0.25");
+    EXPECT_EQ(pts[3].tag(), "spmv_delta_l8_s11_x0.25");
+    EXPECT_EQ(pts[4].tag(), "msort_static_l8_s7_x0.25");
+}
+
+TEST(SweepTest, EmptyAxisFailsFast)
+{
+    SweepSpec spec = smallSpec();
+    spec.workloads.clear();
+    EXPECT_THROW(Sweep{spec}, FatalError);
+
+    spec = smallSpec();
+    spec.seeds.clear();
+    EXPECT_THROW(Sweep{spec}, FatalError);
+
+    spec = smallSpec();
+    spec.baseline = "nonexistent";
+    EXPECT_THROW(Sweep{spec}, FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Sweep: parallel execution determinism (the core contract).
+// ---------------------------------------------------------------------
+
+TEST(SweepTest, ParallelSweepIsBitIdenticalToSerial)
+{
+    SweepSpec serialSpec = smallSpec();
+    serialSpec.jobs = 1;
+    SweepReport serial = Sweep(serialSpec).run();
+
+    SweepSpec parallelSpec = smallSpec();
+    parallelSpec.jobs = 4;
+    SweepReport parallel = Sweep(parallelSpec).run();
+
+    ASSERT_EQ(serial.runs.size(), parallel.runs.size());
+    for (std::size_t i = 0; i < serial.runs.size(); ++i) {
+        const RunOutcome& a = serial.runs[i];
+        const RunOutcome& b = parallel.runs[i];
+        EXPECT_EQ(a.point.tag(), b.point.tag());
+        EXPECT_TRUE(a.ok()) << a.point.tag() << ": " << a.error;
+        EXPECT_TRUE(b.ok()) << b.point.tag() << ": " << b.error;
+        EXPECT_EQ(a.cycles, b.cycles) << a.point.tag();
+
+        std::ostringstream ja, jb;
+        a.stats.dumpJson(ja);
+        b.stats.dumpJson(jb);
+        EXPECT_EQ(ja.str(), jb.str())
+            << a.point.tag()
+            << ": per-run StatSets must be bit-identical";
+    }
+
+    std::ostringstream ra, rb;
+    serial.writeJson(ra);
+    parallel.writeJson(rb);
+    EXPECT_EQ(ra.str(), rb.str())
+        << "aggregate report JSON must be bit-identical";
+
+    // Sanity on the aggregation itself: every cell saw both seeds,
+    // and delta beats static on spmv at this scale.
+    const auto aggs = serial.aggregates();
+    ASSERT_EQ(aggs.size(), 4u);
+    for (const CellAggregate& a : aggs) {
+        EXPECT_EQ(a.n, 2u);
+        EXPECT_GT(a.meanCycles, 0.0);
+        EXPECT_GE(a.stddevCycles, 0.0);
+    }
+    const auto sps = serial.pairedSpeedups();
+    ASSERT_EQ(sps.size(), 2u);
+    EXPECT_EQ(sps[0].config, "delta");
+    EXPECT_EQ(sps[0].n, 2u);
+    EXPECT_GT(sps[0].mean, 1.0)
+        << "delta must beat static on spmv";
+}
+
+TEST(SweepTest, FailedRunSurfacesInReport)
+{
+    SweepSpec spec;
+    spec.workloads = {Wk::Spmv};
+    spec.configs = sweepConfigsFromList("static,delta");
+    // Starve the delta config so the simulation cannot finish: the
+    // failure must surface per-run without sinking the whole sweep.
+    for (ConfigVariant& c : spec.configs) {
+        if (c.name == "delta")
+            c.cfg.maxCycles = 10;
+    }
+    spec.seeds = {7};
+    spec.scales = {0.25};
+    spec.jobs = 2;
+
+    SweepReport report = Sweep(spec).run();
+    ASSERT_EQ(report.runs.size(), 2u);
+    EXPECT_FALSE(report.allOk());
+    EXPECT_EQ(report.failures(), 1u);
+
+    const RunOutcome* bad = report.find(Wk::Spmv, "delta", 7, 0.25);
+    ASSERT_NE(bad, nullptr);
+    EXPECT_TRUE(bad->failed);
+    EXPECT_FALSE(bad->error.empty());
+
+    const RunOutcome* good = report.find(Wk::Spmv, "static", 7, 0.25);
+    ASSERT_NE(good, nullptr);
+    EXPECT_TRUE(good->ok())
+        << "an isolated failure must not poison other runs";
+
+    std::ostringstream os;
+    report.writeJson(os);
+    EXPECT_NE(os.str().find("\"failed\": true"), std::string::npos);
+    EXPECT_NE(os.str().find("\"error\": "), std::string::npos);
+
+    // Failed cells drop out of aggregation instead of skewing it.
+    for (const CellAggregate& a : report.aggregates()) {
+        if (a.config == "delta")
+            EXPECT_EQ(a.n, 0u);
+        else
+            EXPECT_EQ(a.n, 1u);
+    }
+    EXPECT_TRUE(report.pairedSpeedups().front().n == 0);
+}
+
+TEST(SweepTest, AggregationMathIsExact)
+{
+    // Synthetic outcomes: verify the cross-seed mean/stddev and the
+    // paired speedups without simulating.
+    SweepSpec spec;
+    spec.workloads = {Wk::Spmv};
+    spec.configs = sweepConfigsFromList("static,delta");
+    spec.seeds = {1, 2};
+    spec.scales = {1.0};
+    spec.baseline = "static";
+
+    SweepReport report;
+    report.spec = spec;
+    const auto add = [&](const char* config, std::uint64_t seed,
+                         double cycles) {
+        RunOutcome r;
+        r.point.workload = Wk::Spmv;
+        r.point.config = config;
+        r.point.seed = seed;
+        r.point.scale = 1.0;
+        r.correct = true;
+        r.cycles = cycles;
+        report.runs.push_back(r);
+    };
+    add("static", 1, 1000.0);
+    add("delta", 1, 500.0);
+    add("static", 2, 1200.0);
+    add("delta", 2, 400.0);
+
+    const auto aggs = report.aggregates();
+    ASSERT_EQ(aggs.size(), 2u);
+    EXPECT_DOUBLE_EQ(aggs[0].meanCycles, 1100.0);
+    // Sample stddev of {1000, 1200}.
+    EXPECT_NEAR(aggs[0].stddevCycles, 141.4213562, 1e-6);
+    EXPECT_DOUBLE_EQ(aggs[1].meanCycles, 450.0);
+
+    const auto sps = report.pairedSpeedups();
+    ASSERT_EQ(sps.size(), 1u);
+    EXPECT_EQ(sps[0].config, "delta");
+    EXPECT_EQ(sps[0].n, 2u);
+    // Paired per-seed: 1000/500 = 2 and 1200/400 = 3.
+    EXPECT_DOUBLE_EQ(sps[0].mean, 2.5);
+    EXPECT_NEAR(sps[0].stddev, 0.7071067812, 1e-6);
+}
+
+TEST(SweepTest, ParallelForCoversEveryIndexOnce)
+{
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits)
+        h = 0;
+    parallelFor(hits.size(), 8, [&](std::size_t i) {
+        hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "accel/delta.hh"
+#include "driver/options.hh"
 #include "trace/accounting.hh"
 #include "trace/trace.hh"
 
@@ -434,12 +435,19 @@ TEST(Trace, TrackIdsAreStableAndOrdered)
     t.finish();
 }
 
-TEST(Trace, FromEnvSuffixesLaterInstances)
+TEST(Trace, EnvFallbackSuffixesLaterInstances)
 {
+    // The TS_TRACE fallback now lives in the options layer — the
+    // trace subsystem itself never reads the environment.
     ASSERT_EQ(::setenv("TS_TRACE", "/tmp/ts_env_trace.json", 1), 0);
-    const trace::TracerConfig first = trace::Tracer::fromEnv();
-    const trace::TracerConfig second = trace::Tracer::fromEnv();
+    const driver::RunOptions opt = driver::RunOptions::fromEnv();
     ::unsetenv("TS_TRACE");
+    EXPECT_EQ(opt.tracePath, "/tmp/ts_env_trace.json");
+
+    const trace::TracerConfig first =
+        driver::nextTraceConfig(opt.tracePath);
+    const trace::TracerConfig second =
+        driver::nextTraceConfig(opt.tracePath);
 
     EXPECT_TRUE(first.enabled);
     EXPECT_TRUE(second.enabled);
@@ -448,8 +456,12 @@ TEST(Trace, FromEnvSuffixesLaterInstances)
     EXPECT_EQ(first.path.rfind(".json"), first.path.size() - 5);
     EXPECT_EQ(second.path.rfind(".json"), second.path.size() - 5);
 
-    const trace::TracerConfig off = trace::Tracer::fromEnv();
-    EXPECT_FALSE(off.enabled) << "unset env must disable tracing";
+    const trace::TracerConfig off = driver::nextTraceConfig("");
+    EXPECT_FALSE(off.enabled) << "an empty path must disable tracing";
+
+    const driver::RunOptions unset = driver::RunOptions::fromEnv();
+    EXPECT_TRUE(unset.tracePath.empty())
+        << "unset env must disable tracing";
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,338 @@
+/**
+ * @file
+ * delta-sweep: the single CLI entry point for running grids of
+ * simulations on a host thread pool (src/driver/sweep.hh).
+ *
+ * A grid is the cross product workloads x configs x seeds x scales.
+ * Each point runs in full isolation; results aggregate
+ * deterministically (bit-identical between -j 1 and -j N).
+ *
+ * Usage:
+ *   delta-sweep [grid options] [shared options]
+ *     --configs LIST    preset configs, comma-separated (default
+ *                       "static,delta"; valid: static, dyn, work,
+ *                       pipe, delta)
+ *     --seeds LIST      comma-separated seeds (default: --seed)
+ *     --scales LIST     comma-separated scales (default: --scale)
+ *     --lanes N         lanes for every config (default 8)
+ *     --baseline NAME   config paired speedups compare against
+ *                       (default: first config)
+ *     --out PATH        write the aggregate JSON report here
+ *     --grid FILE       read `key = value` grid settings (applied
+ *                       where the flag appears; later flags override)
+ *     --quiet           suppress per-run progress/ETA on stderr
+ *   plus every shared run option (see --help): --workloads, --scale,
+ *   --seed, --trace, --bench-json, --log, -j/--jobs, each with its
+ *   TS_* environment fallback.
+ *
+ * Per-run StatSets land in --bench-json DIR as `<tag>.json` in the
+ * wrapper shape `tools/delta-report --baseline` ingests.  Exit code:
+ * 0 when every run completed and passed its check, 1 otherwise, 2 on
+ * usage errors.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "driver/sweep.hh"
+#include "sim/logging.hh"
+
+namespace
+{
+
+using namespace ts;
+
+/** Everything a grid can configure besides the shared options. */
+struct GridSettings
+{
+    std::string configs;   ///< preset list ("" = static,delta)
+    std::vector<std::uint64_t> seeds;
+    std::vector<double> scales;
+    std::uint32_t lanes = 8;
+    std::string baseline;
+    std::string out;
+    bool quiet = false;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::FILE* os = code == 0 ? stdout : stderr;
+    std::fputs(
+        "usage: delta-sweep [grid options] [shared options]\n"
+        "grid options:\n"
+        "  --configs LIST    comma-separated presets (default\n"
+        "                    'static,delta'; valid: static, dyn,\n"
+        "                    work, pipe, delta)\n"
+        "  --seeds LIST      comma-separated seeds (default: --seed)\n"
+        "  --scales LIST     comma-separated scales (default: --scale)\n"
+        "  --lanes N         lanes for every config (default 8)\n"
+        "  --baseline NAME   speedup baseline (default: first config)\n"
+        "  --out PATH        aggregate JSON report\n"
+        "  --grid FILE       `key = value` grid file\n"
+        "  --quiet           no per-run progress on stderr\n",
+        os);
+    std::fputs(ts::driver::optionsHelp(), os);
+    std::exit(code);
+}
+
+std::vector<std::string>
+splitList(const std::string& list)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    const auto flush = [&] {
+        const auto b = cur.find_first_not_of(" \t");
+        const auto e = cur.find_last_not_of(" \t");
+        if (b != std::string::npos)
+            out.push_back(cur.substr(b, e - b + 1));
+        cur.clear();
+    };
+    for (const char c : list) {
+        if (c == ',')
+            flush();
+        else
+            cur += c;
+    }
+    flush();
+    return out;
+}
+
+std::vector<std::uint64_t>
+parseSeedList(const std::string& list)
+{
+    std::vector<std::uint64_t> out;
+    for (const std::string& s : splitList(list)) {
+        char* end = nullptr;
+        const std::uint64_t v = std::strtoull(s.c_str(), &end, 10);
+        if (end == s.c_str() || *end != '\0')
+            fatal("--seeds entries must be non-negative integers, "
+                  "got '", s, "'");
+        out.push_back(v);
+    }
+    if (out.empty())
+        fatal("--seeds needs at least one entry");
+    return out;
+}
+
+std::vector<double>
+parseScaleList(const std::string& list)
+{
+    std::vector<double> out;
+    for (const std::string& s : splitList(list)) {
+        char* end = nullptr;
+        const double v = std::strtod(s.c_str(), &end);
+        if (end == s.c_str() || *end != '\0' || !(v > 0))
+            fatal("--scales entries must be positive numbers, got '",
+                  s, "'");
+        out.push_back(v);
+    }
+    if (out.empty())
+        fatal("--scales needs at least one entry");
+    return out;
+}
+
+std::uint32_t
+parseLanes(const std::string& s)
+{
+    char* end = nullptr;
+    const long v = std::strtol(s.c_str(), &end, 10);
+    if (end == s.c_str() || *end != '\0' || v < 1 || v > 62)
+        fatal("--lanes must be in 1..62, got '", s, "'");
+    return static_cast<std::uint32_t>(v);
+}
+
+/**
+ * Apply one `key = value` grid-file setting.  Shared keys write into
+ * @p opt, grid keys into @p grid; an unknown key is fatal listing
+ * every valid one.
+ */
+void
+applyGridKey(const std::string& key, const std::string& value,
+             driver::RunOptions& opt, GridSettings& grid)
+{
+    if (key == "workloads") {
+        opt.workloads = workloadsFromList(value);
+    } else if (key == "configs") {
+        grid.configs = value;
+        (void)driver::sweepConfigsFromList(value); // validate now
+    } else if (key == "seeds") {
+        grid.seeds = parseSeedList(value);
+    } else if (key == "scales") {
+        grid.scales = parseScaleList(value);
+    } else if (key == "lanes") {
+        grid.lanes = parseLanes(value);
+    } else if (key == "baseline") {
+        grid.baseline = value;
+    } else if (key == "jobs") {
+        char* end = nullptr;
+        const long v = std::strtol(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0' || v < 1)
+            fatal("grid key 'jobs' must be a positive integer, "
+                  "got '", value, "'");
+        opt.jobs = static_cast<unsigned>(v);
+    } else if (key == "out") {
+        grid.out = value;
+    } else if (key == "bench-json") {
+        opt.benchJsonDir = value;
+    } else if (key == "trace") {
+        opt.tracePath = value;
+    } else {
+        fatal("unknown grid key '", key,
+              "'; valid keys: workloads, configs, seeds, scales, "
+              "lanes, baseline, jobs, out, bench-json, trace");
+    }
+}
+
+/** Read a `key = value` grid file ('#' comments, blank lines ok). */
+void
+loadGridFile(const std::string& path, driver::RunOptions& opt,
+             GridSettings& grid)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open grid file '", path, "'");
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        const auto b = line.find_first_not_of(" \t\r");
+        if (b == std::string::npos)
+            continue;
+        const std::size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            fatal("grid file ", path, ":", lineno,
+                  ": expected `key = value`, got '", line, "'");
+        const auto trim = [](std::string s) {
+            const auto tb = s.find_first_not_of(" \t\r");
+            const auto te = s.find_last_not_of(" \t\r");
+            return tb == std::string::npos
+                       ? std::string()
+                       : s.substr(tb, te - tb + 1);
+        };
+        applyGridKey(trim(line.substr(0, eq)),
+                     trim(line.substr(eq + 1)), opt, grid);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace ts;
+
+    try {
+        // Shared flags first (consumed from argv, TS_* fallbacks
+        // applied); the remainder must all be grid options.
+        driver::RunOptions opt =
+            driver::parseCommandLine(argc, argv, /*strict=*/false);
+        GridSettings grid;
+
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            const auto value = [&]() -> std::string {
+                if (i + 1 >= argc)
+                    fatal("option '", arg, "' requires a value");
+                return argv[++i];
+            };
+            if (arg == "--configs") {
+                grid.configs = value();
+                (void)driver::sweepConfigsFromList(grid.configs);
+            } else if (arg == "--seeds") {
+                grid.seeds = parseSeedList(value());
+            } else if (arg == "--scales") {
+                grid.scales = parseScaleList(value());
+            } else if (arg == "--lanes") {
+                grid.lanes = parseLanes(value());
+            } else if (arg == "--baseline") {
+                grid.baseline = value();
+            } else if (arg == "--out") {
+                grid.out = value();
+            } else if (arg == "--grid") {
+                loadGridFile(value(), opt, grid);
+            } else if (arg == "--quiet") {
+                grid.quiet = true;
+            } else if (arg == "--help" || arg == "-h") {
+                usage(0);
+            } else {
+                std::cerr << "delta-sweep: unknown option '" << arg
+                          << "'\n\n";
+                usage(2);
+            }
+        }
+
+        driver::SweepSpec spec;
+        spec.workloads = opt.workloads;
+        spec.configs =
+            driver::sweepConfigsFromList(grid.configs, grid.lanes);
+        if (!grid.seeds.empty())
+            spec.seeds = grid.seeds;
+        else
+            spec.seeds = {opt.seed};
+        if (!grid.scales.empty())
+            spec.scales = grid.scales;
+        else
+            spec.scales = {opt.scale};
+        spec.baseline = grid.baseline;
+        spec.jobs = opt.jobs;
+        spec.benchJsonDir = opt.benchJsonDir;
+        spec.tracePath = opt.tracePath;
+        spec.progress = !grid.quiet;
+
+        const std::size_t nw = spec.workloads.size();
+        const std::size_t nc = spec.configs.size();
+        const std::size_t ns = spec.seeds.size();
+        const std::size_t nx = spec.scales.size();
+        driver::Sweep sweep(std::move(spec));
+        if (opt.jobs > 0)
+            std::fprintf(stderr,
+                         "delta-sweep: %zu runs (%zu workloads x %zu "
+                         "configs x %zu seeds x %zu scales), -j %u\n",
+                         sweep.points().size(), nw, nc, ns, nx,
+                         opt.jobs);
+        else
+            std::fprintf(stderr,
+                         "delta-sweep: %zu runs (%zu workloads x %zu "
+                         "configs x %zu seeds x %zu scales), -j auto\n",
+                         sweep.points().size(), nw, nc, ns, nx);
+        const driver::SweepReport report = sweep.run();
+
+        if (!grid.out.empty()) {
+            std::ofstream os(grid.out);
+            if (!os)
+                fatal("cannot write report '", grid.out, "'");
+            report.writeJson(os);
+            std::fprintf(stderr, "delta-sweep: report written to %s\n",
+                         grid.out.c_str());
+        } else {
+            report.writeJson(std::cout);
+        }
+
+        const std::size_t bad = report.failures();
+        if (bad > 0) {
+            std::fprintf(stderr,
+                         "delta-sweep: %zu of %zu runs failed:\n",
+                         bad, report.runs.size());
+            for (const driver::RunOutcome& r : report.runs) {
+                if (!r.ok())
+                    std::fprintf(
+                        stderr, "  %-32s %s\n",
+                        r.point.tag().c_str(),
+                        r.failed ? r.error.c_str() : "check failed");
+            }
+            return 1;
+        }
+        return 0;
+    } catch (const FatalError& e) {
+        std::cerr << "delta-sweep: " << e.what() << "\n";
+        return 2;
+    }
+}
