@@ -81,6 +81,7 @@ main(int argc, char** argv)
         spec.jobs = opt.jobs;
         spec.benchJsonDir = opt.benchJsonDir;
         spec.tracePath = opt.tracePath;
+        spec.noFastForward = opt.noFastForward;
         spec.progress = true;
 
         const driver::SweepReport report =

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Gate simulator host throughput against the host-* perf floors.
+
+Usage: check_host_floors.py <bench_host.json> <perf-floors.txt>
+
+Reads google-benchmark JSON output from bench_host, computes the
+ff:1 / ff:0 speedup of every benchmark from its sim_cycles_per_sec
+counter, and checks:
+
+  host-idle-speedup    floor on BM_SyntheticIdle's speedup
+  host-real-geomean    floor on the geomean speedup of the real
+                       workload benches (everything except the
+                       BM_Synthetic* pair)
+
+Prints a Markdown table (suitable for $GITHUB_STEP_SUMMARY) to
+stdout and exits non-zero when a floor is violated.
+"""
+
+import json
+import math
+import sys
+
+
+def load_floors(path):
+    floors = {}
+    with open(path) as f:
+        for line in f:
+            parts = line.split()
+            if len(parts) != 2 or parts[0].startswith("#"):
+                continue
+            if parts[0].startswith("host-"):
+                floors[parts[0]] = float(parts[1])
+    return floors
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    with open(sys.argv[1]) as f:
+        report = json.load(f)
+
+    rate = {}  # benchmark family -> {ff: sim_cycles_per_sec}
+    for b in report["benchmarks"]:
+        name, _, arg = b["name"].partition("/")
+        ff = arg == "ff:1"
+        rate.setdefault(name, {})[ff] = b["sim_cycles_per_sec"]
+
+    speedup = {}
+    for name, r in sorted(rate.items()):
+        if True in r and False in r and r[False] > 0:
+            speedup[name] = r[True] / r[False]
+
+    real = [s for n, s in speedup.items() if not n.startswith("BM_Synthetic")]
+    geomean = math.exp(sum(math.log(s) for s in real) / len(real)) if real else 0.0
+
+    floors = load_floors(sys.argv[2])
+    checks = [
+        ("host-idle-speedup", speedup.get("BM_SyntheticIdle", 0.0)),
+        ("host-real-geomean", geomean),
+    ]
+
+    print("### Host throughput (bench_host, ff:1 vs ff:0)")
+    print()
+    print("| benchmark | ff:1 cycles/s | ff:0 cycles/s | speedup |")
+    print("| --- | --- | --- | --- |")
+    for name, r in sorted(rate.items()):
+        print(
+            f"| {name} | {r.get(True, 0):,.0f} | {r.get(False, 0):,.0f} "
+            f"| {speedup.get(name, 0):.2f}x |"
+        )
+    print(f"| real-workload geomean | | | {geomean:.2f}x |")
+    print()
+
+    failed = False
+    for key, value in checks:
+        floor = floors.get(key)
+        if floor is None:
+            print(f"- `{key}`: no floor configured, skipped", file=sys.stderr)
+            continue
+        ok = value >= floor
+        failed |= not ok
+        verdict = "ok" if ok else "**FLOOR VIOLATED**"
+        print(f"- `{key}`: {value:.2f}x vs floor {floor:.2f}x — {verdict}")
+    sys.exit(1 if failed else 0)
+
+
+if __name__ == "__main__":
+    main()

@@ -55,6 +55,7 @@ Delta::Delta(const DeltaConfig& cfg)
     if (cfg_.lanes == 0 || cfg_.lanes > 62)
         fatal("Delta supports 1..62 lanes, got ", cfg_.lanes);
 
+    sim_.setFastForward(!cfg_.noFastForward);
     tracer_ = std::make_unique<trace::Tracer>(cfg_.trace);
 
     noc_ = std::make_unique<Noc>(sim_, meshFor(cfg_.lanes,

@@ -58,6 +58,15 @@ struct DeltaConfig
      */
     std::string statsJsonPath;
 
+    /**
+     * Tick every component every cycle instead of running the
+     * activity-driven core (Simulator::setFastForward(false)).
+     * Bit-identical to the default; exists for differential testing
+     * and host-throughput comparison.  --no-fast-forward /
+     * TS_NO_FAST_FORWARD via RunOptions::applyTo().
+     */
+    bool noFastForward = false;
+
     /** TaskStream configuration (all mechanisms on). */
     static DeltaConfig delta(std::uint32_t lanes = 8);
 

@@ -59,6 +59,9 @@ Lane::Lane(Simulator& sim, Noc& noc, MemImage& img,
     for (auto& we : writeEngines_)
         sim.add(we.get());
     sim.add(fabric_.get());
+
+    // The adapter sleeps on an empty ejection queue; arrivals wake it.
+    noc_.eject(selfNode_).addObserver(this);
 }
 
 bool
@@ -173,6 +176,10 @@ Lane::tick(Tick)
             panic(name(), ": unexpected packet kind");
         }
     }
+    // Nothing to demux until the ejection channel commits again; a
+    // leftover backlog (budget exhausted) keeps the adapter ticking.
+    if (inbox.empty())
+        sleepOnWake();
 }
 
 bool

@@ -14,6 +14,10 @@ MemNode::MemNode(Simulator& sim, Noc& noc, std::uint32_t selfNode,
     mem_ = std::make_unique<MainMemory>(sim, cfg, *reqCh_, *respCh_);
     sim.add(this);
     sim.add(mem_.get());
+
+    // Sleep between bursts; woken by NoC arrivals and DRAM responses.
+    noc_.eject(selfNode_).addObserver(this);
+    respCh_->addObserver(this);
 }
 
 void
@@ -45,6 +49,11 @@ MemNode::tick(Tick)
             break;
         respCh_->pop();
     }
+
+    // A backlog on either side (full request channel, failed inject)
+    // keeps us ticking; otherwise wait for the next channel commit.
+    if (inbox.empty() && respCh_->empty())
+        sleepOnWake();
 }
 
 bool

@@ -234,6 +234,33 @@ printCritPath(std::ostream& os, const RunStats& s)
 }
 
 void
+printHostPerf(std::ostream& os, const RunStats& s)
+{
+    if (!s.has("sim.host.wallNs"))
+        return;
+    const double wallNs = s.getOr("sim.host.wallNs");
+    const double cycles = s.getOr("delta.cycles", s.getOr("sim.cycles"));
+    const double ffwd = s.getOr("sim.host.cyclesFastForwarded");
+    os << "Host simulation performance:\n";
+    os << "  wall time        " << std::fixed << std::setprecision(2)
+       << wallNs / 1e6 << " ms\n";
+    os << "  ticks executed   " << fmt(s.getOr("sim.host.ticksExecuted"))
+       << " (avg " << std::setprecision(2)
+       << s.getOr("sim.host.avgActiveComponents")
+       << " active components/cycle)\n";
+    if (cycles > 0) {
+        os << "  fast-forwarded   " << fmt(ffwd) << " of "
+           << fmt(cycles) << " cycles (" << pct(ffwd / cycles)
+           << ")\n";
+    }
+    if (wallNs > 0) {
+        os << "  throughput       " << fmt(cycles / (wallNs / 1e9))
+           << " simulated cycles/s\n";
+    }
+    os << "\n";
+}
+
+void
 printTaskTypes(std::ostream& os, const RunStats& s, std::size_t topk)
 {
     const std::vector<TaskTypeRow> rows = slowestTaskTypes(s, topk);
@@ -301,6 +328,7 @@ printReport(std::ostream& os, const RunStats& s,
     printWaterfall(os, s);
     printAttribution(os, s);
     printCritPath(os, s);
+    printHostPerf(os, s);
     printTaskTypes(os, s, opt.topk);
     if (opt.baseline != nullptr) {
         const double x = speedupVs(s, *opt.baseline);

@@ -15,6 +15,7 @@ Fabric::configure(const MappedDfg* m, Tick now)
 {
     TS_ASSERT(m != nullptr && m->dfg != nullptr);
     TS_ASSERT(drained(), name(), ": configure with tokens in flight");
+    requestWake(); // the configuring task unit ticks before us
 
     if (m == current_) {
         configReadyAt_ = now; // already loaded: free switch
@@ -357,12 +358,21 @@ Fabric::pendingEmit() const
 void
 Fabric::tick(Tick now)
 {
-    if (current_ == nullptr)
+    if (current_ == nullptr) {
+        sleepOnWake(); // configure() wakes us
         return;
-    if (!ready(now))
+    }
+    if (!ready(now)) {
+        // No tokens can arrive while configuration loads: the task
+        // unit programs the stream engines only once ready() holds.
+        sleepUntil(configReadyAt_);
         return;
-    if (drained() && !pendingEmit())
+    }
+    if (drained() && !pendingEmit()) {
+        // Woken by the read engines when they deliver input tokens.
+        sleepOnWake();
         return;
+    }
     ++activeCycles_;
     advanceRoutes();
     outputStage(now);

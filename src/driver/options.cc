@@ -88,6 +88,8 @@ RunOptions::applyTo(DeltaConfig cfg) const
         cfg.trace = nextTraceConfig(tracePath);
     if (cfg.statsJsonPath.empty())
         cfg.statsJsonPath = statsJsonPath;
+    if (noFastForward)
+        cfg.noFastForward = true;
     return cfg;
 }
 
@@ -119,6 +121,8 @@ RunOptions::fromEnv()
     opt.tracePath = env("TS_TRACE");
     opt.statsJsonPath = env("TS_STATS_JSON");
     opt.benchJsonDir = env("TS_BENCH_JSON");
+    if (const std::string s = env("TS_NO_FAST_FORWARD"); !s.empty())
+        opt.noFastForward = s != "0";
     return opt;
 }
 
@@ -135,6 +139,8 @@ optionsHelp()
         "  --stats-json PATH  flat StatSet JSON dump [TS_STATS_JSON]\n"
         "  --bench-json DIR   per-run wrapper dumps [TS_BENCH_JSON]\n"
         "  --log N            stderr verbosity 0|1|2 [TS_LOG]\n"
+        "  --no-fast-forward  naive per-cycle ticking (bit-identical\n"
+        "                     reference mode) [TS_NO_FAST_FORWARD]\n"
         "  -j N, --jobs N     host worker threads (default: hardware\n"
         "                     concurrency)\n";
 }
@@ -173,6 +179,8 @@ parseCommandLine(int& argc, char** argv, bool strict)
             opt.statsJsonPath = value("--stats-json");
         } else if (arg == "--bench-json") {
             opt.benchJsonDir = value("--bench-json");
+        } else if (arg == "--no-fast-forward") {
+            opt.noFastForward = true;
         } else if (arg == "-j" || arg == "--jobs") {
             opt.jobs = parseJobs(value("--jobs"), "--jobs");
         } else if (strict && (arg == "--help" || arg == "-h")) {

@@ -18,6 +18,8 @@
  *   --stats-json PATH       TS_STATS_JSON    flat StatSet dump
  *   --bench-json DIR        TS_BENCH_JSON    per-run wrapper dumps
  *   --log N                 TS_LOG           stderr verbosity 0|1|2
+ *   --no-fast-forward       TS_NO_FAST_FORWARD
+ *                                            naive per-cycle ticking
  *   -j N / --jobs N         (none)           host worker threads
  *
  * parseCommandLine() erases the flags it consumed from argv, so
@@ -55,6 +57,12 @@ struct RunOptions
     std::string tracePath;     ///< Perfetto trace out ("" = off)
     std::string statsJsonPath; ///< flat StatSet dump ("" = off)
     std::string benchJsonDir;  ///< per-run wrapper dumps ("" = off)
+
+    /** Disable the activity-driven simulation core and tick every
+     *  component every cycle (the naive reference mode).  Results are
+     *  bit-identical either way; this exists for differential testing
+     *  and host-performance comparison. */
+    bool noFastForward = false;
 
     /** Host worker threads for sweep-style drivers (0 = pick
      *  hardware concurrency at use site). */

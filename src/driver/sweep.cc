@@ -221,6 +221,8 @@ executePoint(const SweepSpec& spec, const RunPoint& point)
         }
         if (!spec.tracePath.empty())
             cfg.trace = traceConfigTagged(spec.tracePath, point.tag());
+        if (spec.noFastForward)
+            cfg.noFastForward = true;
 
         SuiteParams sp;
         sp.seed = point.seed;
@@ -461,7 +463,9 @@ SweepReport::writeJson(std::ostream& os) const
         if (r.failed)
             os << "{}";
         else
-            r.stats.dumpJson(os);
+            // Host-side wall-clock counters are non-deterministic;
+            // the aggregate report must stay byte-reproducible.
+            r.stats.dumpJson(os, "sim.host.");
         os << "}";
     }
     os << "\n  ],\n";

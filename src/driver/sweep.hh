@@ -95,6 +95,11 @@ struct SweepSpec
     /** Progress/ETA lines on stderr as runs retire. */
     bool progress = false;
 
+    /** Run every point with naive per-cycle ticking instead of the
+     *  activity-driven core (bit-identical; for differential checks
+     *  and host-throughput comparison). */
+    bool noFastForward = false;
+
     /** Resolved baseline name ("" when speedups are off). */
     std::string baselineName() const;
 };

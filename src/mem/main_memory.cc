@@ -14,6 +14,9 @@ MainMemory::MainMemory(Simulator& sim, const MainMemoryConfig& cfg,
 {
     if (cfg_.numBanks == 0 || cfg_.issueWidth == 0)
         fatal("main memory needs at least one bank and issue slot");
+    // Sleep when fully drained; woken by request-channel commits.
+    // In-flight reads need no ticks (responses are pure events).
+    reqIn_.addObserver(this);
 }
 
 std::uint32_t
@@ -86,6 +89,11 @@ MainMemory::tick(Tick now)
         }
         it = pending_.erase(it);
     }
+
+    // A non-empty pending queue must keep ticking: the per-scan
+    // bankConflictStalls_ accounting depends on every cycle running.
+    if (reqIn_.empty() && pending_.empty())
+        sleepOnWake();
 }
 
 void

@@ -33,7 +33,9 @@ class Scratchpad : public Ticked
   public:
     Scratchpad(std::string name, const ScratchpadConfig& cfg);
 
-    void tick(Tick) override {}
+    // Purely caller-driven (tryAccess keys its port budget on `now`),
+    // so the scratchpad sleeps permanently after its first tick.
+    void tick(Tick) override { sleepOnWake(); }
     bool busy() const override { return false; }
     void reportStats(StatSet& stats) const override;
 

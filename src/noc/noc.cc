@@ -44,12 +44,36 @@ class NocRouter : public Ticked
     void
     tick(Tick now) override
     {
+        // The round-robin arbitration pointer is a pure function of
+        // simulated time, so skipped (slept) cycles cannot perturb it.
+        const unsigned rr = static_cast<unsigned>(now % NumDirs);
         for (unsigned i = 0; i < NumDirs; ++i) {
-            const unsigned port = (rr_ + i) % NumDirs;
+            const unsigned port = (rr + i) % NumDirs;
             if (in_[port] != nullptr)
                 tryForward(*in_[port], now);
         }
-        rr_ = (rr_ + 1) % NumDirs;
+
+        // Idle contract: sleep when every input is visibly empty
+        // (woken by the input channels' commits) or when every
+        // pending head is still serializing onto this hop (woken at
+        // the earliest maturity).  A head that is due but blocked on
+        // an output keeps the router ticking — nothing wakes us when
+        // a downstream queue drains.
+        Tick earliest = 0;
+        for (unsigned p = 0; p < NumDirs; ++p) {
+            const Channel<Packet>* ch = in_[p];
+            if (ch == nullptr || ch->empty())
+                continue;
+            const Tick nb = ch->front().notBefore;
+            if (nb <= now)
+                return;
+            if (earliest == 0 || nb < earliest)
+                earliest = nb;
+        }
+        if (earliest != 0)
+            sleepUntil(earliest);
+        else
+            sleepOnWake();
     }
 
     bool busy() const override { return false; }
@@ -164,7 +188,6 @@ class NocRouter : public Ticked
 
     Noc& noc_;
     std::uint32_t id_;
-    unsigned rr_ = 0;
     std::array<Tick, NumDirs> linkFreeAt_;
 };
 
@@ -214,6 +237,14 @@ Noc::Noc(Simulator& sim, const NocConfig& cfg) : sim_(sim), cfg_(cfg)
                 link(id, id + w, North, South);
             if (y > 0)
                 link(id, id - w, South, North);
+        }
+    }
+
+    // Sleeping routers are woken by commits on their input channels.
+    for (std::uint32_t i = 0; i < n; ++i) {
+        for (unsigned p = 0; p < NumDirs; ++p) {
+            if (routers_[i]->in_[p] != nullptr)
+                routers_[i]->in_[p]->addObserver(routers_[i].get());
         }
     }
 }

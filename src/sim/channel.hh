@@ -9,12 +9,23 @@
  *
  * Channels are capacity-limited; a failed push() models back-pressure
  * and the producer is expected to retry on a later cycle.
+ *
+ * For the activity-driven simulator core a channel additionally
+ *  - self-registers into a per-cycle dirty list on the first push of
+ *    a cycle, so the commit phase walks only touched channels,
+ *  - maintains an external live-channel counter, so quiescence is a
+ *    counter check instead of a scan, and
+ *  - carries a list of observer components the simulator wakes when a
+ *    commit makes new values visible.
+ * All three hooks are installed by Simulator::addChannel; a channel
+ * used standalone (unit tests) behaves exactly as before.
  */
 
 #ifndef TS_SIM_CHANNEL_HH
 #define TS_SIM_CHANNEL_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <string>
 #include <utility>
@@ -24,6 +35,8 @@
 
 namespace ts
 {
+
+class Ticked;
 
 /** Type-erased channel interface used by the simulator core. */
 class ChannelBase
@@ -41,11 +54,75 @@ class ChannelBase
     /** True when no value is visible or staged. */
     virtual bool quiescent() const = 0;
 
+    /** True when any value is visible to the consumer. */
+    virtual bool anyVisible() const = 0;
+
+    /**
+     * Register a component to be woken whenever a commit of this
+     * channel leaves values visible (i.e. the consumer has something
+     * to look at next cycle).
+     */
+    void addObserver(Ticked* t) { observers_.push_back(t); }
+
+    /** Components woken on visible commits (simulator core). */
+    const std::vector<Ticked*>& observers() const { return observers_; }
+
+    /**
+     * Install the simulator-side activity hooks (called by
+     * Simulator::addChannel).  If the channel already holds values,
+     * the counters are synchronized so late registration is safe.
+     */
+    void
+    installHooks(std::int64_t* liveCounter,
+                 std::vector<ChannelBase*>* dirtyList)
+    {
+        liveCounter_ = liveCounter;
+        dirtyList_ = dirtyList;
+        if (live_ && liveCounter_ != nullptr)
+            ++*liveCounter_;
+        if (dirty_ && dirtyList_ != nullptr)
+            dirtyList_->push_back(this);
+    }
+
+    /** Whether a push this cycle has not yet been committed. */
+    bool dirty() const { return dirty_; }
+
     /** Diagnostic name. */
     const std::string& name() const { return name_; }
 
+  protected:
+    /** First push of the cycle enqueues us for the commit phase. */
+    void
+    markDirty()
+    {
+        if (!dirty_) {
+            dirty_ = true;
+            if (dirtyList_ != nullptr)
+                dirtyList_->push_back(this);
+        }
+    }
+
+    /** Commit served this channel; re-arm for the next cycle. */
+    void clearDirty() { dirty_ = false; }
+
+    /** Track the visible-or-staged liveness transition. */
+    void
+    setLive(bool v)
+    {
+        if (v != live_) {
+            live_ = v;
+            if (liveCounter_ != nullptr)
+                *liveCounter_ += v ? 1 : -1;
+        }
+    }
+
   private:
     std::string name_;
+    std::vector<Ticked*> observers_;
+    std::int64_t* liveCounter_ = nullptr;
+    std::vector<ChannelBase*>* dirtyList_ = nullptr;
+    bool live_ = false;
+    bool dirty_ = false;
 };
 
 /**
@@ -82,6 +159,8 @@ class Channel : public ChannelBase
             return false;
         staging_.push_back(std::move(v));
         ++pushed_;
+        markDirty();
+        setLive(true);
         return true;
     }
 
@@ -106,6 +185,8 @@ class Channel : public ChannelBase
         TS_ASSERT(!queue_.empty(), "pop on empty channel ", name());
         T v = std::move(queue_.front());
         queue_.pop_front();
+        if (queue_.empty() && staging_.empty())
+            setLive(false);
         return v;
     }
 
@@ -115,6 +196,7 @@ class Channel : public ChannelBase
         for (auto& v : staging_)
             queue_.push_back(std::move(v));
         staging_.clear();
+        clearDirty();
         if (queue_.size() > maxOccupancy_)
             maxOccupancy_ = queue_.size();
     }
@@ -124,6 +206,8 @@ class Channel : public ChannelBase
     {
         return queue_.empty() && staging_.empty();
     }
+
+    bool anyVisible() const override { return !queue_.empty(); }
 
     /** Total values ever pushed (for traffic statistics). */
     std::uint64_t pushed() const { return pushed_; }

@@ -1,24 +1,28 @@
 #include "sim/event_queue.hh"
 
 #include "sim/logging.hh"
+#include "sim/simulator.hh"
 
 namespace ts
 {
 
 void
-EventQueue::schedule(Tick when, Callback cb)
+EventQueue::schedule(Tick when, Callback cb, Ticked* owner)
 {
-    heap_.push(Entry{when, nextSeq_++, std::move(cb)});
+    heap_.push(Entry{when, nextSeq_++, std::move(cb), owner});
 }
 
 void
 EventQueue::fireUpTo(Tick now)
 {
     while (!heap_.empty() && heap_.top().when <= now) {
-        // Copy out before pop so the callback may schedule new events.
+        // Move out before pop so the callback may schedule new events.
         Callback cb = std::move(const_cast<Entry&>(heap_.top()).cb);
+        Ticked* owner = heap_.top().owner;
         heap_.pop();
         cb();
+        if (owner != nullptr)
+            owner->requestWake();
     }
 }
 

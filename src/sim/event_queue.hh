@@ -3,20 +3,137 @@
  * A simple discrete-event queue used for modeling fixed latencies
  * (DRAM service, functional-unit pipelines) alongside the per-cycle
  * ticked components.
+ *
+ * Callbacks are stored in a small-buffer SmallFn instead of
+ * std::function: the hot path (a lambda capturing a pointer and a
+ * packet-sized payload) never touches the heap.  An event may carry an
+ * owner component; the simulator wakes the owner when the event fires
+ * so sleeping components resume on their scheduled latencies.
  */
 
 #ifndef TS_SIM_EVENT_QUEUE_HH
 #define TS_SIM_EVENT_QUEUE_HH
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <new>
 #include <queue>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/types.hh"
 
 namespace ts
 {
+
+class Ticked;
+
+/**
+ * A move-only callable with inline storage for small captures.
+ *
+ * Functors up to kInlineBytes that are nothrow-move-constructible are
+ * stored inline; anything larger falls back to a single heap
+ * allocation (the same cost std::function pays for every capture
+ * beyond its tiny SSO buffer).
+ */
+class SmallFn
+{
+  public:
+    SmallFn() noexcept = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, SmallFn>>>
+    SmallFn(F&& f) // NOLINT: intentionally implicit, like std::function
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(std::is_invocable_r_v<void, Fn&>,
+                      "SmallFn requires a void() callable");
+        if constexpr (sizeof(Fn) <= kInlineBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            new (buf_) Fn(std::forward<F>(f));
+            ops_ = &kInlineOps<Fn>;
+        } else {
+            *reinterpret_cast<Fn**>(buf_) =
+                new Fn(std::forward<F>(f));
+            ops_ = &kHeapOps<Fn>;
+        }
+    }
+
+    SmallFn(SmallFn&& o) noexcept : ops_(o.ops_)
+    {
+        if (ops_ != nullptr)
+            ops_->relocate(o.buf_, buf_);
+        o.ops_ = nullptr;
+    }
+
+    SmallFn&
+    operator=(SmallFn&& o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            ops_ = o.ops_;
+            if (ops_ != nullptr)
+                ops_->relocate(o.buf_, buf_);
+            o.ops_ = nullptr;
+        }
+        return *this;
+    }
+
+    SmallFn(const SmallFn&) = delete;
+    SmallFn& operator=(const SmallFn&) = delete;
+
+    ~SmallFn() { reset(); }
+
+    void operator()() { ops_->invoke(buf_); }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+  private:
+    /** Inline capture budget; covers a this-pointer plus a packet. */
+    static constexpr std::size_t kInlineBytes = 48;
+
+    struct Ops
+    {
+        void (*invoke)(void*);
+        /** Move-construct into @p to and destroy the source. */
+        void (*relocate)(void* from, void* to);
+        void (*destroy)(void*);
+    };
+
+    template <typename Fn>
+    static constexpr Ops kInlineOps{
+        [](void* p) { (*static_cast<Fn*>(p))(); },
+        [](void* from, void* to) {
+            new (to) Fn(std::move(*static_cast<Fn*>(from)));
+            static_cast<Fn*>(from)->~Fn();
+        },
+        [](void* p) { static_cast<Fn*>(p)->~Fn(); },
+    };
+
+    template <typename Fn>
+    static constexpr Ops kHeapOps{
+        [](void* p) { (**static_cast<Fn**>(p))(); },
+        [](void* from, void* to) {
+            *static_cast<Fn**>(to) = *static_cast<Fn**>(from);
+        },
+        [](void* p) { delete *static_cast<Fn**>(p); },
+    };
+
+    void
+    reset()
+    {
+        if (ops_ != nullptr) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+    const Ops* ops_ = nullptr;
+};
 
 /**
  * Min-heap of (tick, sequence) ordered callbacks.  Events scheduled
@@ -25,10 +142,15 @@ namespace ts
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = SmallFn;
 
-    /** Schedule a callback at an absolute tick (>= current tick). */
-    void schedule(Tick when, Callback cb);
+    /**
+     * Schedule a callback at an absolute tick (>= current tick).
+     * When @p owner is non-null the component is woken (see
+     * Ticked::requestWake) just after the callback fires, so a
+     * sleeping owner reacts to its own latency events.
+     */
+    void schedule(Tick when, Callback cb, Ticked* owner = nullptr);
 
     /** Fire every event scheduled at or before @p now. */
     void fireUpTo(Tick now);
@@ -48,6 +170,7 @@ class EventQueue
         Tick when;
         std::uint64_t seq;
         Callback cb;
+        Ticked* owner;
     };
 
     struct Later

@@ -1,5 +1,6 @@
 #include "sim/simulator.hh"
 
+#include <chrono>
 #include <sstream>
 
 #include "sim/logging.hh"
@@ -8,11 +9,36 @@
 namespace ts
 {
 
+namespace
+{
+
+std::uint64_t
+nsSince(std::chrono::steady_clock::time_point t0)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+}
+
+} // namespace
+
 void
 Simulator::add(Ticked* t)
 {
     TS_ASSERT(t != nullptr);
+    TS_ASSERT(t->sim_ == nullptr,
+              "component registered with two simulators: ", t->name());
+    t->sim_ = this;
+    t->simIndex_ = static_cast<std::uint32_t>(ticked_.size());
     ticked_.push_back(t);
+    const std::uint32_t idx = t->simIndex_;
+    if ((idx >> 6) >= active_.size()) {
+        active_.push_back(0);
+        pending_.push_back(0);
+    }
+    active_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+    ++activeCount_;
 }
 
 void
@@ -20,26 +46,132 @@ Simulator::addChannel(ChannelBase* c)
 {
     TS_ASSERT(c != nullptr);
     channels_.push_back(c);
+    c->installHooks(&liveChannels_, &dirtyCh_);
 }
 
 void
-Simulator::schedule(Tick delay, EventQueue::Callback cb)
+Simulator::schedule(Tick delay, EventQueue::Callback cb, Ticked* owner)
 {
     TS_ASSERT(delay >= 1, "events must be scheduled at least 1 cycle out");
-    events_.schedule(now_ + delay, std::move(cb));
+    events_.schedule(now_ + delay, std::move(cb), owner);
 }
 
 void
-Simulator::doCycle()
+Simulator::applySleep(Ticked* t)
+{
+    t->sleepPending_ = false;
+    t->sleeping_ = true;
+    const std::uint32_t idx = t->simIndex_;
+    active_[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+    --activeCount_;
+    if (t->sleepAt_ != kNoWakeTick) {
+        // Clamp: sleeping until a past/current cycle means "tick
+        // again next cycle", never re-entry into the current one.
+        const Tick at = t->sleepAt_ > now_ + 1 ? t->sleepAt_ : now_ + 1;
+        sleepHeap_.push(TimedWake{at, t->simIndex_});
+    }
+    if (!t->inBusyList_ && t->busy()) {
+        t->inBusyList_ = true;
+        sleepersBusy_.push_back(t->simIndex_);
+    }
+}
+
+void
+Simulator::wakeDueSleepers()
+{
+    while (!sleepHeap_.empty() && sleepHeap_.top().at <= now_) {
+        const std::uint32_t idx = sleepHeap_.top().idx;
+        sleepHeap_.pop();
+        // Possibly stale (the sleeper was woken earlier or re-slept
+        // with a different target); waking is spurious-safe.
+        wake(ticked_[idx]);
+    }
+}
+
+bool
+Simulator::maybeQuiescent()
+{
+    if (!events_.empty() || liveChannels_ != 0)
+        return false;
+    for (std::size_t w = 0; w < active_.size(); ++w) {
+        for (std::uint64_t bits = active_[w]; bits != 0;
+             bits &= bits - 1) {
+            const std::size_t idx =
+                (w << 6) + std::countr_zero(bits);
+            if (ticked_[idx]->busy())
+                return false;
+        }
+    }
+    // Re-sample the busy-sleeper list: a sleeper whose busy() dropped
+    // (e.g. via an event) or that has since woken is compacted away.
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < sleepersBusy_.size(); ++r) {
+        Ticked* t = ticked_[sleepersBusy_[r]];
+        if (t->sleeping_ && t->busy())
+            sleepersBusy_[w++] = sleepersBusy_[r];
+        else
+            t->inBusyList_ = false;
+    }
+    sleepersBusy_.resize(w);
+    if (w != 0)
+        return false;
+    TS_ASSERT(quiescent(),
+              "incremental quiescence disagrees with the full scan");
+    return true;
+}
+
+void
+Simulator::doCycleFast()
+{
+    if (trace::on())
+        trace::active()->setNow(now_);
+    events_.fireUpTo(now_);
+
+    pending_ = active_;
+    walking_ = true;
+    for (std::size_t w = 0; w < pending_.size(); ++w) {
+        while (pending_[w] != 0) {
+            const std::uint32_t idx = static_cast<std::uint32_t>(
+                (w << 6) + std::countr_zero(pending_[w]));
+            pending_[w] &= pending_[w] - 1;
+            walkPos_ = idx;
+            Ticked* t = ticked_[idx];
+            t->sleepPending_ = false;
+            t->tick(now_);
+            ++ticksExecuted_;
+            if (t->sleepPending_)
+                applySleep(t);
+        }
+    }
+    walking_ = false;
+
+    for (ChannelBase* c : dirtyCh_) {
+        c->commit();
+        if (c->anyVisible()) {
+            for (Ticked* o : c->observers())
+                wake(o);
+        }
+    }
+    dirtyCh_.clear();
+
+    ++now_;
+    ++cyclesExecuted_;
+}
+
+void
+Simulator::doCycleNaive()
 {
     if (trace::on())
         trace::active()->setNow(now_);
     events_.fireUpTo(now_);
     for (Ticked* t : ticked_)
         t->tick(now_);
+    ticksExecuted_ += ticked_.size();
     for (ChannelBase* c : channels_)
         c->commit();
+    dirtyCh_.clear();
     ++now_;
+    ++cyclesExecuted_;
 }
 
 bool
@@ -58,22 +190,101 @@ Simulator::quiescent() const
     return true;
 }
 
+void
+Simulator::catchUpAll()
+{
+    for (Ticked* t : ticked_)
+        t->catchUp(now_);
+}
+
 Tick
 Simulator::run(Tick maxCycles)
 {
+    const auto t0 = std::chrono::steady_clock::now();
+    const Tick end =
+        fastForward_ ? runFast(maxCycles) : runNaive(maxCycles);
+    wallNs_ += nsSince(t0);
+    return end;
+}
+
+Tick
+Simulator::runFast(Tick maxCycles)
+{
+    const Tick start = now_;
+    const Tick limit = start + maxCycles;
+    for (;;) {
+        wakeDueSleepers();
+        if (activeCount_ == 0) {
+            if (maybeQuiescent()) {
+                catchUpAll();
+                return now_;
+            }
+            // Idle fast-forward: nothing ticks until the next event
+            // or timed wake; every skipped cycle is a no-op.
+            Tick target = kNoWakeTick;
+            if (!events_.empty())
+                target = events_.nextTick();
+            if (!sleepHeap_.empty() && sleepHeap_.top().at < target)
+                target = sleepHeap_.top().at;
+            if (target == kNoWakeTick) {
+                // Not quiescent, yet nothing can ever wake: a missed
+                // wake (component porting bug) or an unconsumed
+                // channel value.  Diagnose loudly.
+                deadlockFatal(maxCycles, /*overrun=*/false);
+            }
+            if (target > now_) {
+                const Tick to = target < limit ? target : limit;
+                cyclesFastForwarded_ += to - now_;
+                now_ = to;
+                if (to == target)
+                    continue; // wake the due sleepers at `to`
+            }
+        } else if (maybeQuiescent()) {
+            catchUpAll();
+            return now_;
+        }
+        if (now_ - start >= maxCycles) {
+            // Overrun: reuse the incremental liveness state for the
+            // final check instead of a second full scan.
+            if (maybeQuiescent()) {
+                catchUpAll();
+                return now_;
+            }
+            deadlockFatal(maxCycles, /*overrun=*/true);
+        }
+        doCycleFast();
+    }
+}
+
+Tick
+Simulator::runNaive(Tick maxCycles)
+{
     const Tick start = now_;
     while (now_ - start < maxCycles) {
-        if (quiescent())
+        if (quiescent()) {
+            catchUpAll();
             return now_;
-        doCycle();
+        }
+        doCycleNaive();
     }
-    if (quiescent())
+    if (quiescent()) {
+        catchUpAll();
         return now_;
+    }
+    deadlockFatal(maxCycles, /*overrun=*/true);
+}
 
-    // Deadlock / overrun: identify what is still live for diagnosis.
+void
+Simulator::deadlockFatal(Tick maxCycles, bool overrun)
+{
     std::ostringstream os;
-    os << "simulation did not quiesce within " << maxCycles
-       << " cycles; still live:";
+    if (overrun)
+        os << "simulation did not quiesce within " << maxCycles
+           << " cycles; still live:";
+    else
+        os << "simulation deadlocked at cycle " << now_
+           << ": no component active and no event or timed wake "
+              "pending; still live:";
     if (!events_.empty())
         os << " [" << events_.size() << " events]";
     for (const ChannelBase* c : channels_) {
@@ -90,8 +301,32 @@ Simulator::run(Tick maxCycles)
 void
 Simulator::step(Tick cycles)
 {
-    for (Tick i = 0; i < cycles; ++i)
-        doCycle();
+    const auto t0 = std::chrono::steady_clock::now();
+    if (!fastForward_) {
+        for (Tick i = 0; i < cycles; ++i)
+            doCycleNaive();
+    } else {
+        const Tick end = now_ + cycles;
+        while (now_ < end) {
+            wakeDueSleepers();
+            if (activeCount_ == 0) {
+                Tick target = end;
+                if (!events_.empty() && events_.nextTick() < target)
+                    target = events_.nextTick();
+                if (!sleepHeap_.empty() &&
+                    sleepHeap_.top().at < target)
+                    target = sleepHeap_.top().at;
+                if (target > now_) {
+                    cyclesFastForwarded_ += target - now_;
+                    now_ = target;
+                    continue;
+                }
+            }
+            doCycleFast();
+        }
+    }
+    catchUpAll();
+    wallNs_ += nsSince(t0);
 }
 
 void
@@ -100,6 +335,16 @@ Simulator::reportStats(StatSet& stats) const
     for (const Ticked* t : ticked_)
         t->reportStats(stats);
     stats.set("sim.cycles", static_cast<double>(now_));
+    stats.set("sim.host.wallNs", static_cast<double>(wallNs_));
+    stats.set("sim.host.ticksExecuted",
+              static_cast<double>(ticksExecuted_));
+    stats.set("sim.host.cyclesFastForwarded",
+              static_cast<double>(cyclesFastForwarded_));
+    stats.set("sim.host.avgActiveComponents",
+              cyclesExecuted_ == 0
+                  ? 0.0
+                  : static_cast<double>(ticksExecuted_) /
+                        static_cast<double>(cyclesExecuted_));
 }
 
 } // namespace ts

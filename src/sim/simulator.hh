@@ -6,20 +6,52 @@
  * simulated cycle proceeds in three phases:
  *
  *   1. fire all events scheduled for this cycle,
- *   2. tick every component (order-independent thanks to channels'
- *      next-cycle visibility),
- *   3. commit every channel.
+ *   2. tick every *active* component (order-independent thanks to
+ *      channels' next-cycle visibility),
+ *   3. commit every *dirty* channel.
  *
  * Simulation ends when the system is quiescent: no pending events, no
  * in-flight channel values, and no component reporting busy().
  * Components must not create work spontaneously; all activity
  * descends from initial state or events.
+ *
+ * Activity-driven scheduling
+ * --------------------------
+ * The core walks an active list instead of every component.  A
+ * component may remove itself from the list by calling sleepUntil() /
+ * sleepOnWake() from inside its tick(); it is re-inserted by
+ *
+ *   - the timed wake it asked for (sleepUntil),
+ *   - a commit of a channel it observes (ChannelBase::addObserver),
+ *   - an event it owns firing (Simulator::schedule owner), or
+ *   - an explicit Ticked::requestWake() from a producer.
+ *
+ * The contract that keeps results bit-identical to ticking everything:
+ * a component may only sleep when its tick() is provably a total
+ * no-op (no state change, no stat, no trace event) for every skipped
+ * cycle, and every input that could change that must be wired to one
+ * of the wake sources above.  Spurious wakes are always harmless —
+ * sleeping is a one-shot request re-decided at the end of every
+ * tick — so wake sources may over-approximate freely.  A wake
+ * requested for a component the current cycle's walk has not reached
+ * yet takes effect this cycle (matching direct intra-cycle calls such
+ * as TaskUnit::deliver); otherwise it takes effect next cycle
+ * (matching channel commit visibility).
+ *
+ * When the active list empties while events or timed wakes are still
+ * pending, the simulator fast-forwards now_ straight to the next of
+ * them; the skipped cycles are no-ops by the contract above.
+ * setFastForward(false) restores the naive everything-every-cycle
+ * loop for differential testing (--no-fast-forward).
  */
 
 #ifndef TS_SIM_SIMULATOR_HH
 #define TS_SIM_SIMULATOR_HH
 
+#include <bit>
+#include <limits>
 #include <memory>
+#include <queue>
 #include <string>
 #include <vector>
 
@@ -30,6 +62,8 @@
 
 namespace ts
 {
+
+class Simulator;
 
 /** Base class for every cycle-stepped hardware model. */
 class Ticked
@@ -54,18 +88,56 @@ class Ticked
     /** Contribute counters to the global statistics dump. */
     virtual void reportStats(StatSet&) const {}
 
+    /**
+     * Flush per-cycle bookkeeping deferred across slept cycles up to
+     * (excluding) @p now.  Called by the simulator before run()
+     * returns and at the end of step(), so externally observable
+     * accounting matches a component that ticked every cycle.
+     */
+    virtual void catchUp(Tick now) { (void)now; }
+
+    /**
+     * Ensure this component ticks as soon as possible: during the
+     * current cycle when the tick walk has not passed it yet,
+     * otherwise on the next executed cycle.  Safe to call from
+     * anywhere at any time; spurious wakes are harmless.
+     */
+    void requestWake();
+
     /** Diagnostic name. */
     const std::string& name() const { return name_; }
 
+  protected:
+    /**
+     * From inside tick(): skip subsequent ticks until cycle
+     * @p wakeAt (clamped to now+1) unless woken earlier.
+     */
+    void sleepUntil(Tick wakeAt);
+
+    /** From inside tick(): skip subsequent ticks until a wake. */
+    void sleepOnWake();
+
   private:
+    friend class Simulator;
+
     std::string name_;
+    Simulator* sim_ = nullptr;
+    std::uint32_t simIndex_ = 0;
+    /** Sleep requested by the current tick (applied after it). */
+    bool sleepPending_ = false;
+    /** Currently absent from the active list. */
+    bool sleeping_ = false;
+    /** Timed wake for a pending sleep (kNoWakeTick = wake only). */
+    Tick sleepAt_ = 0;
+    /** Already recorded in the simulator's busy-sleeper list. */
+    bool inBusyList_ = false;
 };
 
 /** Owns components and channels and advances simulated time. */
 class Simulator
 {
   public:
-    /** Register a component (not owned). */
+    /** Register a component (not owned); it starts active. */
     void add(Ticked* t);
 
     /** Register an externally owned channel. */
@@ -79,12 +151,16 @@ class Simulator
         auto ch = std::make_unique<Channel<T>>(name, capacity);
         Channel<T>& ref = *ch;
         owned_.push_back(std::move(ch));
-        channels_.push_back(&ref);
+        addChannel(&ref);
         return ref;
     }
 
-    /** Schedule a callback @p delay cycles from now (delay >= 1). */
-    void schedule(Tick delay, EventQueue::Callback cb);
+    /**
+     * Schedule a callback @p delay cycles from now (delay >= 1).
+     * A non-null @p owner is woken when the callback fires.
+     */
+    void schedule(Tick delay, EventQueue::Callback cb,
+                  Ticked* owner = nullptr);
 
     /** Current cycle. */
     Tick now() const { return now_; }
@@ -98,7 +174,15 @@ class Simulator
      */
     Tick run(Tick maxCycles);
 
-    /** Run exactly @p cycles (no quiescence check). */
+    /**
+     * Run exactly @p cycles (no quiescence check).
+     *
+     * Events land on the cycle they are scheduled for, so an event
+     * scheduled exactly at now()+cycles does NOT fire during this
+     * call: step(n) executes cycles [now, now+n) and leaves now() at
+     * the boundary, exactly like n naive doCycle() iterations.  Both
+     * execution modes preserve this trailing-event semantics.
+     */
     void step(Tick cycles = 1);
 
     /** True when nothing can happen on any future cycle. */
@@ -107,15 +191,157 @@ class Simulator
     /** Gather statistics from every registered component. */
     void reportStats(StatSet& stats) const;
 
+    /**
+     * Enable/disable activity-driven execution (default on).  When
+     * off, every component ticks and every channel commits every
+     * cycle — the naive reference loop used by --no-fast-forward
+     * differential testing.  Results are bit-identical either way.
+     */
+    void setFastForward(bool on) { fastForward_ = on; }
+
+    /** Whether activity-driven execution is enabled. */
+    bool fastForward() const { return fastForward_; }
+
   private:
-    void doCycle();
+    friend class Ticked;
+
+    static constexpr Tick kNoWakeTick =
+        std::numeric_limits<Tick>::max();
+
+    /** One pending timed wake (lazily invalidated; see wake()). */
+    struct TimedWake
+    {
+        Tick at;
+        std::uint32_t idx;
+        bool
+        operator>(const TimedWake& o) const
+        {
+            if (at != o.at)
+                return at > o.at;
+            return idx > o.idx;
+        }
+    };
+
+    void doCycleFast();
+    void doCycleNaive();
+    Tick runFast(Tick maxCycles);
+    Tick runNaive(Tick maxCycles);
+
+    /** Core of requestWake(); no-op in naive mode. */
+    void wake(Ticked* t);
+
+    /** Record a sleep request from inside t->tick(). */
+    void sleepRequest(Ticked* t, Tick wakeAt);
+
+    /** Move t out of the active list after its tick requested it. */
+    void applySleep(Ticked* t);
+
+    /** Wake every timed sleeper due at or before now_. */
+    void wakeDueSleepers();
+
+    /**
+     * Cheap quiescence check equivalent to quiescent(): O(1)
+     * event/live-channel precheck, then busy() only over active
+     * components and the (lazily compacted) busy-sleeper list.
+     */
+    bool maybeQuiescent();
+
+    /** Flush deferred accounting on every component (see catchUp). */
+    void catchUpAll();
+
+    [[noreturn]] void deadlockFatal(Tick maxCycles, bool overrun);
 
     Tick now_ = 0;
     std::vector<Ticked*> ticked_;
     std::vector<ChannelBase*> channels_;
     std::vector<std::unique_ptr<ChannelBase>> owned_;
     EventQueue events_;
+
+    bool fastForward_ = true;
+
+    /**
+     * Bitmap of awake component indices.  The tick walk scans it in
+     * ascending index order — the same order the naive loop uses —
+     * via countr_zero, so a fully active system walks at close to
+     * plain-vector speed and sparse systems skip whole words.
+     */
+    std::vector<std::uint64_t> active_;
+    /** The walk's per-cycle work queue: a copy of active_ whose bits
+     *  are consumed lowest-first.  wake() adds a bit ahead of the
+     *  cursor so the wake takes effect this cycle. */
+    std::vector<std::uint64_t> pending_;
+    /** Number of set bits in active_. */
+    std::uint32_t activeCount_ = 0;
+    /** Whether doCycleFast is inside the tick walk, and where. */
+    bool walking_ = false;
+    std::uint32_t walkPos_ = 0;
+    /** Pending sleepUntil wakes; stale entries wake spuriously. */
+    std::priority_queue<TimedWake, std::vector<TimedWake>,
+                        std::greater<TimedWake>>
+        sleepHeap_;
+    /** Sleeping components that reported busy() when they slept. */
+    std::vector<std::uint32_t> sleepersBusy_;
+    /** Channels with visible or staged values (incremental). */
+    std::int64_t liveChannels_ = 0;
+    /** Channels pushed this cycle, in first-push order. */
+    std::vector<ChannelBase*> dirtyCh_;
+
+    // Host-side performance counters (sim.host.*).
+    std::uint64_t wallNs_ = 0;
+    std::uint64_t ticksExecuted_ = 0;
+    std::uint64_t cyclesExecuted_ = 0;
+    std::uint64_t cyclesFastForwarded_ = 0;
 };
+
+inline void
+Ticked::requestWake()
+{
+    if (sim_ != nullptr)
+        sim_->wake(this);
+}
+
+inline void
+Ticked::sleepUntil(Tick wakeAt)
+{
+    if (sim_ != nullptr)
+        sim_->sleepRequest(this, wakeAt);
+}
+
+inline void
+Ticked::sleepOnWake()
+{
+    if (sim_ != nullptr)
+        sim_->sleepRequest(this, Simulator::kNoWakeTick);
+}
+
+inline void
+Simulator::wake(Ticked* t)
+{
+    if (!fastForward_)
+        return;
+    t->sleepPending_ = false;
+    if (!t->sleeping_)
+        return;
+    t->sleeping_ = false;
+    const std::uint32_t idx = t->simIndex_;
+    active_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+    ++activeCount_;
+    // Mid-walk wakes ahead of the cursor tick this cycle (matching
+    // direct intra-cycle calls); wakes at or behind it — including
+    // every wake from the commit phase — tick next cycle (matching
+    // channel commit visibility).
+    if (walking_ && idx > walkPos_)
+        pending_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+}
+
+inline void
+Simulator::sleepRequest(Ticked* t, Tick wakeAt)
+{
+    if (!fastForward_)
+        return;
+    t->sleepPending_ = true;
+    t->sleepAt_ = wakeAt;
+}
 
 } // namespace ts
 

@@ -191,7 +191,8 @@ StatSet::dump(std::ostream& os) const
 }
 
 void
-StatSet::dumpJson(std::ostream& os) const
+StatSet::dumpJson(std::ostream& os,
+                  const std::string& excludePrefix) const
 {
     sync();
     os << "{";
@@ -199,6 +200,9 @@ StatSet::dumpJson(std::ostream& os) const
     const auto precision = os.precision();
     os << std::setprecision(std::numeric_limits<double>::max_digits10);
     for (const auto& [name, value] : values_) {
+        if (!excludePrefix.empty() &&
+            name.compare(0, excludePrefix.size(), excludePrefix) == 0)
+            continue;
         os << (first ? "\n" : ",\n") << "  \"" << jsonEscape(name)
            << "\": ";
         // NaN/inf are not valid JSON numbers; emit null instead.

@@ -135,8 +135,11 @@ class StatSet
 
     /** Write every statistic as one flat JSON object (dotted-path
      *  keys, escaped), full double precision, sorted by name.
-     *  Non-finite values serialize as null. */
-    void dumpJson(std::ostream& os) const;
+     *  Non-finite values serialize as null.  Keys starting with
+     *  @p excludePrefix are omitted (used to drop non-deterministic
+     *  host-side `sim.host.*` counters from byte-compared dumps). */
+    void dumpJson(std::ostream& os,
+                  const std::string& excludePrefix = "") const;
 
     /** Remove all statistics. */
     void

@@ -37,7 +37,8 @@ ReadEngine::ReadEngine(std::string name, const MemImage& img,
 }
 
 void
-ReadEngine::program(const StreamDesc& d, TokenFifo* dest)
+ReadEngine::program(const StreamDesc& d, TokenFifo* dest,
+                    Ticked* destOwner)
 {
     TS_ASSERT(!active_, name(), ": program while active");
     if (d.kind != StreamDesc::Kind::PipeIn && d.count == 0)
@@ -47,7 +48,9 @@ ReadEngine::program(const StreamDesc& d, TokenFifo* dest)
 
     d_ = d;
     dest_ = dest;
+    destOwner_ = destOwner;
     active_ = true;
+    requestWake(); // the programming task unit ticks before us
     genPos_ = outer_ = inner_ = 0;
     loop_ = 0;
     rep2_ = 0;
@@ -372,16 +375,24 @@ ReadEngine::generationDone() const
 void
 ReadEngine::tick(Tick now)
 {
-    if (!active_)
+    if (!active_) {
+        sleepOnWake(); // program() wakes us
         return;
+    }
+    const std::uint64_t delivered = tokensDelivered_;
     generate(now);
     deliver();
+    // Tokens land in a plain TokenFifo (no channel hooks), so the
+    // consuming component is woken explicitly.
+    if (destOwner_ != nullptr && tokensDelivered_ != delivered)
+        destOwner_->requestWake();
     if (generationDone() && repeatLeft_ == 0) {
         active_ = false;
         if (trace::on()) {
             auto* t = trace::active();
             t->end(t->track(name()));
         }
+        sleepOnWake();
     }
 }
 

@@ -42,9 +42,12 @@ class ReadEngine : public Ticked
     /**
      * Start streaming @p d into @p dest.  @p dest may be null to
      * model traffic without delivering tokens (builtin-kernel input
-     * staging).
+     * staging).  @p destOwner, when given, is the component consuming
+     * @p dest; it is woken whenever tokens are delivered (TokenFifos
+     * carry no wake hooks of their own).
      */
-    void program(const StreamDesc& d, TokenFifo* dest);
+    void program(const StreamDesc& d, TokenFifo* dest,
+                 Ticked* destOwner = nullptr);
 
     /** Whether a programmed stream is still in flight. */
     bool active() const { return active_; }
@@ -80,6 +83,7 @@ class ReadEngine : public Ticked
 
     StreamDesc d_;
     TokenFifo* dest_ = nullptr;
+    Ticked* destOwner_ = nullptr;
     bool active_ = false;
 
     // Generator state.

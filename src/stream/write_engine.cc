@@ -24,6 +24,7 @@ WriteEngine::program(const WriteDesc& d, TokenFifo* src)
     d_ = d;
     src_ = src;
     active_ = true;
+    requestWake(); // the programming task unit ticks before us
     sawStreamEnd_ = false;
     pos_ = 0;
     curLine_.reset();
@@ -72,8 +73,10 @@ WriteEngine::flushTraffic()
 void
 WriteEngine::tick(Tick now)
 {
-    if (!active_)
+    if (!active_) {
+        sleepOnWake(); // program() wakes us
         return;
+    }
 
     if (!flushTraffic())
         return;
@@ -133,6 +136,7 @@ WriteEngine::tick(Tick now)
             auto* t = trace::active();
             t->end(t->track(name()));
         }
+        sleepOnWake();
     }
 }
 

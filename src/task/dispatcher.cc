@@ -50,6 +50,7 @@ Dispatcher::Dispatcher(Noc& noc, const MemImage& img,
     laneDispatched_.assign(cfg_.laneNodes.size(), 0);
     actualService_.assign(cfg_.laneNodes.size(), 0.0);
     shadowService_.assign(cfg_.laneNodes.size(), 0.0);
+    noc_.eject(cfg_.selfNode).addObserver(this);
 }
 
 void
@@ -670,6 +671,16 @@ Dispatcher::tick(Tick now)
         trace::active()->counter(
             "dispatcher.readyQ", "depth",
             static_cast<double>(tracedReadyDepth_));
+    }
+
+    // With no inbound packets, nothing to send, and an empty ready
+    // queue, every future tick is a no-op until the NoC delivers a
+    // TaskStart/TaskComplete (the eject channel wakes us).  A
+    // non-empty ready queue must keep ticking: held-back tasks
+    // (pipeline grace, bulk-sync barriers) re-evaluate per cycle.
+    if (readyQ_.empty() && sendQ_.empty() &&
+        noc_.eject(cfg_.selfNode).empty()) {
+        sleepOnWake();
     }
 }
 

@@ -21,6 +21,7 @@ void
 TaskUnit::deliver(DispatchMsg msg)
 {
     inbox_.push_back(std::move(msg));
+    requestWake();
 }
 
 void
@@ -148,7 +149,48 @@ TaskUnit::accountCycle()
 void
 TaskUnit::tick(Tick now)
 {
+    catchUp(now);
+    expectedNext_ = now + 1;
+
     accountCycle();
+    step(now);
+
+    // Sleep decision.  Both sites must leave gapClass_/gapBusy_
+    // matching what classify()/busyCycles_ would have produced on
+    // every skipped cycle.
+    if (phase_ == Phase::Idle && inbox_.empty() && sendQ_.empty()) {
+        // classify() == Idle and busyCycles_ untouched until a
+        // deliver() arrives (which wakes us the same cycle).
+        gapClass_ = CycleClass::Idle;
+        gapBusy_ = false;
+        sleepOnWake();
+    } else if (phase_ == Phase::BuiltinCompute && now < computeUntil_ &&
+               sendQ_.empty()) {
+        // classify() == Busy and busyCycles_ increments on every
+        // cycle spent in BuiltinCompute; nothing external can change
+        // that before computeUntil_.  A deliver() wake before then is
+        // spurious but safe (we just resume per-cycle ticking).
+        gapClass_ = CycleClass::Busy;
+        gapBusy_ = true;
+        sleepUntil(computeUntil_);
+    }
+}
+
+void
+TaskUnit::catchUp(Tick now)
+{
+    if (now > expectedNext_) {
+        const std::uint64_t gap = now - expectedNext_;
+        buckets_.account(gapClass_, gap);
+        if (gapBusy_)
+            busyCycles_ += gap;
+        expectedNext_ = now;
+    }
+}
+
+void
+TaskUnit::step(Tick now)
+{
     sendPending();
 
     if (phase_ != Phase::Idle)
@@ -202,7 +244,8 @@ TaskUnit::tick(Tick now)
             ports_.readEngines[i]->program(
                 cur_.inputs[i],
                 &ports_.fabric->inPort(
-                    static_cast<std::uint32_t>(i)));
+                    static_cast<std::uint32_t>(i)),
+                ports_.fabric);
         }
         for (std::size_t o = 0; o < cur_.outputs.size(); ++o) {
             ports_.writeEngines[o]->program(

@@ -55,6 +55,7 @@ class TaskUnit : public Ticked
     void deliver(DispatchMsg msg);
 
     void tick(Tick now) override;
+    void catchUp(Tick now) override;
     bool busy() const override;
     void reportStats(StatSet& stats) const override;
 
@@ -87,6 +88,7 @@ class TaskUnit : public Ticked
     };
 
     void beginTask(Tick now);
+    void step(Tick now);
     void sendPending();
     void queueMsg(PktKind kind, std::any payload,
                   std::uint32_t sizeWords);
@@ -117,6 +119,15 @@ class TaskUnit : public Ticked
     CycleClass lastClass_ = CycleClass::Idle;
     bool stateSpanOpen_ = false;
     bool builtinWriteBlocked_ = false;
+
+    // Slept-cycle accounting watermark: cycles in [expectedNext_, now)
+    // were skipped while sleeping and are accounted in bulk as
+    // gapClass_ on the next tick (or by catchUp at run end).  Every
+    // sleep site must prove the skipped cycles would all have
+    // classified as gapClass_ under per-cycle ticking.
+    Tick expectedNext_ = 0;
+    CycleClass gapClass_ = CycleClass::Idle;
+    bool gapBusy_ = false; ///< skipped cycles also count as busyCycles_
 };
 
 } // namespace ts

@@ -60,6 +60,13 @@ struct CycleBuckets
         ++counts[static_cast<std::size_t>(c)];
     }
 
+    /** Attribute @p n cycles at once (slept-gap catch-up). */
+    void
+    account(CycleClass c, std::uint64_t n)
+    {
+        counts[static_cast<std::size_t>(c)] += n;
+    }
+
     std::uint64_t
     of(CycleClass c) const
     {

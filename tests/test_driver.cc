@@ -47,7 +47,7 @@ clearSharedEnv()
 {
     for (const char* v :
          {"TS_WORKLOADS", "TS_SCALE", "TS_SEED", "TS_LOG", "TS_TRACE",
-          "TS_STATS_JSON", "TS_BENCH_JSON"})
+          "TS_STATS_JSON", "TS_BENCH_JSON", "TS_NO_FAST_FORWARD"})
         ::unsetenv(v);
 }
 
@@ -130,6 +130,27 @@ TEST(RunOptionsTest, FlagsOverrideEnv)
     EXPECT_EQ(opt.workloads, (std::vector<Wk>{Wk::Lu}));
     EXPECT_EQ(opt.jobs, 4u);
     EXPECT_EQ(a.argc, 1) << "shared flags must be consumed";
+}
+
+TEST(RunOptionsTest, NoFastForwardFlagAndEnvFallback)
+{
+    clearSharedEnv();
+    EXPECT_FALSE(RunOptions::fromEnv().noFastForward);
+
+    ASSERT_EQ(::setenv("TS_NO_FAST_FORWARD", "1", 1), 0);
+    EXPECT_TRUE(RunOptions::fromEnv().noFastForward);
+    ASSERT_EQ(::setenv("TS_NO_FAST_FORWARD", "0", 1), 0);
+    EXPECT_FALSE(RunOptions::fromEnv().noFastForward);
+    clearSharedEnv();
+
+    Argv a({"prog", "--no-fast-forward"});
+    const RunOptions opt = parseCommandLine(a.argc, a.argv());
+    EXPECT_TRUE(opt.noFastForward);
+    EXPECT_EQ(a.argc, 1) << "the flag must be consumed";
+
+    DeltaConfig cfg;
+    EXPECT_FALSE(cfg.noFastForward);
+    EXPECT_TRUE(opt.applyTo(cfg).noFastForward);
 }
 
 TEST(RunOptionsTest, LenientParserLeavesUnknownArgs)
@@ -304,8 +325,8 @@ TEST(SweepTest, ParallelSweepIsBitIdenticalToSerial)
         EXPECT_EQ(a.cycles, b.cycles) << a.point.tag();
 
         std::ostringstream ja, jb;
-        a.stats.dumpJson(ja);
-        b.stats.dumpJson(jb);
+        a.stats.dumpJson(ja, "sim.host.");
+        b.stats.dumpJson(jb, "sim.host.");
         EXPECT_EQ(ja.str(), jb.str())
             << a.point.tag()
             << ": per-run StatSets must be bit-identical";

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Differential tests for the activity-driven simulation core: every
+ * workload, under both the TaskStream config and the static-parallel
+ * baseline, must produce byte-identical statistics with and without
+ * fast-forwarding (the `sim.host.*` wall-clock counters excluded).
+ *
+ * This is the enforcement arm of the bit-identity contract in
+ * src/sim/simulator.hh: sleeping is only legal when the skipped ticks
+ * are provably no-ops, so the naive reference mode (tick every
+ * component every cycle) and the activity-driven mode must agree on
+ * every architectural statistic, cycle count, and functional result.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "accel/delta.hh"
+#include "workloads/workload.hh"
+
+using namespace ts;
+
+namespace
+{
+
+struct RunResult
+{
+    std::string statsJson; ///< full dump minus sim.host.*
+    double cycles = 0.0;
+    std::uint64_t ticks = 0;
+    bool correct = false;
+};
+
+RunResult
+runOnce(Wk wk, bool staticConfig, bool noFastForward)
+{
+    DeltaConfig cfg = staticConfig ? DeltaConfig::staticBaseline()
+                                   : DeltaConfig::delta();
+    cfg.noFastForward = noFastForward;
+
+    SuiteParams sp;
+    sp.scale = 0.25;
+    sp.seed = 7;
+    auto wl = makeWorkload(wk, sp);
+
+    Delta delta(cfg);
+    TaskGraph graph;
+    wl->build(delta, graph);
+    const StatSet stats = delta.run(graph);
+
+    RunResult r;
+    std::ostringstream os;
+    stats.dumpJson(os, "sim.host.");
+    r.statsJson = os.str();
+    r.cycles = stats.get("sim.cycles");
+    r.ticks =
+        static_cast<std::uint64_t>(stats.get("sim.host.ticksExecuted"));
+    r.correct = wl->check(delta.image());
+    return r;
+}
+
+class FastForwardDifferential
+    : public ::testing::TestWithParam<std::tuple<Wk, bool>>
+{
+};
+
+TEST_P(FastForwardDifferential, BitIdenticalToNaiveTicking)
+{
+    const Wk wk = std::get<0>(GetParam());
+    const bool staticConfig = std::get<1>(GetParam());
+
+    const RunResult fast = runOnce(wk, staticConfig, false);
+    const RunResult naive = runOnce(wk, staticConfig, true);
+
+    EXPECT_TRUE(fast.correct);
+    EXPECT_TRUE(naive.correct);
+    EXPECT_EQ(fast.cycles, naive.cycles);
+    EXPECT_EQ(fast.statsJson, naive.statsJson)
+        << "activity-driven and naive runs diverged for "
+        << wkName(wk) << " (" << (staticConfig ? "static" : "delta")
+        << "): a component slept through a cycle that was not a "
+           "no-op, or a wake source is missing";
+    EXPECT_LT(fast.ticks, naive.ticks)
+        << "the activity-driven core should actually skip ticks";
+}
+
+std::string
+diffName(const ::testing::TestParamInfo<std::tuple<Wk, bool>>& info)
+{
+    return std::string(wkName(std::get<0>(info.param))) +
+           (std::get<1>(info.param) ? "_static" : "_delta");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, FastForwardDifferential,
+    ::testing::Combine(::testing::ValuesIn(allWorkloads()),
+                       ::testing::Bool()),
+    diffName);
+
+} // namespace

@@ -181,10 +181,13 @@ applyGridKey(const std::string& key, const std::string& value,
         opt.benchJsonDir = value;
     } else if (key == "trace") {
         opt.tracePath = value;
+    } else if (key == "no-fast-forward") {
+        opt.noFastForward = value != "0";
     } else {
         fatal("unknown grid key '", key,
               "'; valid keys: workloads, configs, seeds, scales, "
-              "lanes, baseline, jobs, out, bench-json, trace");
+              "lanes, baseline, jobs, out, bench-json, trace, "
+              "no-fast-forward");
     }
 }
 
@@ -285,6 +288,7 @@ main(int argc, char** argv)
         spec.jobs = opt.jobs;
         spec.benchJsonDir = opt.benchJsonDir;
         spec.tracePath = opt.tracePath;
+        spec.noFastForward = opt.noFastForward;
         spec.progress = !grid.quiet;
 
         const std::size_t nw = spec.workloads.size();
