@@ -46,8 +46,15 @@ def main():
         rate.setdefault(name, {})[ff] = b["sim_cycles_per_sec"]
 
     speedup = {}
+    incomplete = []  # families that cannot be scored, with the reason
     for name, r in sorted(rate.items()):
-        if True in r and False in r and r[False] > 0:
+        if True not in r:
+            incomplete.append(f"{name}: no ff:1 run in {sys.argv[1]}")
+        elif False not in r:
+            incomplete.append(f"{name}: no ff:0 run in {sys.argv[1]}")
+        elif r[False] <= 0:
+            incomplete.append(f"{name}: ff:0 rate is {r[False]}")
+        else:
             speedup[name] = r[True] / r[False]
 
     real = [s for n, s in speedup.items() if not n.startswith("BM_Synthetic")]
@@ -55,8 +62,16 @@ def main():
 
     floors = load_floors(sys.argv[2])
     checks = [
-        ("host-idle-speedup", speedup.get("BM_SyntheticIdle", 0.0)),
-        ("host-real-geomean", geomean),
+        (
+            "host-idle-speedup",
+            speedup.get("BM_SyntheticIdle"),
+            "BM_SyntheticIdle speedup",
+        ),
+        (
+            "host-real-geomean",
+            geomean if real else None,
+            f"geomean over {len(real)} real-workload benches",
+        ),
     ]
 
     print("### Host throughput (bench_host, ff:1 vs ff:0)")
@@ -71,16 +86,37 @@ def main():
     print(f"| real-workload geomean | | | {geomean:.2f}x |")
     print()
 
+    for reason in incomplete:
+        print(f"- unscored benchmark — {reason}")
+
     failed = False
-    for key, value in checks:
+    for key, value, source in checks:
         floor = floors.get(key)
         if floor is None:
-            print(f"- `{key}`: no floor configured, skipped", file=sys.stderr)
+            print(
+                f"- `{key}`: no floor configured in {sys.argv[2]}, skipped",
+                file=sys.stderr,
+            )
+            continue
+        if value is None:
+            failed = True
+            print(f"- `{key}`: **NO DATA** ({source}) vs floor {floor:.2f}x")
+            print(
+                f"check_host_floors: FLOOR UNSCORABLE: {key} has no "
+                f"observed value ({source}); floor {floor:.2f}x",
+                file=sys.stderr,
+            )
             continue
         ok = value >= floor
         failed |= not ok
         verdict = "ok" if ok else "**FLOOR VIOLATED**"
         print(f"- `{key}`: {value:.2f}x vs floor {floor:.2f}x — {verdict}")
+        if not ok:
+            print(
+                f"check_host_floors: FLOOR VIOLATED: {key} observed "
+                f"{value:.2f}x < floor {floor:.2f}x ({source})",
+                file=sys.stderr,
+            )
     sys.exit(1 if failed else 0)
 
 

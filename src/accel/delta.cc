@@ -91,6 +91,34 @@ Delta::Delta(const DeltaConfig& cfg)
 
 Delta::~Delta() = default;
 
+std::unique_ptr<DeltaSnapshot>
+Delta::snapshot() const
+{
+    // Tracing keeps append-only side state (track ids, open spans)
+    // that a rewind would corrupt.
+    TS_ASSERT(!tracer_->enabled(),
+              "snapshot/fork does not compose with tracing");
+    auto s = std::make_unique<DeltaSnapshot>();
+    s->sim_ = sim_.snapshot();
+    s->img_ = img_;
+    s->registryMark_ = registry_.mark();
+    s->noc_ = noc_->counters();
+    s->ran_ = ran_;
+    return s;
+}
+
+void
+Delta::restore(const DeltaSnapshot& s)
+{
+    TS_ASSERT(!tracer_->enabled(),
+              "snapshot/fork does not compose with tracing");
+    registry_.rollback(s.registryMark_);
+    img_ = s.img_;
+    noc_->restoreCounters(s.noc_);
+    sim_.restore(s.sim_);
+    ran_ = s.ran_;
+}
+
 namespace
 {
 

@@ -74,6 +74,8 @@ struct DeltaConfig
     static DeltaConfig staticBaseline(std::uint32_t lanes = 8);
 };
 
+class DeltaSnapshot;
+
 /** The accelerator instance. */
 class Delta
 {
@@ -83,6 +85,21 @@ class Delta
 
     Delta(const Delta&) = delete;
     Delta& operator=(const Delta&) = delete;
+
+    /**
+     * Capture the accelerator's complete mutable state (simulated
+     * time, every component, the memory image, the registry
+     * watermark).  Taken at a quiescent point — typically right after
+     * construction — and restored any number of times with restore(),
+     * so one construction serves many runs (snapshot/fork warm
+     * starts).  Forked runs are bit-identical to from-scratch runs;
+     * see DESIGN.md §7 for the ownership/copy contract.  Does not
+     * compose with tracing (checked).
+     */
+    std::unique_ptr<DeltaSnapshot> snapshot() const;
+
+    /** Rewind to a snapshot taken on this same instance. */
+    void restore(const DeltaSnapshot& s);
 
     /** The functional memory image (workload setup and checking). */
     MemImage& image() { return img_; }
@@ -125,6 +142,24 @@ class Delta
     std::unique_ptr<MemNode> memNode_;
     std::vector<std::unique_ptr<Lane>> lanes_;
     std::unique_ptr<Dispatcher> dispatcher_;
+    bool ran_ = false;
+};
+
+/**
+ * Opaque value capture of a Delta's state.  Only the Delta instance
+ * that produced it can restore it (restore happens in place on the
+ * same object graph, which is what keeps component cross-pointers
+ * valid).
+ */
+class DeltaSnapshot
+{
+  private:
+    friend class Delta;
+
+    SimSnapshot sim_;
+    MemImage img_;
+    TaskTypeRegistry::Mark registryMark_;
+    Noc::Counters noc_;
     bool ran_ = false;
 };
 

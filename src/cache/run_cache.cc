@@ -1,0 +1,255 @@
+#include "cache/run_cache.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "cache/sha256.hh"
+#include "sim/logging.hh"
+
+namespace fs = std::filesystem;
+
+namespace ts::cache
+{
+
+namespace
+{
+
+constexpr const char* kMagic = "TSCACHE1";
+
+/** Entry files are 64 hex chars; everything else in the directory
+ *  (index.txt, .lock, temporaries) is ignored by lookups/eviction. */
+bool
+isEntryName(const std::string& name)
+{
+    if (name.size() != 64)
+        return false;
+    return std::all_of(name.begin(), name.end(), [](char c) {
+        return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    });
+}
+
+} // namespace
+
+RunCache::RunCache(RunCacheConfig cfg) : cfg_(std::move(cfg))
+{
+    TS_ASSERT(!cfg_.dir.empty(), "run cache needs a directory");
+    std::error_code ec;
+    fs::create_directories(cfg_.dir, ec);
+    if (ec) {
+        fatal("run cache: cannot create directory '", cfg_.dir,
+              "': ", ec.message());
+    }
+}
+
+std::string
+RunCache::keyFor(const std::string& fingerprint,
+                 const std::string& cell)
+{
+    Sha256 ctx;
+    ctx.update(fingerprint);
+    ctx.update("\n", 1);
+    ctx.update(cell);
+    return ctx.hexDigest();
+}
+
+std::string
+RunCache::entryPath(const std::string& key) const
+{
+    return cfg_.dir + "/" + key;
+}
+
+bool
+RunCache::readEntry(const std::string& key, std::string& payload,
+                    bool touch) const
+{
+    std::ifstream in(entryPath(key), std::ios::binary);
+    if (!in)
+        return false;
+
+    std::string header;
+    if (!std::getline(in, header))
+        return false;
+    std::istringstream hs(header);
+    std::string magic, storedKey;
+    std::uint64_t payloadBytes = 0;
+    if (!(hs >> magic >> storedKey >> payloadBytes))
+        return false;
+    if (magic != kMagic || storedKey != key)
+        return false;
+
+    std::string cell;
+    if (!std::getline(in, cell))
+        return false;
+
+    std::string body(payloadBytes, '\0');
+    in.read(body.data(), static_cast<std::streamsize>(payloadBytes));
+    if (static_cast<std::uint64_t>(in.gcount()) != payloadBytes)
+        return false; // truncated
+    if (in.get() != std::char_traits<char>::eof())
+        return false; // trailing garbage
+
+    payload = std::move(body);
+    if (touch) {
+        // LRU recency signal; best-effort (a racing eviction may have
+        // unlinked the entry, which is fine — we already read it).
+        ::utimensat(AT_FDCWD, entryPath(key).c_str(), nullptr, 0);
+    }
+    return true;
+}
+
+bool
+RunCache::lookup(const std::string& key, std::string& payload) const
+{
+    return readEntry(key, payload, /*touch=*/true);
+}
+
+bool
+RunCache::contains(const std::string& key) const
+{
+    std::string ignored;
+    return readEntry(key, ignored, /*touch=*/false);
+}
+
+void
+RunCache::publish(const std::string& key, const std::string& cell,
+                  const std::string& payload) const
+{
+    TS_ASSERT(cell.find('\n') == std::string::npos,
+              "canonical cells are single-line");
+
+    // Unique temp name: concurrent publishers (threads or processes)
+    // never collide, and a crash leaves only an ignorable temp file.
+    static std::atomic<std::uint64_t> serial{0};
+    const std::string tmp = cfg_.dir + "/.tmp." +
+                            std::to_string(::getpid()) + "." +
+                            std::to_string(serial.fetch_add(1)) + "." +
+                            key.substr(0, 16);
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            warn("run cache: cannot write '", tmp, "'; skipping publish");
+            return;
+        }
+        out << kMagic << " " << key << " " << payload.size() << "\n"
+            << cell << "\n"
+            << payload;
+        out.flush();
+        if (!out) {
+            warn("run cache: short write to '", tmp,
+                 "'; skipping publish");
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            return;
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp, entryPath(key), ec);
+    if (ec) {
+        warn("run cache: publish rename failed: ", ec.message());
+        fs::remove(tmp, ec);
+        return;
+    }
+
+    // Advisory, append-only index for humans; O_APPEND keeps
+    // concurrent writers line-atomic for short lines.
+    const std::string line =
+        key + " " + std::to_string(payload.size()) + " " + cell + "\n";
+    const int fd = ::open((cfg_.dir + "/index.txt").c_str(),
+                          O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd >= 0) {
+        [[maybe_unused]] const ssize_t n =
+            ::write(fd, line.data(), line.size());
+        ::close(fd);
+    }
+
+    if (cfg_.capBytes > 0)
+        evictOverCap();
+}
+
+void
+RunCache::evictOverCap() const
+{
+    // Exclusive advisory lock so concurrent sweeps do not race the
+    // scan-and-unlink (unlinking a file another process is reading is
+    // still safe — POSIX keeps the open inode alive).
+    const int lockFd = ::open((cfg_.dir + "/.lock").c_str(),
+                              O_WRONLY | O_CREAT, 0644);
+    if (lockFd < 0)
+        return;
+    if (::flock(lockFd, LOCK_EX) != 0) {
+        ::close(lockFd);
+        return;
+    }
+
+    struct Entry
+    {
+        fs::path path;
+        std::uint64_t bytes;
+        fs::file_time_type mtime;
+    };
+    std::vector<Entry> entries;
+    std::uint64_t total = 0;
+    std::error_code ec;
+    for (const auto& de : fs::directory_iterator(cfg_.dir, ec)) {
+        if (!isEntryName(de.path().filename().string()))
+            continue;
+        std::error_code fec;
+        const std::uint64_t sz = de.file_size(fec);
+        const auto mt = de.last_write_time(fec);
+        if (fec)
+            continue;
+        entries.push_back(Entry{de.path(), sz, mt});
+        total += sz;
+    }
+
+    if (total > cfg_.capBytes) {
+        std::sort(entries.begin(), entries.end(),
+                  [](const Entry& a, const Entry& b) {
+                      return a.mtime < b.mtime;
+                  });
+        for (const Entry& e : entries) {
+            if (total <= cfg_.capBytes)
+                break;
+            std::error_code rec;
+            if (fs::remove(e.path, rec))
+                total -= e.bytes;
+        }
+    }
+
+    ::flock(lockFd, LOCK_UN);
+    ::close(lockFd);
+}
+
+const std::string&
+RunCache::codeFingerprint()
+{
+    static std::string fp;
+    static std::once_flag once;
+    std::call_once(once, [] {
+        std::ifstream exe("/proc/self/exe", std::ios::binary);
+        if (!exe) {
+            warn("run cache: cannot read /proc/self/exe; cache keys "
+                 "will not invalidate across rebuilds");
+            fp = "no-fingerprint";
+            return;
+        }
+        Sha256 ctx;
+        char buf[1 << 16];
+        while (exe.read(buf, sizeof(buf)) || exe.gcount() > 0)
+            ctx.update(buf, static_cast<std::size_t>(exe.gcount()));
+        fp = ctx.hexDigest();
+    });
+    return fp;
+}
+
+} // namespace ts::cache

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * A content-addressed on-disk cache of finished run results.
+ *
+ * Each entry maps a key — the SHA-256 of (code fingerprint, canonical
+ * run-cell description) — to the run's verbatim result payload (the
+ * per-run JSON the sweep driver writes).  Because simulated runs are
+ * deterministic functions of the binary and the cell, a hit can stand
+ * in for a run byte-for-byte.
+ *
+ * Entry file format (one file per key, named `<key>` in the cache
+ * directory):
+ *
+ *     TSCACHE1 <key> <payloadBytes>\n
+ *     <canonical cell, one line>\n
+ *     <payload: exactly payloadBytes bytes>
+ *
+ * The leading magic plus the exact payload length make truncated or
+ * corrupt entries detectable without parsing the payload; any
+ * malformed entry reads as a miss.  Publishes are atomic
+ * (temp + rename), so concurrent sweeps can share one directory: the
+ * worst race is two processes writing the same (identical) entry.
+ *
+ * An advisory `index.txt` (O_APPEND, one `<key> <bytes> <cell>` line
+ * per publish) aids human inspection; it is never read back.
+ *
+ * Eviction is LRU-ish by file mtime: lookups touch the entry, and a
+ * publish that pushes the directory over `capBytes` removes the
+ * stalest entries under an exclusive flock.
+ */
+
+#ifndef TS_CACHE_RUN_CACHE_HH
+#define TS_CACHE_RUN_CACHE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace ts::cache
+{
+
+/** Run-cache tuning. */
+struct RunCacheConfig
+{
+    std::string dir;            ///< cache directory (created)
+    std::uint64_t capBytes = 0; ///< entry-payload budget; 0 = unbounded
+};
+
+/** A content-addressed run cache rooted at one directory. */
+class RunCache
+{
+  public:
+    explicit RunCache(RunCacheConfig cfg);
+
+    /** Cache key for @p cell under @p fingerprint. */
+    static std::string keyFor(const std::string& fingerprint,
+                              const std::string& cell);
+
+    /**
+     * Fetch the payload stored under @p key.  Touches the entry's
+     * mtime (LRU).  Truncated, corrupt, or mismatched entries are
+     * misses.
+     * @return true and fill @p payload on a hit.
+     */
+    bool lookup(const std::string& key, std::string& payload) const;
+
+    /** Whether a valid entry exists (no LRU touch — used by
+     *  dry runs to predict hits without perturbing eviction). */
+    bool contains(const std::string& key) const;
+
+    /**
+     * Store @p payload under @p key, atomically.  @p cell is recorded
+     * in the entry header and the advisory index.  May evict stale
+     * entries when the directory exceeds the configured cap.
+     */
+    void publish(const std::string& key, const std::string& cell,
+                 const std::string& payload) const;
+
+    const RunCacheConfig& config() const { return cfg_; }
+
+    /**
+     * Hex SHA-256 of this process's own executable
+     * (/proc/self/exe), computed once and memoized.  Ties cache
+     * keys to the exact simulator build, so a rebuild naturally
+     * invalidates every entry.  Falls back to a warning and a fixed
+     * sentinel where /proc is unavailable.
+     */
+    static const std::string& codeFingerprint();
+
+  private:
+    std::string entryPath(const std::string& key) const;
+    bool readEntry(const std::string& key, std::string& payload,
+                   bool touch) const;
+    void evictOverCap() const;
+
+    RunCacheConfig cfg_;
+};
+
+} // namespace ts::cache
+
+#endif // TS_CACHE_RUN_CACHE_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * A minimal, dependency-free SHA-256 (FIPS 180-4).
+ *
+ * Used for content-addressed run-cache keys, where the requirements
+ * are stability across platforms and negligible collision odds — not
+ * cryptographic-grade performance.  Hashing is a tiny fraction of any
+ * simulated run, so clarity wins over speed.
+ */
+
+#ifndef TS_CACHE_SHA256_HH
+#define TS_CACHE_SHA256_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ts::cache
+{
+
+/** Incremental SHA-256 context. */
+class Sha256
+{
+  public:
+    Sha256() { reset(); }
+
+    /** Re-initialize for a new message. */
+    void reset();
+
+    /** Absorb @p len bytes. */
+    void update(const void* data, std::size_t len);
+
+    void update(std::string_view s) { update(s.data(), s.size()); }
+
+    /** Finalize and return the 32-byte digest (context unusable
+     *  afterwards until reset()). */
+    std::array<std::uint8_t, 32> digest();
+
+    /** Finalize and return the digest as 64 lowercase hex chars. */
+    std::string hexDigest();
+
+  private:
+    void compress(const std::uint8_t* block);
+
+    std::array<std::uint32_t, 8> h_;
+    std::array<std::uint8_t, 64> buf_;
+    std::size_t bufLen_ = 0;
+    std::uint64_t totalBytes_ = 0;
+};
+
+/** One-shot convenience: hex SHA-256 of @p s. */
+std::string sha256Hex(std::string_view s);
+
+} // namespace ts::cache
+
+#endif // TS_CACHE_SHA256_HH

@@ -1,0 +1,203 @@
+#include "driver/grid.hh"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "sim/logging.hh"
+
+namespace ts
+{
+namespace driver
+{
+
+std::vector<std::string>
+splitList(const std::string& list)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    const auto flush = [&] {
+        const auto b = cur.find_first_not_of(" \t");
+        const auto e = cur.find_last_not_of(" \t");
+        if (b != std::string::npos)
+            out.push_back(cur.substr(b, e - b + 1));
+        cur.clear();
+    };
+    for (const char c : list) {
+        if (c == ',')
+            flush();
+        else
+            cur += c;
+    }
+    flush();
+    return out;
+}
+
+std::vector<std::uint64_t>
+parseSeedList(const std::string& list)
+{
+    std::vector<std::uint64_t> out;
+    for (const std::string& s : splitList(list)) {
+        char* end = nullptr;
+        const std::uint64_t v = std::strtoull(s.c_str(), &end, 10);
+        if (end == s.c_str() || *end != '\0')
+            fatal("--seeds entries must be non-negative integers, "
+                  "got '", s, "'");
+        out.push_back(v);
+    }
+    if (out.empty())
+        fatal("--seeds needs at least one entry");
+    return out;
+}
+
+std::vector<double>
+parseScaleList(const std::string& list)
+{
+    std::vector<double> out;
+    for (const std::string& s : splitList(list)) {
+        char* end = nullptr;
+        const double v = std::strtod(s.c_str(), &end);
+        if (end == s.c_str() || *end != '\0' || !(v > 0))
+            fatal("--scales entries must be positive numbers, got '",
+                  s, "'");
+        out.push_back(v);
+    }
+    if (out.empty())
+        fatal("--scales needs at least one entry");
+    return out;
+}
+
+std::uint32_t
+parseLanes(const std::string& s)
+{
+    char* end = nullptr;
+    const long v = std::strtol(s.c_str(), &end, 10);
+    if (end == s.c_str() || *end != '\0' || v < 1 || v > 62)
+        fatal("--lanes must be in 1..62, got '", s, "'");
+    return static_cast<std::uint32_t>(v);
+}
+
+std::uint64_t
+parseCapBytes(const std::string& s)
+{
+    char* end = nullptr;
+    const std::uint64_t v = std::strtoull(s.c_str(), &end, 10);
+    std::uint64_t mult = 1;
+    if (end != s.c_str() && *end != '\0' &&
+        *(end + 1) == '\0') {
+        switch (*end) {
+          case 'K': case 'k': mult = 1ull << 10; break;
+          case 'M': case 'm': mult = 1ull << 20; break;
+          case 'G': case 'g': mult = 1ull << 30; break;
+          default: mult = 0; break;
+        }
+    }
+    if (end == s.c_str() || (*end != '\0' && mult == 1) || mult == 0)
+        fatal("--cache-cap must be BYTES[K|M|G], got '", s, "'");
+    return v * mult;
+}
+
+void
+applyGridKey(const std::string& key, const std::string& value,
+             RunOptions& opt, GridSettings& grid)
+{
+    if (key == "workloads") {
+        opt.workloads = workloadsFromList(value);
+    } else if (key == "configs") {
+        grid.configs = value;
+        (void)sweepConfigsFromList(value); // validate now
+    } else if (key == "seeds") {
+        grid.seeds = parseSeedList(value);
+    } else if (key == "scales") {
+        grid.scales = parseScaleList(value);
+    } else if (key == "lanes") {
+        grid.lanes = parseLanes(value);
+    } else if (key == "baseline") {
+        grid.baseline = value;
+    } else if (key == "jobs") {
+        char* end = nullptr;
+        const long v = std::strtol(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0' || v < 1)
+            fatal("grid key 'jobs' must be a positive integer, "
+                  "got '", value, "'");
+        opt.jobs = static_cast<unsigned>(v);
+    } else if (key == "out") {
+        grid.out = value;
+    } else if (key == "bench-json") {
+        opt.benchJsonDir = value;
+    } else if (key == "trace") {
+        opt.tracePath = value;
+    } else if (key == "no-fast-forward") {
+        opt.noFastForward = value != "0";
+    } else if (key == "cache") {
+        grid.cacheDir = value;
+    } else if (key == "cache-cap") {
+        grid.cacheCapBytes = parseCapBytes(value);
+    } else if (key == "no-snapshot-fork") {
+        grid.noSnapshotFork = value != "0";
+    } else {
+        fatal("unknown grid key '", key,
+              "'; valid keys: workloads, configs, seeds, scales, "
+              "lanes, baseline, jobs, out, bench-json, trace, "
+              "no-fast-forward, cache, cache-cap, no-snapshot-fork");
+    }
+}
+
+void
+loadGridFile(const std::string& path, RunOptions& opt,
+             GridSettings& grid)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open grid file '", path, "'");
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        const auto b = line.find_first_not_of(" \t\r");
+        if (b == std::string::npos)
+            continue;
+        const std::size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            fatal("grid file ", path, ":", lineno,
+                  ": expected `key = value`, got '", line, "'");
+        const auto trim = [](std::string s) {
+            const auto tb = s.find_first_not_of(" \t\r");
+            const auto te = s.find_last_not_of(" \t\r");
+            return tb == std::string::npos
+                       ? std::string()
+                       : s.substr(tb, te - tb + 1);
+        };
+        applyGridKey(trim(line.substr(0, eq)),
+                     trim(line.substr(eq + 1)), opt, grid);
+    }
+}
+
+SweepSpec
+buildSweepSpec(const RunOptions& opt, const GridSettings& grid)
+{
+    SweepSpec spec;
+    spec.workloads = opt.workloads.empty() ? workloadsFromList("")
+                                           : opt.workloads;
+    spec.configs = sweepConfigsFromList(grid.configs, grid.lanes);
+    spec.seeds = grid.seeds.empty()
+                     ? std::vector<std::uint64_t>{opt.seed}
+                     : grid.seeds;
+    spec.scales =
+        grid.scales.empty() ? std::vector<double>{opt.scale}
+                            : grid.scales;
+    spec.baseline = grid.baseline;
+    spec.jobs = opt.jobs;
+    spec.benchJsonDir = opt.benchJsonDir;
+    spec.tracePath = opt.tracePath;
+    spec.noFastForward = opt.noFastForward;
+    spec.cacheDir = grid.cacheDir;
+    spec.cacheCapBytes = grid.cacheCapBytes;
+    spec.noSnapshotFork = grid.noSnapshotFork;
+    return spec;
+}
+
+} // namespace driver
+} // namespace ts

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Declarative grid settings shared by the delta-sweep CLI and the
+ * sweep service: the `key = value` vocabulary of grid files, command
+ * lines, and daemon requests, plus the assembly of a SweepSpec from
+ * parsed settings.
+ *
+ * One parser serves all three entry points, so a grid file, the
+ * equivalent flags, and a daemon request line mean exactly the same
+ * sweep.
+ */
+
+#ifndef TS_DRIVER_GRID_HH
+#define TS_DRIVER_GRID_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "driver/options.hh"
+#include "driver/sweep.hh"
+
+namespace ts
+{
+namespace driver
+{
+
+/** Everything a grid can configure besides the shared options. */
+struct GridSettings
+{
+    std::string configs;   ///< preset list ("" = static,delta)
+    std::vector<std::uint64_t> seeds;
+    std::vector<double> scales;
+    std::uint32_t lanes = 8;
+    std::string baseline;
+    std::string out;
+    bool quiet = false;
+
+    std::string cacheDir;            ///< run cache ("" = off)
+    std::uint64_t cacheCapBytes = 0; ///< cache budget (0 = unbounded)
+    bool noSnapshotFork = false;     ///< fresh Delta per point
+    bool dryRun = false;             ///< expand + predict, no runs
+};
+
+/** Split a comma-separated list, trimming surrounding whitespace and
+ *  dropping empty entries. */
+std::vector<std::string> splitList(const std::string& list);
+
+/** Parse comma-separated non-negative integer seeds (fatal on bad
+ *  or empty input). */
+std::vector<std::uint64_t> parseSeedList(const std::string& list);
+
+/** Parse comma-separated positive scales (fatal on bad or empty
+ *  input). */
+std::vector<double> parseScaleList(const std::string& list);
+
+/** Parse a lane count in 1..62 (fatal otherwise). */
+std::uint32_t parseLanes(const std::string& s);
+
+/** Parse a byte count with optional K/M/G suffix (fatal on bad
+ *  input). */
+std::uint64_t parseCapBytes(const std::string& s);
+
+/**
+ * Apply one `key = value` grid setting.  Shared keys write into
+ * @p opt, grid keys into @p grid; an unknown key is fatal listing
+ * every valid one.  The same vocabulary backs grid files, the
+ * delta-sweep flags, and sweep-service requests.
+ */
+void applyGridKey(const std::string& key, const std::string& value,
+                  RunOptions& opt, GridSettings& grid);
+
+/** Read a `key = value` grid file ('#' comments, blank lines ok). */
+void loadGridFile(const std::string& path, RunOptions& opt,
+                  GridSettings& grid);
+
+/**
+ * Assemble the SweepSpec that @p opt and @p grid describe (empty
+ * workload selection = the whole suite; progress is left off for the
+ * caller to decide).  Fatal on invalid combinations, mirroring the
+ * Sweep constructor's validation.
+ */
+SweepSpec buildSweepSpec(const RunOptions& opt,
+                         const GridSettings& grid);
+
+} // namespace driver
+} // namespace ts
+
+#endif // TS_DRIVER_GRID_HH

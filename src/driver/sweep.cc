@@ -6,9 +6,13 @@
 #include <cstdio>
 #include <fstream>
 #include <limits>
+#include <memory>
 #include <mutex>
+#include <sstream>
 #include <thread>
 
+#include "analysis/json.hh"
+#include "cache/run_cache.hh"
 #include "sim/logging.hh"
 #include "task/task_graph.hh"
 
@@ -25,19 +29,6 @@ formatScale(double scale)
 {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%g", scale);
-    return buf;
-}
-
-/** Full-precision deterministic double for report JSON (matches the
- *  StatSet::dumpJson convention, null for non-finite). */
-std::string
-jsonNumber(double v)
-{
-    if (!std::isfinite(v))
-        return "null";
-    char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.*g",
-                  std::numeric_limits<double>::max_digits10, v);
     return buf;
 }
 
@@ -157,6 +148,77 @@ RunPoint::tag() const
            "_x" + formatScale(scale);
 }
 
+std::string
+canonicalConfig(const DeltaConfig& cfg)
+{
+    std::ostringstream os;
+    os << "lanes=" << cfg.lanes
+       << " policy=" << schedPolicyName(cfg.policy)
+       << " pipeline=" << cfg.enablePipeline
+       << " multicast=" << cfg.enableMulticast
+       << " bulkSync=" << cfg.bulkSynchronous
+       << " laneQueueCap=" << cfg.laneQueueCap
+       << " re=" << cfg.lane.numReadEngines
+       << " we=" << cfg.lane.numWriteEngines
+       << " mshrs=" << cfg.lane.maxOutstandingLines
+       << " fabric=" << cfg.lane.fabric.geom.rows << "x"
+       << cfg.lane.fabric.geom.cols << "x"
+       << cfg.lane.fabric.geom.linkMultiplicity << "/"
+       << cfg.lane.fabric.portFifoDepth << "/"
+       << cfg.lane.fabric.operandFifoDepth << "/"
+       << cfg.lane.fabric.configBaseCycles << "/"
+       << cfg.lane.fabric.configPerNodeCycles
+       << " spm=" << cfg.lane.spm.sizeWords << "/"
+       << cfg.lane.spm.portsPerCycle
+       << " read=" << cfg.lane.read.deliverWidth << "/"
+       << cfg.lane.read.genPerCycle << "/"
+       << cfg.lane.read.fetcher.maxOutstanding << "/"
+       << cfg.lane.read.fetcher.maxWindow << "/"
+       << cfg.lane.read.fetcher.issuesPerCycle
+       << " write=" << cfg.lane.write.width << "/"
+       << cfg.lane.write.writeQueueDepth
+       << " mem=" << cfg.mem.numBanks << "/" << cfg.mem.serviceLatency
+       << "/" << cfg.mem.bankOccupancy << "/" << cfg.mem.issueWidth
+       << "/" << cfg.mem.queueCapacity
+       << " noc=" << cfg.nocLinks.channelCapacity << "/"
+       << cfg.nocLinks.linkWords
+       << " maxCycles=" << cfg.maxCycles
+       << " noFastForward=" << cfg.noFastForward;
+    return os.str();
+}
+
+namespace
+{
+
+/** The DeltaConfig a point runs under, mirroring exactly what
+ *  executePoint builds (minus trace wiring, which bypasses the
+ *  cache). */
+DeltaConfig
+resolvePointConfig(const SweepSpec& spec, const RunPoint& point)
+{
+    DeltaConfig cfg;
+    for (const ConfigVariant& c : spec.configs) {
+        if (c.name == point.config)
+            cfg = c.cfg;
+    }
+    if (spec.noFastForward)
+        cfg.noFastForward = true;
+    return cfg;
+}
+
+} // namespace
+
+std::string
+canonicalCell(const SweepSpec& spec, const RunPoint& point)
+{
+    std::ostringstream os;
+    os << "v1 wk=" << wkName(point.workload)
+       << " config=" << point.config << " seed=" << point.seed
+       << " scale=" << jsonNumber(point.scale) << " | "
+       << canonicalConfig(resolvePointConfig(spec, point));
+    return os.str();
+}
+
 Sweep::Sweep(SweepSpec spec) : spec_(std::move(spec))
 {
     if (spec_.workloads.empty())
@@ -207,57 +269,204 @@ Sweep::Sweep(SweepSpec spec) : spec_(std::move(spec))
 namespace
 {
 
-/** Execute one grid point in full isolation on the calling thread. */
-RunOutcome
-executePoint(const SweepSpec& spec, const RunPoint& point)
+/**
+ * The bench-JSON wrapper for a finished run.  This exact string is
+ * both the per-run file under benchJsonDir and the run-cache
+ * payload, so warm replays reproduce the file byte-for-byte.
+ */
+std::string
+benchWrapperJson(const RunOutcome& out)
 {
+    std::ostringstream os;
+    os << "{\n  \"workload\": \"" << wkName(out.point.workload)
+       << "\",\n  \"config\": \"" << out.point.config
+       << "\",\n  \"lanes\": " << out.point.lanes
+       << ",\n  \"seed\": " << out.point.seed
+       << ",\n  \"scale\": " << formatScale(out.point.scale)
+       << ",\n  \"correct\": " << (out.correct ? "true" : "false")
+       << ",\n  \"cycles\": " << jsonNumber(out.cycles)
+       << ",\n  \"stats\": ";
+    out.stats.dumpJson(os);
+    os << "}\n";
+    return os.str();
+}
+
+void
+writeBenchJson(const SweepSpec& spec, const RunPoint& point,
+               const std::string& payload)
+{
+    const std::string path =
+        spec.benchJsonDir + "/" + point.tag() + ".json";
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        warn("sweep: cannot write '", path, "'");
+    else
+        os << payload;
+}
+
+/**
+ * Rebuild a RunOutcome from a cached bench-wrapper payload.  JSON
+ * null stat values (dumpJson's rendering of non-finite doubles)
+ * rehydrate as quiet NaN, so a re-dump reproduces the null.
+ * @return false when the payload does not parse as a run result
+ * (the caller then treats the entry as a miss and executes).
+ */
+bool
+rehydrateOutcome(const std::string& payload, const RunPoint& point,
+                 RunOutcome& out)
+{
+    analysis::Json j;
+    if (!analysis::parseJson(payload, j) || !j.isObj())
+        return false;
+    if (!j.has("correct") || !j.has("cycles") || !j.has("stats") ||
+        j.at("correct").kind != analysis::Json::Kind::Bool ||
+        !j.at("stats").isObj())
+        return false;
+
+    out.point = point;
+    out.failed = false;
+    out.correct = j.at("correct").b;
+    for (const auto& [name, v] : j.at("stats").obj) {
+        if (v.isNum())
+            out.stats.set(name, v.num);
+        else if (v.kind == analysis::Json::Kind::Null)
+            out.stats.set(name,
+                          std::numeric_limits<double>::quiet_NaN());
+        else
+            return false;
+    }
+    out.cycles = j.at("cycles").isNum()
+                     ? j.at("cycles").num
+                     : std::numeric_limits<double>::quiet_NaN();
+    return true;
+}
+
+/**
+ * One warm-start slot: a constructed accelerator plus its pristine
+ * post-construction snapshot.  Each worker thread keeps a few slots
+ * keyed by canonical config, so a sweep builds each distinct
+ * configuration once per thread and forks it for every (workload,
+ * seed, scale) cell.
+ */
+struct ForkSlot
+{
+    std::string key;
+    std::unique_ptr<Delta> delta;
+    std::unique_ptr<DeltaSnapshot> snap;
+};
+
+constexpr std::size_t kMaxForkSlots = 8;
+
+std::vector<ForkSlot>&
+forkSlots()
+{
+    thread_local std::vector<ForkSlot> slots;
+    return slots;
+}
+
+void
+dropForkSlot(const std::string& key)
+{
+    auto& slots = forkSlots();
+    for (auto it = slots.begin(); it != slots.end(); ++it) {
+        if (it->key == key) {
+            slots.erase(it);
+            return;
+        }
+    }
+}
+
+/** Execute one grid point in full isolation on the calling thread.
+ *  Consults the run cache first (when given); on a miss, runs —
+ *  forking a per-config snapshot unless disabled — and publishes
+ *  the finished result. */
+RunOutcome
+executePoint(const SweepSpec& spec, const RunPoint& point,
+             const cache::RunCache* cache, bool& fromCache)
+{
+    fromCache = false;
     RunOutcome out;
     out.point = point;
-    try {
-        DeltaConfig cfg;
-        for (const ConfigVariant& c : spec.configs) {
-            if (c.name == point.config)
-                cfg = c.cfg;
+
+    std::string cellKey, cacheKey;
+    if (cache != nullptr) {
+        cellKey = canonicalCell(spec, point);
+        cacheKey = cache::RunCache::keyFor(
+            cache::RunCache::codeFingerprint(), cellKey);
+        std::string payload;
+        if (cache->lookup(cacheKey, payload)) {
+            RunOutcome cached;
+            if (rehydrateOutcome(payload, point, cached)) {
+                if (!spec.benchJsonDir.empty())
+                    writeBenchJson(spec, point, payload);
+                fromCache = true;
+                return cached;
+            }
+            warn("sweep: corrupt cache entry for ", point.tag(),
+                 "; re-running");
         }
+    }
+
+    // Tracing holds external state a rewind would corrupt, so traced
+    // sweeps always build from scratch.
+    const bool fork = spec.tracePath.empty() && !spec.noSnapshotFork;
+    std::string cfgKey;
+    try {
+        DeltaConfig cfg = resolvePointConfig(spec, point);
         if (!spec.tracePath.empty())
             cfg.trace = traceConfigTagged(spec.tracePath, point.tag());
-        if (spec.noFastForward)
-            cfg.noFastForward = true;
 
         SuiteParams sp;
         sp.seed = point.seed;
         sp.scale = point.scale;
         auto wl = makeWorkload(point.workload, sp);
 
-        Delta delta(cfg);
+        Delta* delta = nullptr;
+        std::unique_ptr<Delta> fresh;
+        if (fork) {
+            cfgKey = canonicalConfig(cfg);
+            auto& slots = forkSlots();
+            for (ForkSlot& s : slots) {
+                if (s.key == cfgKey) {
+                    s.delta->restore(*s.snap);
+                    delta = s.delta.get();
+                    break;
+                }
+            }
+            if (delta == nullptr) {
+                ForkSlot slot;
+                slot.key = cfgKey;
+                slot.delta = std::make_unique<Delta>(cfg);
+                slot.snap = slot.delta->snapshot();
+                slots.push_back(std::move(slot));
+                if (slots.size() > kMaxForkSlots)
+                    slots.erase(slots.begin());
+                delta = slots.back().delta.get();
+            }
+        } else {
+            fresh = std::make_unique<Delta>(cfg);
+            delta = fresh.get();
+        }
+
         TaskGraph graph;
-        wl->build(delta, graph);
-        out.stats = delta.run(graph);
+        wl->build(*delta, graph);
+        out.stats = delta->run(graph);
         out.cycles = out.stats.get("delta.cycles");
-        out.correct = wl->check(delta.image());
+        out.correct = wl->check(delta->image());
     } catch (const std::exception& e) {
         out.failed = true;
         out.error = e.what();
+        // The slot's Delta may be stuck mid-run; rebuild next time.
+        if (fork && !cfgKey.empty())
+            dropForkSlot(cfgKey);
     }
 
-    if (!spec.benchJsonDir.empty() && !out.failed) {
-        const std::string path =
-            spec.benchJsonDir + "/" + point.tag() + ".json";
-        std::ofstream os(path);
-        if (!os) {
-            warn("sweep: cannot write '", path, "'");
-        } else {
-            os << "{\n  \"workload\": \"" << wkName(point.workload)
-               << "\",\n  \"config\": \"" << point.config
-               << "\",\n  \"lanes\": " << point.lanes
-               << ",\n  \"seed\": " << point.seed
-               << ",\n  \"scale\": " << formatScale(point.scale)
-               << ",\n  \"correct\": "
-               << (out.correct ? "true" : "false")
-               << ",\n  \"stats\": ";
-            out.stats.dumpJson(os);
-            os << "}\n";
-        }
+    if (!out.failed) {
+        const std::string payload = benchWrapperJson(out);
+        if (!spec.benchJsonDir.empty())
+            writeBenchJson(spec, point, payload);
+        if (cache != nullptr && out.ok())
+            cache->publish(cacheKey, cellKey, payload);
     }
     return out;
 }
@@ -300,38 +509,65 @@ Sweep::run()
     report.spec = spec_;
     report.runs.resize(points_.size());
 
+    std::unique_ptr<cache::RunCache> cache;
+    if (!spec_.cacheDir.empty()) {
+        if (!spec_.tracePath.empty()) {
+            warn("sweep: tracing requested; bypassing the run cache");
+        } else {
+            cache::RunCacheConfig ccfg;
+            ccfg.dir = spec_.cacheDir;
+            ccfg.capBytes = spec_.cacheCapBytes;
+            cache = std::make_unique<cache::RunCache>(ccfg);
+        }
+    }
+
     const auto start = std::chrono::steady_clock::now();
-    std::mutex progressMutex;
+    std::mutex ioMutex;
     std::size_t done = 0;
+    std::uint64_t hits = 0, misses = 0;
 
     parallelFor(points_.size(), spec_.jobs, [&](std::size_t i) {
-        RunOutcome out = executePoint(spec_, points_[i]);
-        if (spec_.progress) {
-            std::lock_guard<std::mutex> lock(progressMutex);
+        bool fromCache = false;
+        RunOutcome out =
+            executePoint(spec_, points_[i], cache.get(), fromCache);
+        {
+            std::lock_guard<std::mutex> lock(ioMutex);
             ++done;
-            const double elapsed =
-                std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - start)
-                    .count();
-            const double eta =
-                elapsed / static_cast<double>(done) *
-                static_cast<double>(points_.size() - done);
-            std::fprintf(
-                stderr, "[%3zu/%zu] %-32s %s  (%.1fs elapsed",
-                done, points_.size(), out.point.tag().c_str(),
-                out.failed ? "FAILED"
-                           : (out.correct ? "ok" : "INCORRECT"),
-                elapsed);
-            if (done < points_.size())
-                std::fprintf(stderr, ", ETA %.0fs", eta);
-            std::fprintf(stderr, ")\n");
-            if (out.failed)
-                std::fprintf(stderr, "        %s\n",
-                             out.error.c_str());
+            if (cache != nullptr)
+                ++(fromCache ? hits : misses);
+            if (spec_.progress) {
+                const double elapsed =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+                const double eta =
+                    elapsed / static_cast<double>(done) *
+                    static_cast<double>(points_.size() - done);
+                const char* status =
+                    out.failed
+                        ? "FAILED"
+                        : (out.correct
+                               ? (fromCache ? "ok (cache)" : "ok")
+                               : "INCORRECT");
+                std::fprintf(
+                    stderr, "[%3zu/%zu] %-32s %s  (%.1fs elapsed",
+                    done, points_.size(), out.point.tag().c_str(),
+                    status, elapsed);
+                if (done < points_.size())
+                    std::fprintf(stderr, ", ETA %.0fs", eta);
+                std::fprintf(stderr, ")\n");
+                if (out.failed)
+                    std::fprintf(stderr, "        %s\n",
+                                 out.error.c_str());
+            }
+            if (spec_.onResult)
+                spec_.onResult(out, fromCache);
         }
         report.runs[i] = std::move(out);
     });
 
+    report.cacheHits = hits;
+    report.cacheMisses = misses;
     return report;
 }
 

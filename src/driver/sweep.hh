@@ -68,6 +68,8 @@ ConfigVariant sweepConfig(const std::string& name,
 std::vector<ConfigVariant>
 sweepConfigsFromList(const std::string& list, std::uint32_t lanes = 8);
 
+struct RunOutcome;
+
 /** The declarative grid: the cross product of the four axes. */
 struct SweepSpec
 {
@@ -99,6 +101,34 @@ struct SweepSpec
      *  activity-driven core (bit-identical; for differential checks
      *  and host-throughput comparison). */
     bool noFastForward = false;
+
+    /**
+     * When non-empty, consult a content-addressed run cache rooted
+     * here before executing each point, and publish every finished
+     * ok() result after the run.  Hits replay the cached per-run
+     * JSON byte-for-byte, so cold and warm sweeps aggregate
+     * identically.  Tracing bypasses the cache (a hit would skip the
+     * trace the user asked for).
+     */
+    std::string cacheDir;
+
+    /** Cache size budget in bytes (0 = unbounded). */
+    std::uint64_t cacheCapBytes = 0;
+
+    /** Disable snapshot/fork warm starts: build a fresh Delta for
+     *  every point instead of forking each config's one-time
+     *  snapshot.  Bit-identical; for differential checks. */
+    bool noSnapshotFork = false;
+
+    /**
+     * Called once per retired point, in completion order under the
+     * engine's internal lock (so implementations may write to shared
+     * streams without further locking).  @p fromCache distinguishes
+     * cache replays from executed runs.  Used by the sweep service
+     * to stream per-cell results.
+     */
+    std::function<void(const RunOutcome& out, bool fromCache)>
+        onResult;
 
     /** Resolved baseline name ("" when speedups are off). */
     std::string baselineName() const;
@@ -159,6 +189,12 @@ struct SweepReport
     SweepSpec spec;
     std::vector<RunOutcome> runs;
 
+    /** Run-cache outcome counts (0/0 when no cache was configured).
+     *  Not serialized by writeJson: the aggregate report must stay
+     *  byte-identical between cold and warm passes. */
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+
     /** The outcome for an exact point, or nullptr. */
     const RunOutcome* find(Wk w, const std::string& config,
                            std::uint64_t seed, double scale) const;
@@ -210,6 +246,24 @@ class Sweep
  */
 void parallelFor(std::size_t n, unsigned jobs,
                  const std::function<void(std::size_t)>& fn);
+
+/**
+ * Canonical single-line rendering of every determinism-relevant
+ * DeltaConfig field.  Two configs with equal canonical forms produce
+ * bit-identical runs; the form feeds run-cache keys, so any new
+ * field that affects simulated behaviour MUST be added here (a
+ * missed field risks stale hits across sweeps that vary it).
+ */
+std::string canonicalConfig(const DeltaConfig& cfg);
+
+/**
+ * Canonical single-line run-cell description for a grid point: the
+ * workload, seed, scale, config name, and full canonical config.
+ * Combined with the code fingerprint this is the run-cache key
+ * preimage.
+ */
+std::string canonicalCell(const SweepSpec& spec,
+                          const RunPoint& point);
 
 } // namespace driver
 } // namespace ts

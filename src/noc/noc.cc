@@ -78,10 +78,32 @@ class NocRouter : public Ticked
 
     bool busy() const override { return false; }
 
+    std::unique_ptr<ComponentSnap>
+    saveState() const override
+    {
+        auto s = std::make_unique<Snap>();
+        s->linkFreeAt = linkFreeAt_;
+        return s;
+    }
+
+    void
+    restoreState(const ComponentSnap& snap) override
+    {
+        linkFreeAt_ = snapCast<Snap>(snap).linkFreeAt;
+    }
+
     std::array<Channel<Packet>*, NumDirs> in_;
     std::array<Channel<Packet>*, NumDirs> out_;
 
   private:
+    /** The only mutable router state: per-link serialization
+     *  maturity.  in_/out_ are wiring, and the round-robin pointer is
+     *  a pure function of simulated time. */
+    struct Snap final : ComponentSnap
+    {
+        std::array<Tick, NumDirs> linkFreeAt{};
+    };
+
     unsigned
     routeDir(std::uint32_t dst) const
     {
@@ -309,6 +331,32 @@ Noc::hopDistance(std::uint32_t a, std::uint32_t b) const
     const auto dy = static_cast<std::int64_t>(a / w) -
                     static_cast<std::int64_t>(b / w);
     return static_cast<std::uint32_t>(std::abs(dx) + std::abs(dy));
+}
+
+Noc::Counters
+Noc::counters() const
+{
+    Counters c;
+    c.wordHops = wordHops_;
+    c.delivered = delivered_;
+    c.injected = injected_;
+    c.mcastWordHops = mcastWordHops_;
+    c.mcastUnicastEquivWordHops = mcastUnicastEquivWordHops_;
+    c.mcastPackets = mcastPackets_;
+    c.mcastDeliveries = mcastDeliveries_;
+    return c;
+}
+
+void
+Noc::restoreCounters(const Counters& c)
+{
+    wordHops_ = c.wordHops;
+    delivered_ = c.delivered;
+    injected_ = c.injected;
+    mcastWordHops_ = c.mcastWordHops;
+    mcastUnicastEquivWordHops_ = c.mcastUnicastEquivWordHops;
+    mcastPackets_ = c.mcastPackets;
+    mcastDeliveries_ = c.mcastDeliveries;
 }
 
 void

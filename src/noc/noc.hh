@@ -84,6 +84,26 @@ class Noc
     /** Manhattan distance between two nodes (for tests). */
     std::uint32_t hopDistance(std::uint32_t a, std::uint32_t b) const;
 
+    /**
+     * The mesh's accumulated traffic counters (snapshot/fork
+     * support).  Routers and channels are Simulator-registered and
+     * snapshot through it; the Noc itself only owns these counters.
+     */
+    struct Counters
+    {
+        std::uint64_t wordHops = 0;
+        std::uint64_t delivered = 0;
+        std::uint64_t injected = 0;
+        std::uint64_t mcastWordHops = 0;
+        std::uint64_t mcastUnicastEquivWordHops = 0;
+        std::uint64_t mcastPackets = 0;
+        std::uint64_t mcastDeliveries = 0;
+    };
+
+    /** Copy out / restore the traffic counters. */
+    Counters counters() const;
+    void restoreCounters(const Counters& c);
+
   private:
     friend class NocRouter;
 

@@ -1,0 +1,335 @@
+#include "service/sweep_service.hh"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "analysis/json.hh"
+#include "driver/grid.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace ts
+{
+namespace service
+{
+
+namespace
+{
+
+/** Fill @p addr for @p path (fatal when it does not fit sun_path). */
+sockaddr_un
+unixAddr(const std::string& path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        fatal("socket path too long (", path.size(), " bytes, max ",
+              sizeof(addr.sun_path) - 1, "): '", path, "'");
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+/** Send `line + "\n"` fully; false once the peer is gone.  Uses
+ *  MSG_NOSIGNAL so a vanished client surfaces as an error return
+ *  instead of SIGPIPE. */
+bool
+writeLine(int fd, const std::string& line)
+{
+    std::string out = line;
+    out += '\n';
+    std::size_t sent = 0;
+    while (sent < out.size()) {
+        const ssize_t n = ::send(fd, out.data() + sent,
+                                 out.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0)
+            return false;
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** Incremental '\n'-delimited reads from a stream socket. */
+class LineReader
+{
+  public:
+    explicit LineReader(int fd) : fd_(fd) {}
+
+    /** Next full line (without the newline); false on EOF/error. */
+    bool
+    next(std::string& line)
+    {
+        for (;;) {
+            const std::size_t nl = buf_.find('\n');
+            if (nl != std::string::npos) {
+                line = buf_.substr(0, nl);
+                buf_.erase(0, nl + 1);
+                return true;
+            }
+            char tmp[4096];
+            const ssize_t n = ::recv(fd_, tmp, sizeof(tmp), 0);
+            if (n <= 0)
+                return false;
+            buf_.append(tmp, static_cast<std::size_t>(n));
+        }
+    }
+
+  private:
+    int fd_;
+    std::string buf_;
+};
+
+/** Closes an fd on scope exit. */
+struct FdGuard
+{
+    int fd = -1;
+    ~FdGuard()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+};
+
+std::string
+errorEvent(const std::string& message)
+{
+    return "{\"event\": \"error\", \"message\": \"" +
+           jsonEscape(message) + "\"}";
+}
+
+/**
+ * Execute one sweep request on @p fd, streaming start/cell/done
+ * events.  Every failure mode becomes an error event; the connection
+ * (and daemon) survive bad requests.
+ */
+void
+handleSweep(int fd, const analysis::Json& req)
+{
+    driver::RunOptions opt;
+    driver::GridSettings grid;
+    try {
+        if (!req.has("grid") || !req.at("grid").isObj()) {
+            writeLine(fd, errorEvent(
+                              "sweep request needs a \"grid\" object"));
+            return;
+        }
+        for (const auto& [key, value] : req.at("grid").obj) {
+            if (value.kind != analysis::Json::Kind::Str) {
+                writeLine(fd,
+                          errorEvent("grid value for '" + key +
+                                     "' must be a string"));
+                return;
+            }
+            driver::applyGridKey(key, value.str, opt, grid);
+        }
+
+        driver::SweepSpec spec = driver::buildSweepSpec(opt, grid);
+        spec.progress = false;
+        spec.onResult = [fd](const driver::RunOutcome& out,
+                             bool fromCache) {
+            std::ostringstream ev;
+            ev << "{\"event\": \"cell\", \"tag\": \""
+               << jsonEscape(out.point.tag()) << "\", \"source\": \""
+               << (fromCache ? "cache" : "run") << "\", \"ok\": "
+               << (out.ok() ? "true" : "false")
+               << ", \"cycles\": " << jsonNumber(out.cycles) << "}";
+            writeLine(fd, ev.str());
+        };
+
+        driver::Sweep sweep(std::move(spec));
+        writeLine(fd, "{\"event\": \"start\", \"runs\": " +
+                          std::to_string(sweep.points().size()) + "}");
+        const driver::SweepReport report = sweep.run();
+
+        if (!grid.out.empty()) {
+            std::ofstream os(grid.out, std::ios::binary);
+            if (!os) {
+                writeLine(fd, errorEvent("cannot write report '" +
+                                         grid.out + "'"));
+                return;
+            }
+            report.writeJson(os);
+        }
+
+        std::ostringstream done;
+        done << "{\"event\": \"done\", \"ok\": "
+             << (report.allOk() ? "true" : "false")
+             << ", \"failures\": " << report.failures()
+             << ", \"hits\": " << report.cacheHits
+             << ", \"misses\": " << report.cacheMisses << "}";
+        writeLine(fd, done.str());
+    } catch (const std::exception& e) {
+        writeLine(fd, errorEvent(e.what()));
+    }
+}
+
+/** Serve every request of one connection; true = shutdown asked. */
+bool
+handleConnection(int fd, std::uint64_t& served,
+                 std::uint64_t maxRequests)
+{
+    LineReader reader(fd);
+    std::string line;
+    while (reader.next(line)) {
+        if (line.empty())
+            continue;
+        ++served;
+        analysis::Json req;
+        if (!analysis::parseJson(line, req) || !req.isObj() ||
+            !req.has("op") ||
+            req.at("op").kind != analysis::Json::Kind::Str) {
+            writeLine(fd, errorEvent("malformed request line"));
+        } else if (req.at("op").str == "ping") {
+            writeLine(fd, "{\"ok\": true}");
+        } else if (req.at("op").str == "shutdown") {
+            writeLine(fd, "{\"ok\": true}");
+            return true;
+        } else if (req.at("op").str == "sweep") {
+            handleSweep(fd, req);
+        } else {
+            writeLine(fd, errorEvent("unknown op '" +
+                                     req.at("op").str + "'"));
+        }
+        if (maxRequests > 0 && served >= maxRequests)
+            return true;
+    }
+    return false;
+}
+
+/** Connect to @p path, retrying briefly so clients started alongside
+ *  the daemon win the startup race; -1 when it never appears. */
+int
+connectTo(const std::string& path)
+{
+    const sockaddr_un addr = unixAddr(path);
+    for (int attempt = 0; attempt < 100; ++attempt) {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            return -1;
+        if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)) == 0)
+            return fd;
+        ::close(fd);
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return -1;
+}
+
+/** Send one request and expect a single `{"ok":true}` reply. */
+bool
+simpleRequest(const std::string& socketPath, const std::string& op)
+{
+    FdGuard fd{connectTo(socketPath)};
+    if (fd.fd < 0)
+        return false;
+    if (!writeLine(fd.fd, "{\"op\": \"" + op + "\"}"))
+        return false;
+    LineReader reader(fd.fd);
+    std::string line;
+    if (!reader.next(line))
+        return false;
+    analysis::Json reply;
+    return analysis::parseJson(line, reply) && reply.isObj() &&
+           reply.has("ok") &&
+           reply.at("ok").kind == analysis::Json::Kind::Bool &&
+           reply.at("ok").b;
+}
+
+} // namespace
+
+void
+serve(const ServeConfig& cfg)
+{
+    const sockaddr_un addr = unixAddr(cfg.socketPath);
+
+    FdGuard listener{::socket(AF_UNIX, SOCK_STREAM, 0)};
+    if (listener.fd < 0)
+        fatal("cannot create socket: ", std::strerror(errno));
+    ::unlink(cfg.socketPath.c_str());
+    if (::bind(listener.fd, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0)
+        fatal("cannot bind '", cfg.socketPath,
+              "': ", std::strerror(errno));
+    if (::listen(listener.fd, 4) != 0)
+        fatal("cannot listen on '", cfg.socketPath,
+              "': ", std::strerror(errno));
+
+    std::uint64_t served = 0;
+    bool stop = false;
+    while (!stop) {
+        FdGuard conn{::accept(listener.fd, nullptr, nullptr)};
+        if (conn.fd < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("accept on '", cfg.socketPath,
+                  "' failed: ", std::strerror(errno));
+        }
+        stop = handleConnection(conn.fd, served, cfg.maxRequests);
+    }
+    ::unlink(cfg.socketPath.c_str());
+}
+
+int
+requestSweep(const std::string& socketPath,
+             const std::string& requestJson, std::ostream& replies)
+{
+    FdGuard fd{connectTo(socketPath)};
+    if (fd.fd < 0) {
+        replies << errorEvent("cannot connect to '" + socketPath +
+                              "'")
+                << "\n";
+        return 2;
+    }
+    if (!writeLine(fd.fd, requestJson)) {
+        replies << errorEvent("connection lost while sending request")
+                << "\n";
+        return 2;
+    }
+
+    LineReader reader(fd.fd);
+    std::string line;
+    while (reader.next(line)) {
+        replies << line << "\n";
+        analysis::Json ev;
+        if (!analysis::parseJson(line, ev) || !ev.isObj() ||
+            !ev.has("event") ||
+            ev.at("event").kind != analysis::Json::Kind::Str)
+            continue;
+        const std::string& kind = ev.at("event").str;
+        if (kind == "error")
+            return 2;
+        if (kind == "done") {
+            const bool ok = ev.has("ok") &&
+                            ev.at("ok").kind ==
+                                analysis::Json::Kind::Bool &&
+                            ev.at("ok").b;
+            return ok ? 0 : 1;
+        }
+    }
+    replies << errorEvent("connection closed before done event")
+            << "\n";
+    return 2;
+}
+
+bool
+ping(const std::string& socketPath)
+{
+    return simpleRequest(socketPath, "ping");
+}
+
+bool
+shutdown(const std::string& socketPath)
+{
+    return simpleRequest(socketPath, "shutdown");
+}
+
+} // namespace service
+} // namespace ts

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The delta-sweep daemon: a Unix-domain-socket service that executes
+ * sweep requests through the shared engine (src/driver/sweep.hh) and
+ * streams per-cell results back as line-delimited JSON.
+ *
+ * Protocol (one JSON object per line, both directions):
+ *
+ *   request  {"op":"ping"}
+ *   reply    {"ok":true}
+ *
+ *   request  {"op":"shutdown"}
+ *   reply    {"ok":true}            (then the daemon exits)
+ *
+ *   request  {"op":"sweep","grid":{"<key>":"<value>", ...}}
+ *     where every grid entry is a string applied through the same
+ *     applyGridKey() vocabulary as grid files and CLI flags (see
+ *     driver/grid.hh), so a request line, a grid file, and the
+ *     equivalent flags mean exactly the same sweep.  When the grid
+ *     includes "out", the daemon writes the aggregate JSON report to
+ *     that path itself.
+ *   replies  {"event":"start","runs":N}
+ *            {"event":"cell","tag":"...","source":"cache"|"run",
+ *             "ok":true,"cycles":N}     (one per point, completion
+ *                                        order)
+ *            {"event":"done","ok":true,"failures":0,
+ *             "hits":H,"misses":M}
+ *     or, on a malformed or invalid request,
+ *            {"event":"error","message":"..."}
+ *
+ * The daemon serves one connection at a time (each sweep already
+ * saturates the host thread pool) and keeps serving after request
+ * errors; only "shutdown" or a fatal socket error ends serve().
+ */
+
+#ifndef TS_SERVICE_SWEEP_SERVICE_HH
+#define TS_SERVICE_SWEEP_SERVICE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace ts
+{
+namespace service
+{
+
+/** Daemon-side configuration. */
+struct ServeConfig
+{
+    /** Filesystem path of the AF_UNIX listening socket.  A stale
+     *  socket file at this path is replaced. */
+    std::string socketPath;
+
+    /** Cap on served sweep requests (0 = unlimited); tests use 1..N
+     *  to bound a serve() call without a shutdown request. */
+    std::uint64_t maxRequests = 0;
+};
+
+/**
+ * Bind @p cfg.socketPath and serve requests until a shutdown request
+ * (or the request cap) is reached.  Blocking; fatal() on socket
+ * setup errors.
+ */
+void serve(const ServeConfig& cfg);
+
+/**
+ * Client: connect to @p socketPath, send @p requestJson as one line,
+ * and echo every reply line to @p replies.  Returns the sweep exit
+ * status: 0 when a done event reported ok, 1 when it reported
+ * failures, 2 on an error event or a broken connection.
+ */
+int requestSweep(const std::string& socketPath,
+                 const std::string& requestJson, std::ostream& replies);
+
+/** Client: send {"op":"ping"}; true iff the daemon answered ok. */
+bool ping(const std::string& socketPath);
+
+/** Client: send {"op":"shutdown"}; true iff the daemon acknowledged
+ *  before exiting. */
+bool shutdown(const std::string& socketPath);
+
+} // namespace service
+} // namespace ts
+
+#endif // TS_SERVICE_SWEEP_SERVICE_HH

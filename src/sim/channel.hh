@@ -27,11 +27,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace ts
 {
@@ -89,6 +91,21 @@ class ChannelBase
 
     /** Diagnostic name. */
     const std::string& name() const { return name_; }
+
+    /**
+     * Copy all queued/staged values and counters (snapshot/fork
+     * support).  Must be called between cycles: a dirty channel
+     * cannot be snapshotted.
+     */
+    virtual std::unique_ptr<ComponentSnap> saveState() const = 0;
+
+    /**
+     * Restore a prior saveState() in place.  The external live
+     * counter (installHooks) is re-synchronized incrementally via
+     * setLive, so the owning simulator's quiescence accounting stays
+     * exact.
+     */
+    virtual void restoreState(const ComponentSnap& s) = 0;
 
   protected:
     /** First push of the cycle enqueues us for the commit phase. */
@@ -218,7 +235,39 @@ class Channel : public ChannelBase
     /** Configured capacity (0 = unbounded). */
     std::size_t capacity() const { return capacity_; }
 
+    std::unique_ptr<ComponentSnap>
+    saveState() const override
+    {
+        TS_ASSERT(!dirty(), "snapshot of dirty channel ", name());
+        auto s = std::make_unique<Snap>();
+        s->queue = queue_;
+        s->staging = staging_;
+        s->pushed = pushed_;
+        s->maxOccupancy = maxOccupancy_;
+        return s;
+    }
+
+    void
+    restoreState(const ComponentSnap& snap) override
+    {
+        TS_ASSERT(!dirty(), "restore into dirty channel ", name());
+        const Snap& s = snapCast<Snap>(snap);
+        queue_ = s.queue;
+        staging_ = s.staging;
+        pushed_ = s.pushed;
+        maxOccupancy_ = s.maxOccupancy;
+        setLive(!queue_.empty() || !staging_.empty());
+    }
+
   private:
+    struct Snap final : ComponentSnap
+    {
+        std::deque<T> queue;
+        std::vector<T> staging;
+        std::uint64_t pushed = 0;
+        std::size_t maxOccupancy = 0;
+    };
+
     std::size_t capacity_;
     std::deque<T> queue_;
     std::vector<T> staging_;

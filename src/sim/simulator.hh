@@ -57,6 +57,7 @@
 
 #include "sim/channel.hh"
 #include "sim/event_queue.hh"
+#include "sim/snapshot.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -64,6 +65,7 @@ namespace ts
 {
 
 class Simulator;
+class SimSnapshot;
 
 /** Base class for every cycle-stepped hardware model. */
 class Ticked
@@ -103,6 +105,18 @@ class Ticked
      * anywhere at any time; spurious wakes are harmless.
      */
     void requestWake();
+
+    /**
+     * Copy all mutable state into a value-semantic snap (see
+     * snapshot.hh for the ownership/copy contract).  The default
+     * fatal()s naming the component, so a snapshot over an unported
+     * component fails loudly rather than silently forking stale
+     * state; stateless components return EmptySnap.
+     */
+    virtual std::unique_ptr<ComponentSnap> saveState() const;
+
+    /** Restore a prior saveState() in place (same object graph). */
+    virtual void restoreState(const ComponentSnap& s);
 
     /** Diagnostic name. */
     const std::string& name() const { return name_; }
@@ -202,8 +216,24 @@ class Simulator
     /** Whether activity-driven execution is enabled. */
     bool fastForward() const { return fastForward_; }
 
+    /**
+     * Capture the complete simulation state — time, every component's
+     * and channel's mutable state, the sleep/wake bookkeeping of the
+     * activity-driven core — as a value-semantic snapshot.  Must be
+     * called between cycles with an empty event queue (event
+     * callbacks are move-only); both are true post-configuration and
+     * at quiescence.  A run resumed from a restored snapshot is
+     * bit-identical to one that never snapshotted.
+     */
+    SimSnapshot snapshot() const;
+
+    /** Restore a snapshot in place over the same components and
+     *  channels, in the same registration order. */
+    void restore(const SimSnapshot& s);
+
   private:
     friend class Ticked;
+    friend class SimSnapshot;
 
     static constexpr Tick kNoWakeTick =
         std::numeric_limits<Tick>::max();
@@ -291,6 +321,44 @@ class Simulator
     std::uint64_t ticksExecuted_ = 0;
     std::uint64_t cyclesExecuted_ = 0;
     std::uint64_t cyclesFastForwarded_ = 0;
+};
+
+/**
+ * A value-semantic copy of a Simulator's complete state (see
+ * Simulator::snapshot).  Opaque: only the simulator reads or writes
+ * it.  Movable but not copyable (component snaps are type-erased
+ * unique_ptrs); one snapshot can be restored any number of times.
+ */
+class SimSnapshot
+{
+  private:
+    friend class Simulator;
+
+    /** Per-component sleep/wake bookkeeping (Ticked fields). */
+    struct TickedMeta
+    {
+        bool sleepPending = false;
+        bool sleeping = false;
+        Tick sleepAt = 0;
+        bool inBusyList = false;
+    };
+
+    Tick now = 0;
+    bool fastForward = true;
+    std::vector<std::unique_ptr<ComponentSnap>> components;
+    std::vector<TickedMeta> meta;
+    std::vector<std::unique_ptr<ComponentSnap>> channels;
+    std::vector<std::uint64_t> active;
+    std::uint32_t activeCount = 0;
+    std::priority_queue<Simulator::TimedWake,
+                        std::vector<Simulator::TimedWake>,
+                        std::greater<Simulator::TimedWake>>
+        sleepHeap;
+    std::vector<std::uint32_t> sleepersBusy;
+    std::uint64_t wallNs = 0;
+    std::uint64_t ticksExecuted = 0;
+    std::uint64_t cyclesExecuted = 0;
+    std::uint64_t cyclesFastForwarded = 0;
 };
 
 inline void

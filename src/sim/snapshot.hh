@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Value-semantic snapshots of simulator state (snapshot/fork warm
+ * starts).
+ *
+ * A snapshot copies every piece of *mutable* state a component owns
+ * into a ComponentSnap and restores it **in place on the same object
+ * graph**: components, channels, and their wiring (pointers,
+ * callbacks capturing `this`, observer lists) are never recreated, so
+ * captured addresses stay valid across restore.  This is what makes
+ * the scheme cheap — a restore is a handful of container assignments,
+ * not a rebuild — and what defines its contract:
+ *
+ *  - every component overriding Ticked::saveState copies ALL state
+ *    its tick()/busy()/reportStats() depend on (restored runs are
+ *    CI-gated bit-identical to from-scratch runs, the same discipline
+ *    as --no-fast-forward);
+ *  - stored pointers may be copied by value only when they reference
+ *    objects whose lifetime and address are stable across restore
+ *    (other components, registry entries at or below the snapshot
+ *    mark, the fabric's own port FIFOs);
+ *  - the event queue must be empty at snapshot and restore time
+ *    (callbacks are move-only and cannot be copied), which is always
+ *    true post-configuration and at quiescence.
+ *
+ * See DESIGN.md §7 for the full ownership/copy contract.
+ */
+
+#ifndef TS_SIM_SNAPSHOT_HH
+#define TS_SIM_SNAPSHOT_HH
+
+#include <memory>
+
+#include "sim/logging.hh"
+
+namespace ts
+{
+
+/**
+ * Base of every per-component state copy.  Components define a
+ * private `struct Snap : ComponentSnap` holding value copies of their
+ * mutable members; the simulator stores them type-erased.
+ */
+struct ComponentSnap
+{
+    virtual ~ComponentSnap() = default;
+};
+
+/** Snap of a component with no mutable state. */
+struct EmptySnap final : ComponentSnap
+{
+};
+
+/**
+ * Downcast a ComponentSnap back to the concrete type its component
+ * saved.  Pairing is by construction (a component only ever receives
+ * the snap it produced, in registration order).
+ */
+template <typename Derived>
+const Derived&
+snapCast(const ComponentSnap& s)
+{
+    const Derived* d = dynamic_cast<const Derived*>(&s);
+    TS_ASSERT(d != nullptr,
+              "snapshot/component mismatch: a component was handed "
+              "another component's state");
+    return *d;
+}
+
+} // namespace ts
+
+#endif // TS_SIM_SNAPSHOT_HH

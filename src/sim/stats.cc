@@ -1,6 +1,7 @@
 #include "sim/stats.hh"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <iomanip>
@@ -69,6 +70,20 @@ jsonEscape(const std::string& s)
         }
     }
     return out;
+}
+
+std::string
+jsonNumber(double value)
+{
+    if (!std::isfinite(value))
+        return "null";
+    // Shortest round-trip form.  to_chars never emits a leading '+'
+    // and uses scientific notation only when it is shorter, so the
+    // output is a deterministic function of the value alone.
+    char buf[64];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+    TS_ASSERT(res.ec == std::errc());
+    return std::string(buf, res.ptr);
 }
 
 void
@@ -197,22 +212,15 @@ StatSet::dumpJson(std::ostream& os,
     sync();
     os << "{";
     bool first = true;
-    const auto precision = os.precision();
-    os << std::setprecision(std::numeric_limits<double>::max_digits10);
     for (const auto& [name, value] : values_) {
         if (!excludePrefix.empty() &&
             name.compare(0, excludePrefix.size(), excludePrefix) == 0)
             continue;
         os << (first ? "\n" : ",\n") << "  \"" << jsonEscape(name)
-           << "\": ";
-        // NaN/inf are not valid JSON numbers; emit null instead.
-        if (std::isfinite(value))
-            os << value;
-        else
-            os << "null";
+           << "\": " << jsonNumber(value);
         first = false;
     }
-    os << "\n}\n" << std::setprecision(static_cast<int>(precision));
+    os << "\n}\n";
 }
 
 Histogram::Histogram() : Histogram(log2Bounds()) {}

@@ -179,6 +179,15 @@ class StatSet
 /** Escape a string for use inside a JSON string literal. */
 std::string jsonEscape(const std::string& s);
 
+/**
+ * Canonical JSON rendering of a double: the shortest decimal string
+ * that round-trips to exactly the same value (std::to_chars), so a
+ * dump -> parse -> dump cycle is byte-idempotent and byte-compares /
+ * cache keys are reproducible across invocations.  Non-finite values
+ * render as "null" (JSON has no NaN/inf).
+ */
+std::string jsonNumber(double value);
+
 /** Sample into the active run StatSet, if any (probe-site helper). */
 inline void
 statSample(const std::string& name, double value)

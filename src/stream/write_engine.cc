@@ -149,4 +149,43 @@ WriteEngine::reportStats(StatSet& stats) const
     stats.set(name() + ".streams", static_cast<double>(streamsRun_));
 }
 
+std::unique_ptr<ComponentSnap>
+WriteEngine::saveState() const
+{
+    auto s = std::make_unique<Snap>();
+    s->d = d_;
+    s->src = src_;
+    s->active = active_;
+    s->sawStreamEnd = sawStreamEnd_;
+    s->pos = pos_;
+    s->curLine = curLine_;
+    s->pendingLines = pendingLines_;
+    s->chunk = chunk_;
+    s->chunkPending = chunkPending_;
+    s->tokensWritten = tokensWritten_;
+    s->linesWritten = linesWritten_;
+    s->chunksSent = chunksSent_;
+    s->streamsRun = streamsRun_;
+    return s;
+}
+
+void
+WriteEngine::restoreState(const ComponentSnap& snap)
+{
+    const Snap& s = snapCast<Snap>(snap);
+    d_ = s.d;
+    src_ = s.src;
+    active_ = s.active;
+    sawStreamEnd_ = s.sawStreamEnd;
+    pos_ = s.pos;
+    curLine_ = s.curLine;
+    pendingLines_ = s.pendingLines;
+    chunk_ = s.chunk;
+    chunkPending_ = s.chunkPending;
+    tokensWritten_ = s.tokensWritten;
+    linesWritten_ = s.linesWritten;
+    chunksSent_ = s.chunksSent;
+    streamsRun_ = s.streamsRun;
+}
+
 } // namespace ts

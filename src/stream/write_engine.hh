@@ -56,7 +56,27 @@ class WriteEngine : public Ticked
 
     std::uint64_t tokensWritten() const { return tokensWritten_; }
 
+    std::unique_ptr<ComponentSnap> saveState() const override;
+    void restoreState(const ComponentSnap& snap) override;
+
   private:
+    struct Snap final : ComponentSnap
+    {
+        WriteDesc d;
+        TokenFifo* src = nullptr;
+        bool active = false;
+        bool sawStreamEnd = false;
+        std::uint64_t pos = 0;
+        std::optional<Addr> curLine;
+        std::deque<Addr> pendingLines;
+        std::vector<Token> chunk;
+        bool chunkPending = false;
+        std::uint64_t tokensWritten = 0;
+        std::uint64_t linesWritten = 0;
+        std::uint64_t chunksSent = 0;
+        std::uint64_t streamsRun = 0;
+    };
+
     bool flushTraffic();
     void queueLine(Addr line);
 

@@ -142,7 +142,12 @@ class Dispatcher : public Ticked
      *  TaskGraph::criticalPath). */
     std::vector<TaskSpan> taskSpans() const;
 
+    std::unique_ptr<ComponentSnap> saveState() const override;
+    void restoreState(const ComponentSnap& snap) override;
+
   private:
+    struct Snap;
+
     struct EdgeState
     {
         DepEdge e;

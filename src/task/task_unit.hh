@@ -74,6 +74,9 @@ class TaskUnit : public Ticked
         return inbox_.size() + (phase_ == Phase::Idle ? 0 : 1);
     }
 
+    std::unique_ptr<ComponentSnap> saveState() const override;
+    void restoreState(const ComponentSnap& snap) override;
+
   private:
     enum class Phase : std::uint8_t
     {
@@ -86,6 +89,8 @@ class TaskUnit : public Ticked
         BuiltinWrite,
         Finish,
     };
+
+    struct Snap;
 
     void beginTask(Tick now);
     void step(Tick now);

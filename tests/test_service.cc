@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Sweep-service tests: an in-process daemon on a std::thread serving
+ * a temp-path Unix socket, exercised through the public client
+ * calls — ping, a small sweep request with streamed cell events, a
+ * daemon-written report that matches a direct Sweep byte-for-byte,
+ * error events for malformed requests (which must not kill the
+ * daemon), and shutdown.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/json.hh"
+#include "driver/grid.hh"
+#include "service/sweep_service.hh"
+
+using namespace ts;
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+/** A daemon on a unique socket path, joined (via shutdown) on
+ *  destruction. */
+struct TestDaemon
+{
+    std::string sock;
+    std::thread thread;
+
+    explicit TestDaemon(const std::string& tag)
+        : sock((fs::temp_directory_path() /
+                ("ts_svc_" + tag + "_" + std::to_string(::getpid())))
+                   .string())
+    {
+        fs::remove(sock);
+        thread = std::thread([this] {
+            service::ServeConfig cfg;
+            cfg.socketPath = sock;
+            service::serve(cfg);
+        });
+    }
+
+    ~TestDaemon()
+    {
+        if (thread.joinable()) {
+            service::shutdown(sock);
+            thread.join();
+        }
+        fs::remove(sock);
+    }
+};
+
+/** Parse every reply line the client echoed. */
+std::vector<analysis::Json>
+parseEvents(const std::string& replies)
+{
+    std::vector<analysis::Json> events;
+    std::istringstream is(replies);
+    std::string line;
+    while (std::getline(is, line)) {
+        analysis::Json ev;
+        EXPECT_TRUE(analysis::parseJson(line, ev))
+            << "every reply line must be valid JSON: " << line;
+        events.push_back(std::move(ev));
+    }
+    return events;
+}
+
+const analysis::Json*
+findEvent(const std::vector<analysis::Json>& events,
+          const std::string& kind)
+{
+    for (const analysis::Json& ev : events)
+        if (ev.isObj() && ev.has("event") &&
+            ev.at("event").str == kind)
+            return &ev;
+    return nullptr;
+}
+
+} // namespace
+
+TEST(SweepServiceTest, PingAnswersOk)
+{
+    TestDaemon daemon("ping");
+    EXPECT_TRUE(service::ping(daemon.sock));
+    // A second connection works: the daemon outlives its clients.
+    EXPECT_TRUE(service::ping(daemon.sock));
+}
+
+TEST(SweepServiceTest, SweepRequestStreamsCellsAndDone)
+{
+    TestDaemon daemon("sweep");
+    std::ostringstream replies;
+    const int rc = service::requestSweep(
+        daemon.sock,
+        "{\"op\": \"sweep\", \"grid\": {\"workloads\": \"spmv\", "
+        "\"configs\": \"static,delta\", \"seeds\": \"3\", "
+        "\"scales\": \"0.25\"}}",
+        replies);
+    EXPECT_EQ(rc, 0);
+
+    const auto events = parseEvents(replies.str());
+    const analysis::Json* start = findEvent(events, "start");
+    ASSERT_NE(start, nullptr);
+    EXPECT_EQ(start->at("runs").num, 2.0);
+
+    std::size_t cells = 0;
+    for (const analysis::Json& ev : events)
+        if (ev.has("event") && ev.at("event").str == "cell") {
+            ++cells;
+            EXPECT_TRUE(ev.at("ok").b);
+            EXPECT_EQ(ev.at("source").str, "run");
+            EXPECT_GT(ev.at("cycles").num, 0.0);
+        }
+    EXPECT_EQ(cells, 2u);
+
+    const analysis::Json* done = findEvent(events, "done");
+    ASSERT_NE(done, nullptr);
+    EXPECT_TRUE(done->at("ok").b);
+    EXPECT_EQ(done->at("failures").num, 0.0);
+}
+
+TEST(SweepServiceTest, DaemonReportMatchesDirectSweep)
+{
+    const fs::path out =
+        fs::temp_directory_path() /
+        ("ts_svc_report_" + std::to_string(::getpid()) + ".json");
+    fs::remove(out);
+
+    {
+        TestDaemon daemon("report");
+        std::ostringstream replies;
+        const int rc = service::requestSweep(
+            daemon.sock,
+            "{\"op\": \"sweep\", \"grid\": {\"workloads\": \"spmv\", "
+            "\"configs\": \"static,delta\", \"seeds\": \"3,5\", "
+            "\"scales\": \"0.25\", \"baseline\": \"static\", "
+            "\"out\": \"" + out.string() + "\"}}",
+            replies);
+        ASSERT_EQ(rc, 0);
+    }
+
+    std::ifstream in(out, std::ios::binary);
+    ASSERT_TRUE(in.good()) << "daemon should have written the report";
+    std::ostringstream daemonReport;
+    daemonReport << in.rdbuf();
+    fs::remove(out);
+
+    // The same grid through the same vocabulary, run directly.
+    driver::RunOptions opt;
+    driver::GridSettings grid;
+    driver::applyGridKey("workloads", "spmv", opt, grid);
+    driver::applyGridKey("configs", "static,delta", opt, grid);
+    driver::applyGridKey("seeds", "3,5", opt, grid);
+    driver::applyGridKey("scales", "0.25", opt, grid);
+    driver::applyGridKey("baseline", "static", opt, grid);
+    driver::Sweep sweep(driver::buildSweepSpec(opt, grid));
+    std::ostringstream direct;
+    sweep.run().writeJson(direct);
+
+    EXPECT_EQ(daemonReport.str(), direct.str())
+        << "a daemon-served sweep must aggregate byte-identically "
+           "to a direct one";
+}
+
+TEST(SweepServiceTest, MalformedRequestsYieldErrorEventsNotDeath)
+{
+    TestDaemon daemon("errors");
+
+    std::ostringstream r1;
+    EXPECT_EQ(service::requestSweep(daemon.sock, "not json", r1), 2);
+    const auto ev1 = parseEvents(r1.str());
+    EXPECT_NE(findEvent(ev1, "error"), nullptr);
+
+    std::ostringstream r2;
+    EXPECT_EQ(service::requestSweep(
+                  daemon.sock,
+                  "{\"op\": \"sweep\", \"grid\": "
+                  "{\"no-such-key\": \"1\"}}",
+                  r2),
+              2);
+    const auto ev2 = parseEvents(r2.str());
+    const analysis::Json* err = findEvent(ev2, "error");
+    ASSERT_NE(err, nullptr);
+    EXPECT_NE(err->at("message").str.find("no-such-key"),
+              std::string::npos)
+        << "the error should name the offending key";
+
+    std::ostringstream r3;
+    EXPECT_EQ(service::requestSweep(daemon.sock,
+                                    "{\"op\": \"frobnicate\"}", r3),
+              2);
+
+    // The daemon survived all of the above.
+    EXPECT_TRUE(service::ping(daemon.sock));
+}
+
+TEST(SweepServiceTest, ShutdownStopsTheDaemon)
+{
+    auto daemon = std::make_unique<TestDaemon>("shutdown");
+    const std::string sock = daemon->sock;
+    EXPECT_TRUE(service::ping(sock));
+    daemon.reset(); // shuts down and joins
+    EXPECT_FALSE(fs::exists(sock))
+        << "serve() should unlink its socket on exit";
+}

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Snapshot/fork tests: the enforcement arm of the copy contract in
+ * DESIGN.md §7.  A Delta snapshotted at its pristine
+ * post-construction point and restored before each run must produce
+ * byte-identical statistics and functional results to a Delta built
+ * from scratch — for every workload, under both the static baseline
+ * and the full TaskStream config, and across repeated restores of
+ * one snapshot.
+ *
+ * Also covers the registry watermark (mark/rollback) that lets the
+ * append-only TaskTypeRegistry rewind across forks, and the
+ * shortest-round-trip JSON number formatting the cache's byte-replay
+ * guarantee leans on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <tuple>
+
+#include "accel/delta.hh"
+#include "sim/stats.hh"
+#include "task/task_types.hh"
+#include "workloads/workload.hh"
+
+using namespace ts;
+
+namespace
+{
+
+struct RunResult
+{
+    std::string statsJson; ///< full dump minus sim.host.*
+    double cycles = 0.0;
+    bool correct = false;
+};
+
+RunResult
+resultOf(Delta& delta, Wk wk)
+{
+    SuiteParams sp;
+    sp.scale = 0.25;
+    sp.seed = 7;
+    auto wl = makeWorkload(wk, sp);
+
+    TaskGraph graph;
+    wl->build(delta, graph);
+    const StatSet stats = delta.run(graph);
+
+    RunResult r;
+    std::ostringstream os;
+    stats.dumpJson(os, "sim.host.");
+    r.statsJson = os.str();
+    r.cycles = stats.get("sim.cycles");
+    r.correct = wl->check(delta.image());
+    return r;
+}
+
+DeltaConfig
+configFor(bool staticConfig)
+{
+    return staticConfig ? DeltaConfig::staticBaseline()
+                        : DeltaConfig::delta();
+}
+
+class SnapshotForkDifferential
+    : public ::testing::TestWithParam<std::tuple<Wk, bool>>
+{
+};
+
+} // namespace
+
+TEST_P(SnapshotForkDifferential, ForkedRunsBitIdenticalToFresh)
+{
+    const Wk wk = std::get<0>(GetParam());
+    const bool staticConfig = std::get<1>(GetParam());
+
+    RunResult fresh;
+    {
+        Delta delta(configFor(staticConfig));
+        fresh = resultOf(delta, wk);
+    }
+    ASSERT_TRUE(fresh.correct);
+
+    Delta forked(configFor(staticConfig));
+    const auto snap = forked.snapshot();
+    for (int rep = 0; rep < 2; ++rep) {
+        forked.restore(*snap);
+        const RunResult r = resultOf(forked, wk);
+        EXPECT_TRUE(r.correct);
+        EXPECT_EQ(r.cycles, fresh.cycles) << "rep " << rep;
+        EXPECT_EQ(r.statsJson, fresh.statsJson)
+            << "forked run " << rep << " diverged for " << wkName(wk)
+            << " (" << (staticConfig ? "static" : "delta")
+            << "): some component state escaped the snapshot";
+    }
+}
+
+namespace
+{
+
+std::string
+snapName(const ::testing::TestParamInfo<std::tuple<Wk, bool>>& info)
+{
+    return std::string(wkName(std::get<0>(info.param))) +
+           (std::get<1>(info.param) ? "_static" : "_delta");
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, SnapshotForkDifferential,
+    ::testing::Combine(::testing::ValuesIn(allWorkloads()),
+                       ::testing::Bool()),
+    snapName);
+
+// ---------------------------------------------------------------------
+// Registry watermark.
+// ---------------------------------------------------------------------
+
+TEST(RegistryRollbackTest, RollbackForgetsTypesRegisteredSinceMark)
+{
+    Delta delta(DeltaConfig::delta());
+    const TaskTypeRegistry::Mark m = delta.registry().mark();
+
+    SuiteParams sp;
+    sp.scale = 0.25;
+    sp.seed = 7;
+    auto wl = makeWorkload(Wk::Spmv, sp);
+    TaskGraph graph;
+    wl->build(delta, graph);
+
+    const TaskTypeRegistry::Mark after = delta.registry().mark();
+    EXPECT_GT(after.types, m.types)
+        << "building a workload should register task types";
+
+    delta.registry().rollback(m);
+    const TaskTypeRegistry::Mark back = delta.registry().mark();
+    EXPECT_EQ(back.types, m.types);
+    EXPECT_EQ(back.dfgs, m.dfgs);
+}
+
+TEST(RegistryRollbackTest, RollbackToFutureMarkPanics)
+{
+    Delta delta(DeltaConfig::delta());
+    TaskTypeRegistry::Mark m = delta.registry().mark();
+    m.types += 1;
+    EXPECT_THROW(delta.registry().rollback(m), PanicError);
+}
+
+// ---------------------------------------------------------------------
+// JSON number canonicalization (cache byte-replay groundwork).
+// ---------------------------------------------------------------------
+
+TEST(JsonNumberTest, ShortestRoundTrip)
+{
+    EXPECT_EQ(jsonNumber(0.0), "0");
+    EXPECT_EQ(jsonNumber(42.0), "42");
+    EXPECT_EQ(jsonNumber(0.1), "0.1");
+    EXPECT_EQ(jsonNumber(-3.5), "-3.5");
+    // NaN/inf are not JSON numbers; the canonical form is null.
+    EXPECT_EQ(jsonNumber(std::nan("")), "null");
+}
+
+TEST(JsonNumberTest, DumpParseDumpIsIdempotent)
+{
+    const double values[] = {0.0,     1.0 / 3.0, 1e-9, 6.02214076e23,
+                             12345.0, 0.30000000000000004};
+    for (const double v : values) {
+        const std::string once = jsonNumber(v);
+        char* end = nullptr;
+        const double parsed = std::strtod(once.c_str(), &end);
+        ASSERT_EQ(*end, '\0') << once;
+        EXPECT_EQ(jsonNumber(parsed), once)
+            << "formatting must round-trip through parse exactly";
+    }
+}

@@ -1,62 +1,51 @@
 /**
  * @file
  * delta-sweep: the single CLI entry point for running grids of
- * simulations on a host thread pool (src/driver/sweep.hh).
+ * simulations on a host thread pool (src/driver/sweep.hh), either
+ * directly, against a content-addressed run cache, or through the
+ * sweep daemon (src/service/sweep_service.hh).
  *
  * A grid is the cross product workloads x configs x seeds x scales.
  * Each point runs in full isolation; results aggregate
- * deterministically (bit-identical between -j 1 and -j N).
+ * deterministically (bit-identical between -j 1 and -j N, and between
+ * cold and warm cache passes).
  *
- * Usage:
- *   delta-sweep [grid options] [shared options]
- *     --configs LIST    preset configs, comma-separated (default
- *                       "static,delta"; valid: static, dyn, work,
- *                       pipe, delta)
- *     --seeds LIST      comma-separated seeds (default: --seed)
- *     --scales LIST     comma-separated scales (default: --scale)
- *     --lanes N         lanes for every config (default 8)
- *     --baseline NAME   config paired speedups compare against
- *                       (default: first config)
- *     --out PATH        write the aggregate JSON report here
- *     --grid FILE       read `key = value` grid settings (applied
- *                       where the flag appears; later flags override)
- *     --quiet           suppress per-run progress/ETA on stderr
- *   plus every shared run option (see --help): --workloads, --scale,
- *   --seed, --trace, --bench-json, --log, -j/--jobs, each with its
- *   TS_* environment fallback.
+ * Modes:
+ *   (default)         expand the grid and run it locally
+ *   --dry-run         print each point's tag, cache key, and
+ *                     predicted hit/miss; execute nothing
+ *   --serve SOCK      daemon: serve sweep requests on a Unix socket
+ *   --connect SOCK    client: send one request to a daemon; the grid
+ *                     is described with --set/--grid only, so exactly
+ *                     what is sent is what was typed
  *
  * Per-run StatSets land in --bench-json DIR as `<tag>.json` in the
  * wrapper shape `tools/delta-report --baseline` ingests.  Exit code:
  * 0 when every run completed and passed its check, 1 otherwise, 2 on
- * usage errors.
+ * usage/protocol errors.
  */
+
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 
-#include "driver/sweep.hh"
+#include "cache/run_cache.hh"
+#include "driver/grid.hh"
+#include "service/sweep_service.hh"
 #include "sim/logging.hh"
+#include "sim/stats.hh"
 
 namespace
 {
 
 using namespace ts;
-
-/** Everything a grid can configure besides the shared options. */
-struct GridSettings
-{
-    std::string configs;   ///< preset list ("" = static,delta)
-    std::vector<std::uint64_t> seeds;
-    std::vector<double> scales;
-    std::uint32_t lanes = 8;
-    std::string baseline;
-    std::string out;
-    bool quiet = false;
-};
 
 [[noreturn]] void
 usage(int code)
@@ -74,155 +63,155 @@ usage(int code)
         "  --baseline NAME   speedup baseline (default: first config)\n"
         "  --out PATH        aggregate JSON report\n"
         "  --grid FILE       `key = value` grid file\n"
-        "  --quiet           no per-run progress on stderr\n",
+        "  --set KEY=VALUE   one grid-file setting inline\n"
+        "  --quiet           no per-run progress on stderr\n"
+        "cache options:\n"
+        "  --cache DIR       content-addressed run cache: consult\n"
+        "                    before running, publish after\n"
+        "  --cache-cap BYTES cache size budget (K/M/G suffixes ok)\n"
+        "  --no-snapshot-fork  fresh Delta per point (differential\n"
+        "                    check of snapshot/fork warm starts)\n"
+        "  --dry-run         print tag, cache key, and predicted\n"
+        "                    hit/miss per point; run nothing\n"
+        "service options:\n"
+        "  --serve SOCK      serve sweep requests on a Unix socket\n"
+        "  --connect SOCK    send one request to a serving daemon;\n"
+        "                    combine with --set/--grid (sweep),\n"
+        "                    --ping, or --shutdown\n",
         os);
     std::fputs(ts::driver::optionsHelp(), os);
     std::exit(code);
 }
 
-std::vector<std::string>
-splitList(const std::string& list)
+/** Split `KEY=VALUE` (fatal without '='). */
+std::pair<std::string, std::string>
+splitSetting(const std::string& arg)
 {
-    std::vector<std::string> out;
-    std::string cur;
-    const auto flush = [&] {
-        const auto b = cur.find_first_not_of(" \t");
-        const auto e = cur.find_last_not_of(" \t");
-        if (b != std::string::npos)
-            out.push_back(cur.substr(b, e - b + 1));
-        cur.clear();
-    };
-    for (const char c : list) {
-        if (c == ',')
-            flush();
-        else
-            cur += c;
-    }
-    flush();
-    return out;
-}
-
-std::vector<std::uint64_t>
-parseSeedList(const std::string& list)
-{
-    std::vector<std::uint64_t> out;
-    for (const std::string& s : splitList(list)) {
-        char* end = nullptr;
-        const std::uint64_t v = std::strtoull(s.c_str(), &end, 10);
-        if (end == s.c_str() || *end != '\0')
-            fatal("--seeds entries must be non-negative integers, "
-                  "got '", s, "'");
-        out.push_back(v);
-    }
-    if (out.empty())
-        fatal("--seeds needs at least one entry");
-    return out;
-}
-
-std::vector<double>
-parseScaleList(const std::string& list)
-{
-    std::vector<double> out;
-    for (const std::string& s : splitList(list)) {
-        char* end = nullptr;
-        const double v = std::strtod(s.c_str(), &end);
-        if (end == s.c_str() || *end != '\0' || !(v > 0))
-            fatal("--scales entries must be positive numbers, got '",
-                  s, "'");
-        out.push_back(v);
-    }
-    if (out.empty())
-        fatal("--scales needs at least one entry");
-    return out;
-}
-
-std::uint32_t
-parseLanes(const std::string& s)
-{
-    char* end = nullptr;
-    const long v = std::strtol(s.c_str(), &end, 10);
-    if (end == s.c_str() || *end != '\0' || v < 1 || v > 62)
-        fatal("--lanes must be in 1..62, got '", s, "'");
-    return static_cast<std::uint32_t>(v);
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0)
+        fatal("--set expects KEY=VALUE, got '", arg, "'");
+    return {arg.substr(0, eq), arg.substr(eq + 1)};
 }
 
 /**
- * Apply one `key = value` grid-file setting.  Shared keys write into
- * @p opt, grid keys into @p grid; an unknown key is fatal listing
- * every valid one.
+ * Read a grid file as raw key/value pairs (same syntax as
+ * driver::loadGridFile) for forwarding to a daemon.
  */
-void
-applyGridKey(const std::string& key, const std::string& value,
-             driver::RunOptions& opt, GridSettings& grid)
-{
-    if (key == "workloads") {
-        opt.workloads = workloadsFromList(value);
-    } else if (key == "configs") {
-        grid.configs = value;
-        (void)driver::sweepConfigsFromList(value); // validate now
-    } else if (key == "seeds") {
-        grid.seeds = parseSeedList(value);
-    } else if (key == "scales") {
-        grid.scales = parseScaleList(value);
-    } else if (key == "lanes") {
-        grid.lanes = parseLanes(value);
-    } else if (key == "baseline") {
-        grid.baseline = value;
-    } else if (key == "jobs") {
-        char* end = nullptr;
-        const long v = std::strtol(value.c_str(), &end, 10);
-        if (end == value.c_str() || *end != '\0' || v < 1)
-            fatal("grid key 'jobs' must be a positive integer, "
-                  "got '", value, "'");
-        opt.jobs = static_cast<unsigned>(v);
-    } else if (key == "out") {
-        grid.out = value;
-    } else if (key == "bench-json") {
-        opt.benchJsonDir = value;
-    } else if (key == "trace") {
-        opt.tracePath = value;
-    } else if (key == "no-fast-forward") {
-        opt.noFastForward = value != "0";
-    } else {
-        fatal("unknown grid key '", key,
-              "'; valid keys: workloads, configs, seeds, scales, "
-              "lanes, baseline, jobs, out, bench-json, trace, "
-              "no-fast-forward");
-    }
-}
-
-/** Read a `key = value` grid file ('#' comments, blank lines ok). */
-void
-loadGridFile(const std::string& path, driver::RunOptions& opt,
-             GridSettings& grid)
+std::vector<std::pair<std::string, std::string>>
+readGridKvs(const std::string& path)
 {
     std::ifstream in(path);
     if (!in)
         fatal("cannot open grid file '", path, "'");
+    std::vector<std::pair<std::string, std::string>> kvs;
     std::string line;
     std::size_t lineno = 0;
+    const auto trim = [](std::string s) {
+        const auto tb = s.find_first_not_of(" \t\r");
+        const auto te = s.find_last_not_of(" \t\r");
+        return tb == std::string::npos ? std::string()
+                                       : s.substr(tb, te - tb + 1);
+    };
     while (std::getline(in, line)) {
         ++lineno;
         const std::size_t hash = line.find('#');
         if (hash != std::string::npos)
             line.erase(hash);
-        const auto b = line.find_first_not_of(" \t\r");
-        if (b == std::string::npos)
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
             continue;
         const std::size_t eq = line.find('=');
         if (eq == std::string::npos)
             fatal("grid file ", path, ":", lineno,
                   ": expected `key = value`, got '", line, "'");
-        const auto trim = [](std::string s) {
-            const auto tb = s.find_first_not_of(" \t\r");
-            const auto te = s.find_last_not_of(" \t\r");
-            return tb == std::string::npos
-                       ? std::string()
-                       : s.substr(tb, te - tb + 1);
-        };
-        applyGridKey(trim(line.substr(0, eq)),
-                     trim(line.substr(eq + 1)), opt, grid);
+        kvs.emplace_back(trim(line.substr(0, eq)),
+                         trim(line.substr(eq + 1)));
     }
+    return kvs;
+}
+
+/**
+ * Client mode: everything after --connect is forwarded verbatim, so
+ * shared flags are rejected here (use `--set key=value` instead) —
+ * what was typed is exactly what the daemon receives.
+ */
+int
+clientMain(int argc, char** argv)
+{
+    std::string sock;
+    bool doPing = false;
+    bool doShutdown = false;
+    std::map<std::string, std::string> settings;
+
+    // Validation scratch: catches bad keys/values client-side with
+    // the same messages a local run would give.
+    driver::RunOptions scratchOpt;
+    driver::GridSettings scratchGrid;
+    const auto record = [&](const std::string& key,
+                            const std::string& value) {
+        driver::applyGridKey(key, value, scratchOpt, scratchGrid);
+        settings[key] = value;
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("option '", arg, "' requires a value");
+            return argv[++i];
+        };
+        if (arg == "--connect") {
+            sock = value();
+        } else if (arg == "--ping") {
+            doPing = true;
+        } else if (arg == "--shutdown") {
+            doShutdown = true;
+        } else if (arg == "--set") {
+            const auto [k, v] = splitSetting(value());
+            record(k, v);
+        } else if (arg == "--grid") {
+            for (const auto& [k, v] : readGridKvs(value()))
+                record(k, v);
+        } else if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else {
+            fatal("option '", arg, "' is not valid with --connect; "
+                  "describe the sweep with --set KEY=VALUE or "
+                  "--grid FILE");
+        }
+    }
+
+    if (doPing) {
+        if (service::ping(sock)) {
+            std::puts("ok");
+            return 0;
+        }
+        std::fprintf(stderr, "delta-sweep: no daemon at %s\n",
+                     sock.c_str());
+        return 2;
+    }
+    if (doShutdown) {
+        if (service::shutdown(sock))
+            return 0;
+        std::fprintf(stderr, "delta-sweep: no daemon at %s\n",
+                     sock.c_str());
+        return 2;
+    }
+    if (settings.empty())
+        fatal("--connect needs a request: --set/--grid, --ping, or "
+              "--shutdown");
+
+    std::ostringstream req;
+    req << "{\"op\": \"sweep\", \"grid\": {";
+    bool first = true;
+    for (const auto& [k, v] : settings) {
+        if (!first)
+            req << ", ";
+        first = false;
+        req << "\"" << jsonEscape(k) << "\": \"" << jsonEscape(v)
+            << "\"";
+    }
+    req << "}}";
+    return service::requestSweep(sock, req.str(), std::cout);
 }
 
 } // namespace
@@ -233,11 +222,18 @@ main(int argc, char** argv)
     using namespace ts;
 
     try {
+        // Client mode bypasses shared-flag parsing entirely: nothing
+        // may be consumed locally that should have been forwarded.
+        for (int i = 1; i < argc; ++i)
+            if (std::string(argv[i]) == "--connect")
+                return clientMain(argc, argv);
+
         // Shared flags first (consumed from argv, TS_* fallbacks
         // applied); the remainder must all be grid options.
         driver::RunOptions opt =
             driver::parseCommandLine(argc, argv, /*strict=*/false);
-        GridSettings grid;
+        driver::GridSettings grid;
+        std::string serveSock;
 
         for (int i = 1; i < argc; ++i) {
             const std::string arg = argv[i];
@@ -250,17 +246,30 @@ main(int argc, char** argv)
                 grid.configs = value();
                 (void)driver::sweepConfigsFromList(grid.configs);
             } else if (arg == "--seeds") {
-                grid.seeds = parseSeedList(value());
+                grid.seeds = driver::parseSeedList(value());
             } else if (arg == "--scales") {
-                grid.scales = parseScaleList(value());
+                grid.scales = driver::parseScaleList(value());
             } else if (arg == "--lanes") {
-                grid.lanes = parseLanes(value());
+                grid.lanes = driver::parseLanes(value());
             } else if (arg == "--baseline") {
                 grid.baseline = value();
             } else if (arg == "--out") {
                 grid.out = value();
             } else if (arg == "--grid") {
-                loadGridFile(value(), opt, grid);
+                driver::loadGridFile(value(), opt, grid);
+            } else if (arg == "--set") {
+                const auto [k, v] = splitSetting(value());
+                driver::applyGridKey(k, v, opt, grid);
+            } else if (arg == "--cache") {
+                grid.cacheDir = value();
+            } else if (arg == "--cache-cap") {
+                grid.cacheCapBytes = driver::parseCapBytes(value());
+            } else if (arg == "--no-snapshot-fork") {
+                grid.noSnapshotFork = true;
+            } else if (arg == "--dry-run") {
+                grid.dryRun = true;
+            } else if (arg == "--serve") {
+                serveSock = value();
             } else if (arg == "--quiet") {
                 grid.quiet = true;
             } else if (arg == "--help" || arg == "-h") {
@@ -272,42 +281,75 @@ main(int argc, char** argv)
             }
         }
 
-        driver::SweepSpec spec;
-        spec.workloads = opt.workloads;
-        spec.configs =
-            driver::sweepConfigsFromList(grid.configs, grid.lanes);
-        if (!grid.seeds.empty())
-            spec.seeds = grid.seeds;
-        else
-            spec.seeds = {opt.seed};
-        if (!grid.scales.empty())
-            spec.scales = grid.scales;
-        else
-            spec.scales = {opt.scale};
-        spec.baseline = grid.baseline;
-        spec.jobs = opt.jobs;
-        spec.benchJsonDir = opt.benchJsonDir;
-        spec.tracePath = opt.tracePath;
-        spec.noFastForward = opt.noFastForward;
-        spec.progress = !grid.quiet;
+        if (!serveSock.empty()) {
+            std::fprintf(stderr, "delta-sweep: serving on %s\n",
+                         serveSock.c_str());
+            service::ServeConfig cfg;
+            cfg.socketPath = serveSock;
+            service::serve(cfg);
+            return 0;
+        }
+
+        driver::SweepSpec spec = driver::buildSweepSpec(opt, grid);
+        // Progress/ETA is interactive chrome: keep it off pipes and
+        // CI logs even without --quiet.
+        spec.progress = !grid.quiet && isatty(fileno(stderr)) != 0;
+
+        if (grid.dryRun) {
+            driver::Sweep sweep(spec);
+            std::unique_ptr<cache::RunCache> cache;
+            if (!spec.cacheDir.empty())
+                cache = std::make_unique<cache::RunCache>(
+                    cache::RunCacheConfig{spec.cacheDir,
+                                          spec.cacheCapBytes});
+            const std::string& fp = cache::RunCache::codeFingerprint();
+            std::size_t hits = 0;
+            for (const driver::RunPoint& p : sweep.points()) {
+                const std::string key = cache::RunCache::keyFor(
+                    fp, driver::canonicalCell(spec, p));
+                const bool hit = cache && cache->contains(key);
+                hits += hit ? 1 : 0;
+                std::printf("%-40s %s %s\n", p.tag().c_str(),
+                            key.c_str(), hit ? "hit" : "miss");
+            }
+            if (!grid.quiet)
+                std::fprintf(stderr,
+                             "delta-sweep: dry run: %zu points, "
+                             "%zu predicted hits, %zu misses\n",
+                             sweep.points().size(), hits,
+                             sweep.points().size() - hits);
+            return 0;
+        }
 
         const std::size_t nw = spec.workloads.size();
         const std::size_t nc = spec.configs.size();
         const std::size_t ns = spec.seeds.size();
         const std::size_t nx = spec.scales.size();
         driver::Sweep sweep(std::move(spec));
-        if (opt.jobs > 0)
-            std::fprintf(stderr,
-                         "delta-sweep: %zu runs (%zu workloads x %zu "
-                         "configs x %zu seeds x %zu scales), -j %u\n",
-                         sweep.points().size(), nw, nc, ns, nx,
-                         opt.jobs);
-        else
-            std::fprintf(stderr,
-                         "delta-sweep: %zu runs (%zu workloads x %zu "
-                         "configs x %zu seeds x %zu scales), -j auto\n",
-                         sweep.points().size(), nw, nc, ns, nx);
+        if (!grid.quiet) {
+            if (opt.jobs > 0)
+                std::fprintf(
+                    stderr,
+                    "delta-sweep: %zu runs (%zu workloads x %zu "
+                    "configs x %zu seeds x %zu scales), -j %u\n",
+                    sweep.points().size(), nw, nc, ns, nx, opt.jobs);
+            else
+                std::fprintf(
+                    stderr,
+                    "delta-sweep: %zu runs (%zu workloads x %zu "
+                    "configs x %zu seeds x %zu scales), -j auto\n",
+                    sweep.points().size(), nw, nc, ns, nx);
+        }
         const driver::SweepReport report = sweep.run();
+
+        if (!report.spec.cacheDir.empty())
+            std::fprintf(stderr,
+                         "delta-sweep: cache: %llu hits, %llu "
+                         "misses\n",
+                         static_cast<unsigned long long>(
+                             report.cacheHits),
+                         static_cast<unsigned long long>(
+                             report.cacheMisses));
 
         if (!grid.out.empty()) {
             std::ofstream os(grid.out);
