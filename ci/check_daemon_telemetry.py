@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""Gate the sweep daemon's live telemetry surface.
+
+Usage: check_daemon_telemetry.py <socket> -- <client sweep command...>
+
+Launches the given delta-sweep client command (which submits a sweep
+to an already-running daemon at <socket>) and, while the sweep is in
+flight, scrapes the daemon's status and Prometheus metrics ops over
+the same Unix socket.  Checks:
+
+  - the idle daemon answers a well-formed status before the sweep;
+  - at least one mid-flight scrape observes sweeping=true with a
+    self-consistent snapshot (done <= runs, workers array matching
+    the inflight count);
+  - metrics speak the Prometheus text exposition format (# HELP,
+    # TYPE, and a sample line for every ts_sweep_* family) both
+    mid-flight and at rest;
+  - once the client has read its done event, the very next scrape is
+    reconciled with the sweep the client just watched: the daemon is
+    idle, status runs == done == the number of cell events the
+    client received, nothing is in flight, and ts_sweep_active is 0.
+
+Prints a Markdown summary to stdout (suitable for
+$GITHUB_STEP_SUMMARY).  Violations exit non-zero and are emitted as
+GitHub `::error` annotations on stderr.
+"""
+
+import json
+import socket
+import subprocess
+import sys
+import time
+
+FAMILIES = {
+    "ts_sweep_uptime_seconds": "gauge",
+    "ts_sweep_requests_total": "counter",
+    "ts_sweep_active": "gauge",
+    "ts_sweep_runs_total": "gauge",
+    "ts_sweep_runs_done": "gauge",
+    "ts_sweep_runs_inflight": "gauge",
+    "ts_sweep_cache_hits_total": "counter",
+    "ts_sweep_cache_misses_total": "counter",
+    "ts_sweep_eta_seconds": "gauge",
+}
+
+STATUS_KEYS = (
+    "uptimeSec sweeping served runs done inflight hits misses "
+    "etaSec workers"
+).split()
+
+errors = []
+
+
+def fail(title, message):
+    errors.append(f"{title}: {message}")
+    print(f"::error title={title}::{message}", file=sys.stderr)
+
+
+def scrape(sock_path, op):
+    """One request/reply round trip on the daemon socket."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as s:
+        s.settimeout(10.0)
+        s.connect(sock_path)
+        s.sendall(json.dumps({"op": op}).encode() + b"\n")
+        buf = b""
+        while not buf.endswith(b"\n"):
+            chunk = s.recv(65536)
+            if not chunk:
+                break
+            buf += chunk
+    return json.loads(buf.decode())
+
+
+def check_status(st, when):
+    """Shape + invariant checks on one status snapshot."""
+    for key in STATUS_KEYS:
+        if key not in st:
+            fail("STATUS MALFORMED", f"{when}: missing key '{key}'")
+            return False
+    ok = True
+    if st["done"] > st["runs"]:
+        fail("STATUS INCONSISTENT",
+             f"{when}: done {st['done']} > runs {st['runs']}")
+        ok = False
+    if st["inflight"] != len(st["workers"]):
+        fail("STATUS INCONSISTENT",
+             f"{when}: inflight {st['inflight']} != "
+             f"{len(st['workers'])} workers listed")
+        ok = False
+    if not st["sweeping"] and st["workers"]:
+        fail("STATUS INCONSISTENT",
+             f"{when}: idle daemon lists workers {st['workers']}")
+        ok = False
+    return ok
+
+
+def check_metrics(text, when):
+    """Prometheus exposition checks; returns {family: value}."""
+    values = {}
+    lines = text.splitlines()
+    for family, kind in FAMILIES.items():
+        if not any(line.startswith(f"# HELP {family} ")
+                   for line in lines):
+            fail("METRICS MALFORMED", f"{when}: {family} has no HELP")
+        if f"# TYPE {family} {kind}" not in lines:
+            fail("METRICS MALFORMED",
+                 f"{when}: {family} has no TYPE {kind}")
+        samples = [line for line in lines
+                   if line.startswith(f"{family} ")]
+        if len(samples) != 1:
+            fail("METRICS MALFORMED",
+                 f"{when}: {family} has {len(samples)} sample lines")
+            continue
+        values[family] = float(samples[0].split()[1])
+    return values
+
+
+def main():
+    if len(sys.argv) < 4 or sys.argv[2] != "--":
+        sys.exit(__doc__)
+    sock_path = sys.argv[1]
+    client_cmd = sys.argv[3:]
+
+    # 1. The idle daemon, before the sweep.
+    st = scrape(sock_path, "status")["status"]
+    check_status(st, "pre-sweep")
+    if st["sweeping"]:
+        fail("STATUS INCONSISTENT",
+             "pre-sweep: daemon already reports sweeping=true")
+    check_metrics(scrape(sock_path, "metrics")["metrics"],
+                  "pre-sweep")
+
+    # 2. Submit the sweep and scrape while it runs.
+    proc = subprocess.Popen(client_cmd, stdout=subprocess.PIPE,
+                            text=True)
+    midflight = []
+    midflight_metrics = None
+    while proc.poll() is None:
+        st = scrape(sock_path, "status")["status"]
+        check_status(st, "mid-flight")
+        if st["sweeping"]:
+            midflight.append(st)
+            if midflight_metrics is None:
+                midflight_metrics = check_metrics(
+                    scrape(sock_path, "metrics")["metrics"],
+                    "mid-flight")
+                if midflight_metrics.get("ts_sweep_active") != 1:
+                    fail("METRICS INCONSISTENT",
+                         "mid-flight: sweeping daemon reports "
+                         "ts_sweep_active "
+                         f"{midflight_metrics.get('ts_sweep_active')}")
+        time.sleep(0.02)
+    out, _ = proc.communicate()
+    if proc.returncode != 0:
+        fail("CLIENT FAILED",
+             f"{' '.join(client_cmd)} exited {proc.returncode}")
+
+    # 3. Reconcile the client's event stream with the daemon.
+    events = [json.loads(line) for line in out.splitlines() if line]
+    starts = [e for e in events if e.get("event") == "start"]
+    cells = [e for e in events if e.get("event") == "cell"]
+    dones = [e for e in events if e.get("event") == "done"]
+    if len(starts) != 1 or len(dones) != 1:
+        fail("EVENT STREAM MALFORMED",
+             f"expected 1 start + 1 done event, got "
+             f"{len(starts)} + {len(dones)}")
+        sys.exit(render(0, len(midflight), len(errors)))
+    runs = starts[0]["runs"]
+    if len(cells) != runs:
+        fail("EVENT STREAM MALFORMED",
+             f"start announced {runs} runs but the client saw "
+             f"{len(cells)} cell events")
+    if not dones[0].get("ok"):
+        fail("SWEEP FAILED", f"done event: {dones[0]}")
+
+    if not midflight:
+        fail("NO MID-FLIGHT SCRAPE",
+             f"the {runs}-cell sweep finished before any status "
+             "scrape saw sweeping=true; enlarge the CI grid")
+
+    # The client has read "done", so the daemon must already have
+    # gone idle and settled on the final counts.
+    st = scrape(sock_path, "status")["status"]
+    check_status(st, "completion")
+    if st["sweeping"]:
+        fail("STATUS INCONSISTENT",
+             "completion: daemon still reports sweeping=true after "
+             "the client read its done event")
+    if st["runs"] != runs or st["done"] != runs:
+        fail("STATUS UNRECONCILED",
+             f"completion: status reports {st['done']}/{st['runs']} "
+             f"cells but the client watched {runs} complete")
+    vals = check_metrics(scrape(sock_path, "metrics")["metrics"],
+                         "completion")
+    if vals.get("ts_sweep_active") != 0:
+        fail("METRICS INCONSISTENT",
+             f"completion: ts_sweep_active {vals.get('ts_sweep_active')}")
+    if vals.get("ts_sweep_runs_done") != runs:
+        fail("METRICS UNRECONCILED",
+             f"completion: ts_sweep_runs_done "
+             f"{vals.get('ts_sweep_runs_done')} != {runs} cells")
+
+    sys.exit(render(runs, len(midflight), len(errors)))
+
+
+def render(runs, snapshots, nerrors):
+    print("### Sweep daemon live telemetry")
+    print()
+    print(f"- sweep size: {runs} cells")
+    print(f"- mid-flight status snapshots with `sweeping=true`: "
+          f"{snapshots}")
+    print("- Prometheus exposition validated idle, mid-flight, and "
+          "at completion")
+    if nerrors:
+        print()
+        for e in errors:
+            print(f"- **{e}**")
+    else:
+        print("- completion scrape reconciles with the client's "
+              "event stream")
+    return 1 if nerrors else 0
+
+
+if __name__ == "__main__":
+    main()

@@ -13,12 +13,23 @@ counter, and checks:
                        BM_Synthetic* pair)
 
 Prints a Markdown table (suitable for $GITHUB_STEP_SUMMARY) to
-stdout and exits non-zero when a floor is violated.
+stdout and exits non-zero when a floor is violated.  Failures also
+emit GitHub `::error` workflow commands on stderr (stdout is
+redirected into the step summary, where they would be swallowed), so
+violations surface as annotations on the PR itself.
 """
 
 import json
 import math
 import sys
+
+
+def annotate(title, message):
+    """Emit a GitHub Actions error annotation (plus a plain line for
+    non-Actions runs).  Both go to stderr: stdout is the step summary.
+    """
+    print(f"check_host_floors: {title}: {message}", file=sys.stderr)
+    print(f"::error title={title}::{message}", file=sys.stderr)
 
 
 def load_floors(path):
@@ -101,10 +112,10 @@ def main():
         if value is None:
             failed = True
             print(f"- `{key}`: **NO DATA** ({source}) vs floor {floor:.2f}x")
-            print(
-                f"check_host_floors: FLOOR UNSCORABLE: {key} has no "
-                f"observed value ({source}); floor {floor:.2f}x",
-                file=sys.stderr,
+            annotate(
+                "FLOOR UNSCORABLE",
+                f"{key} has no observed value ({source}); "
+                f"floor {floor:.2f}x",
             )
             continue
         ok = value >= floor
@@ -112,10 +123,10 @@ def main():
         verdict = "ok" if ok else "**FLOOR VIOLATED**"
         print(f"- `{key}`: {value:.2f}x vs floor {floor:.2f}x — {verdict}")
         if not ok:
-            print(
-                f"check_host_floors: FLOOR VIOLATED: {key} observed "
-                f"{value:.2f}x < floor {floor:.2f}x ({source})",
-                file=sys.stderr,
+            annotate(
+                "FLOOR VIOLATED",
+                f"{key} observed {value:.2f}x < floor {floor:.2f}x "
+                f"({source})",
             )
     sys.exit(1 if failed else 0)
 

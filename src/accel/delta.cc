@@ -4,6 +4,7 @@
 #include <cmath>
 #include <fstream>
 
+#include "obs/timeline.hh"
 #include "sim/logging.hh"
 #include "trace/accounting.hh"
 
@@ -87,6 +88,18 @@ Delta::Delta(const DeltaConfig& cfg)
     dispatcher_ = std::make_unique<Dispatcher>(*noc_, img_, registry_,
                                                dcfg);
     sim_.add(dispatcher_.get());
+
+    if (cfg_.flightRecorder > 0) {
+        recorder_ =
+            std::make_unique<obs::FlightRecorder>(cfg_.flightRecorder);
+        sim_.setFlightRecorder(recorder_.get());
+    }
+    if (cfg_.hostProfile) {
+        // After every component is registered: the profiler
+        // classifies components by name at attach time.
+        profiler_ = std::make_unique<obs::HostProfiler>();
+        sim_.setHostProfiler(profiler_.get());
+    }
 }
 
 Delta::~Delta() = default;
@@ -152,13 +165,55 @@ Delta::run(const TaskGraph& graph)
     TraceActivation activation(tracer_.get());
     StatsActivation statsActivation(&stats);
     dispatcher_->loadGraph(graph);
+
+    // Time-series sampler: weak events at exact simulated ticks, so
+    // the timeline is bit-identical across execution modes, thread
+    // counts, and snapshot forks.  run() drops any still-armed
+    // sample event, so the captures below cannot outlive this call.
+    std::unique_ptr<obs::Timeline> timeline;
+    if (cfg_.timelineInterval > 0) {
+        obs::TimelineConfig tlc;
+        tlc.interval = cfg_.timelineInterval;
+        tlc.maxSamples = cfg_.timelineMaxSamples;
+        tlc.series = cfg_.timelineSeries;
+        timeline = std::make_unique<obs::Timeline>(sim_, tlc);
+        for (std::uint32_t i = 0; i < cfg_.lanes; ++i) {
+            const TaskUnit& tu = lanes_[i]->taskUnit();
+            for (std::size_t c = 0; c < kNumCycleClasses; ++c)
+                timeline->addCounter(
+                    "lanes",
+                    "lane" + std::to_string(i) + "." +
+                        cycleClassName(static_cast<CycleClass>(c)),
+                    [&tu, c] {
+                        return static_cast<double>(
+                            tu.cycleBuckets().counts[c]);
+                    });
+        }
+        timeline->addGauge("ready", "readyQueue", [this] {
+            return static_cast<double>(
+                dispatcher_->readyQueueDepth());
+        });
+        timeline->addGauge("noc", "nocInFlight", [this] {
+            return static_cast<double>(noc_->packetsInFlight());
+        });
+        timeline->addGauge("dram", "dramQueue", [this] {
+            return static_cast<double>(
+                memNode_->memory().queueDepth());
+        });
+        timeline->start();
+    }
+
     const Tick cycles = sim_.run(cfg_.maxCycles);
+    if (timeline != nullptr)
+        timeline->finalSample();
 
     if (!dispatcher_->allComplete())
         panic("simulation quiesced with incomplete tasks");
 
     sim_.reportStats(stats);
     noc_->reportStats(stats);
+    if (timeline != nullptr)
+        timeline->report(stats);
     stats.set("delta.cycles", static_cast<double>(cycles));
     stats.set("delta.lanes", static_cast<double>(cfg_.lanes));
 

@@ -17,6 +17,8 @@
 
 #include "accel/lane.hh"
 #include "accel/mem_node.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/host_profiler.hh"
 #include "task/dispatcher.hh"
 #include "trace/trace.hh"
 
@@ -66,6 +68,40 @@ struct DeltaConfig
      * TS_NO_FAST_FORWARD via RunOptions::applyTo().
      */
     bool noFastForward = false;
+
+    /**
+     * Time-series sampling interval in simulated cycles; 0 (default)
+     * disables the timeline.  When on, the run JSON gains a columnar
+     * `delta.timeline.*` section sampled at exact simulated ticks —
+     * bit-identical across execution modes, thread counts, and
+     * snapshot forks.  Behaviour-relevant for cache keys (it changes
+     * the emitted stats), so it participates in
+     * driver::canonicalConfig.
+     */
+    Tick timelineInterval = 0;
+
+    /** Cap on cadence samples (the final quiescence sample is always
+     *  appended); part of the cache key like timelineInterval. */
+    std::size_t timelineMaxSamples = 512;
+
+    /** Probe-group subset, comma-separated out of
+     *  "lanes,ready,noc,dram"; empty = all.  Cache-key relevant. */
+    std::string timelineSeries;
+
+    /**
+     * Attribute host wall-ns to component classes and simulator
+     * phases (sim.host.profile.*).  Host-side observability only —
+     * never affects simulated results, and like all sim.host.*
+     * counters it is excluded from byte-compared dumps.
+     */
+    bool hostProfile = false;
+
+    /**
+     * Ring capacity of the sleep/wake/commit/event flight recorder
+     * dumped on deadlock; 0 (default) disables recording.  Purely
+     * diagnostic: no effect on simulated results.
+     */
+    std::size_t flightRecorder = 0;
 
     /** TaskStream configuration (all mechanisms on). */
     static DeltaConfig delta(std::uint32_t lanes = 8);
@@ -142,6 +178,8 @@ class Delta
     std::unique_ptr<MemNode> memNode_;
     std::vector<std::unique_ptr<Lane>> lanes_;
     std::unique_ptr<Dispatcher> dispatcher_;
+    std::unique_ptr<obs::FlightRecorder> recorder_;
+    std::unique_ptr<obs::HostProfiler> profiler_;
     bool ran_ = false;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -260,6 +261,177 @@ printHostPerf(std::ostream& os, const RunStats& s)
     os << "\n";
 }
 
+namespace
+{
+
+/** delta.timeline.* columns regrouped as series name -> per-sample
+ *  values ("t" holds the sample ticks). */
+std::map<std::string, std::vector<double>>
+timelineSeries(const RunStats& s, std::size_t n)
+{
+    static const std::string prefix = "delta.timeline.";
+    std::map<std::string, std::vector<double>> series;
+    for (const auto& [name, v] : s.matchPrefix(prefix)) {
+        const std::string tail = name.substr(prefix.size());
+        if (tail == "interval" || tail == "samples")
+            continue;
+        const std::size_t dot = tail.rfind('.');
+        if (dot == std::string::npos)
+            continue;
+        char* end = nullptr;
+        const unsigned long k =
+            std::strtoul(tail.c_str() + dot + 1, &end, 10);
+        if (*end != '\0' || k >= n)
+            continue;
+        std::vector<double>& vec = series[tail.substr(0, dot)];
+        if (vec.size() < n)
+            vec.resize(n, 0.0);
+        vec[k] = v;
+    }
+    return series;
+}
+
+/** One ASCII sparkline character per sample, scaled to the series
+ *  peak (space = zero, '@' = peak). */
+std::string
+sparkline(const std::vector<double>& vals, double peak)
+{
+    static const char levels[] = " .:-=+*#%@";
+    std::string out;
+    for (const double v : vals) {
+        if (!(v > 0) || !(peak > 0)) {
+            out += ' ';
+            continue;
+        }
+        const auto idx = static_cast<std::size_t>(
+            std::ceil(v / peak * 9.0));
+        out += levels[std::min<std::size_t>(idx, 9)];
+    }
+    return out;
+}
+
+} // namespace
+
+void
+printTimeline(std::ostream& os, const RunStats& s)
+{
+    const auto n = static_cast<std::size_t>(
+        s.getOr("delta.timeline.samples"));
+    if (n == 0)
+        return;
+    std::map<std::string, std::vector<double>> series =
+        timelineSeries(s, n);
+
+    os << "Timeline (" << n << " samples, every "
+       << fmt(s.getOr("delta.timeline.interval")) << " cycles";
+    const auto t = series.find("t");
+    if (t != series.end() && !t->second.empty())
+        os << ", @" << fmt(t->second.front()) << "..@"
+           << fmt(t->second.back());
+    os << "):\n";
+    if (t != series.end())
+        series.erase(t);
+
+    // Per-lane waterfall: each column is one sample interval, marked
+    // with the interval's dominant cycle class.
+    static const char* const classes[] = {"busy", "memWait",
+                                          "nocWait", "idle"};
+    static const char classChar[] = {'#', 'm', 'n', '.'};
+    std::vector<std::pair<unsigned long, std::string>> lanes;
+    for (const auto& [name, vals] : series) {
+        const std::string suffix = ".busy";
+        if (name.compare(0, 4, "lane") == 0 &&
+            name.size() > 4 + suffix.size() &&
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) == 0) {
+            const std::string lane =
+                name.substr(0, name.size() - suffix.size());
+            lanes.emplace_back(
+                std::strtoul(lane.c_str() + 4, nullptr, 10), lane);
+        }
+    }
+    std::sort(lanes.begin(), lanes.end());
+    if (!lanes.empty()) {
+        os << "  lane activity (dominant class per interval: "
+              "# busy, m memWait, n nocWait, . idle):\n";
+        for (const auto& [num, lane] : lanes) {
+            (void)num;
+            std::string row;
+            for (std::size_t k = 0; k < n; ++k) {
+                std::size_t best = 0;
+                double bestV = 0.0, sum = 0.0;
+                for (std::size_t c = 0; c < 4; ++c) {
+                    const auto it = series.find(
+                        lane + "." + classes[c]);
+                    const double v =
+                        it == series.end() ? 0.0 : it->second[k];
+                    sum += v;
+                    if (v > bestV) {
+                        bestV = v;
+                        best = c;
+                    }
+                }
+                // Sample 0 is the pre-run baseline: nothing elapsed.
+                row += sum > 0 ? classChar[best] : ' ';
+            }
+            os << "    " << std::left << std::setw(8) << lane
+               << std::right << " |" << row << "|\n";
+        }
+        for (std::size_t c = 0; c < 4; ++c)
+            for (const auto& [num, lane] : lanes) {
+                (void)num;
+                series.erase(lane + "." + classes[c]);
+            }
+    }
+
+    // Everything else (ready queue, NoC in flight, DRAM queue, any
+    // lane class kept when lanes were filtered out) as sparklines.
+    for (const auto& [name, vals] : series) {
+        const double peak =
+            *std::max_element(vals.begin(), vals.end());
+        os << "  " << std::left << std::setw(12) << name
+           << std::right << " |" << sparkline(vals, peak)
+           << "|  peak " << fmt(peak) << "\n";
+    }
+    os << "\n";
+}
+
+void
+printHostProfile(std::ostream& os, const RunStats& s)
+{
+    std::vector<std::pair<std::string, double>> rows =
+        s.matchPrefix("sim.host.profile.");
+    if (rows.empty())
+        return;
+    double total = 0.0;
+    for (const auto& [name, v] : rows)
+        total += v;
+    std::sort(rows.begin(), rows.end(),
+              [](const auto& a, const auto& b) {
+                  return a.second > b.second;
+              });
+    os << "Host hotspots (profiled wall time per component "
+          "class/phase):\n";
+    for (const auto& [name, v] : rows) {
+        std::string label = name.substr(17); // "sim.host.profile."
+        if (label.size() > 2 &&
+            label.compare(label.size() - 2, 2, "Ns") == 0)
+            label.resize(label.size() - 2);
+        const double f = total > 0 ? v / total : 0.0;
+        os << "  " << std::left << std::setw(16) << label
+           << std::right << std::setw(10) << std::fixed
+           << std::setprecision(2) << v / 1e6 << " ms  "
+           << std::setw(6) << pct(f) << "  " << bar(f) << "\n";
+    }
+    os << "  " << std::left << std::setw(16) << "total"
+       << std::right << std::setw(10) << std::fixed
+       << std::setprecision(2) << total / 1e6 << " ms";
+    const double wallNs = s.getOr("sim.host.wallNs");
+    if (wallNs > 0)
+        os << "  (" << pct(total / wallNs) << " of wall time)";
+    os << "\n\n";
+}
+
 void
 printTaskTypes(std::ostream& os, const RunStats& s, std::size_t topk)
 {
@@ -329,6 +501,9 @@ printReport(std::ostream& os, const RunStats& s,
     printAttribution(os, s);
     printCritPath(os, s);
     printHostPerf(os, s);
+    printHostProfile(os, s);
+    if (opt.timeline)
+        printTimeline(os, s);
     printTaskTypes(os, s, opt.topk);
     if (opt.baseline != nullptr) {
         const double x = speedupVs(s, *opt.baseline);

@@ -92,6 +92,7 @@ struct ReportOptions
     std::size_t topk = 5;          ///< task-type rows to print
     const RunStats* baseline = nullptr; ///< optional comparison run
     const Json* trace = nullptr;   ///< optional parsed Perfetto trace
+    bool timeline = false;         ///< render delta.timeline.* series
 };
 
 // Individual sections (each is a no-op when its stats are absent).
@@ -102,6 +103,20 @@ void printCritPath(std::ostream& os, const RunStats& s);
 void printTaskTypes(std::ostream& os, const RunStats& s,
                     std::size_t topk);
 void printTraceSummary(std::ostream& os, const Json& trace);
+
+/**
+ * Render the run's delta.timeline.* columns (see obs/timeline.hh):
+ * a per-lane waterfall showing each sample interval's dominant cycle
+ * class, then one ASCII sparkline per gauge series (ready-queue
+ * depth, NoC packets in flight, DRAM queue depth), each scaled to
+ * its own peak.  No-op when the run was sampled without a timeline.
+ */
+void printTimeline(std::ostream& os, const RunStats& s);
+
+/** "Host hotspots": wall-ns attribution per component class and
+ *  simulator phase (sim.host.profile.*), largest first.  No-op
+ *  unless the run was profiled with --host-profile. */
+void printHostProfile(std::ostream& os, const RunStats& s);
 
 /** The full report: header, waterfall, attribution, critical path,
  *  slowest task types, optional baseline speedup and trace summary. */

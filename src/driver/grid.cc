@@ -134,11 +134,24 @@ applyGridKey(const std::string& key, const std::string& value,
         grid.cacheCapBytes = parseCapBytes(value);
     } else if (key == "no-snapshot-fork") {
         grid.noSnapshotFork = value != "0";
+    } else if (key == "timeline") {
+        char* end = nullptr;
+        const std::uint64_t v =
+            std::strtoull(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0')
+            fatal("grid key 'timeline' must be a non-negative "
+                  "integer, got '", value, "'");
+        opt.timelineInterval = v;
+    } else if (key == "timeline-series") {
+        opt.timelineSeries = value;
+    } else if (key == "host-profile") {
+        opt.hostProfile = value != "0";
     } else {
         fatal("unknown grid key '", key,
               "'; valid keys: workloads, configs, seeds, scales, "
               "lanes, baseline, jobs, out, bench-json, trace, "
-              "no-fast-forward, cache, cache-cap, no-snapshot-fork");
+              "no-fast-forward, cache, cache-cap, no-snapshot-fork, "
+              "timeline, timeline-series, host-profile");
     }
 }
 
@@ -193,6 +206,9 @@ buildSweepSpec(const RunOptions& opt, const GridSettings& grid)
     spec.benchJsonDir = opt.benchJsonDir;
     spec.tracePath = opt.tracePath;
     spec.noFastForward = opt.noFastForward;
+    spec.timelineInterval = opt.timelineInterval;
+    spec.timelineSeries = opt.timelineSeries;
+    spec.hostProfile = opt.hostProfile;
     spec.cacheDir = grid.cacheDir;
     spec.cacheCapBytes = grid.cacheCapBytes;
     spec.noSnapshotFork = grid.noSnapshotFork;

@@ -1,5 +1,7 @@
 #include "driver/options.hh"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -70,6 +72,24 @@ parseJobs(const std::string& s, const char* what)
     return static_cast<unsigned>(v);
 }
 
+std::string
+parseProgress(const std::string& s, const char* what)
+{
+    if (s != "auto" && s != "always" && s != "never")
+        fatal(what, " must be auto, always, or never, got '", s, "'");
+    return s;
+}
+
+std::uint64_t
+parseCount(const std::string& s, const char* what)
+{
+    char* end = nullptr;
+    const std::uint64_t v = std::strtoull(s.c_str(), &end, 10);
+    if (end == s.c_str() || *end != '\0')
+        fatal(what, " must be a non-negative integer, got '", s, "'");
+    return v;
+}
+
 } // namespace
 
 SuiteParams
@@ -90,7 +110,25 @@ RunOptions::applyTo(DeltaConfig cfg) const
         cfg.statsJsonPath = statsJsonPath;
     if (noFastForward)
         cfg.noFastForward = true;
+    if (cfg.timelineInterval == 0)
+        cfg.timelineInterval = timelineInterval;
+    if (cfg.timelineSeries.empty())
+        cfg.timelineSeries = timelineSeries;
+    if (hostProfile)
+        cfg.hostProfile = true;
+    if (cfg.flightRecorder == 0)
+        cfg.flightRecorder = flightRecorder;
     return cfg;
+}
+
+bool
+RunOptions::progressEnabled() const
+{
+    if (progress == "always")
+        return true;
+    if (progress == "never")
+        return false;
+    return ::isatty(fileno(stderr)) != 0;
 }
 
 void
@@ -123,6 +161,16 @@ RunOptions::fromEnv()
     opt.benchJsonDir = env("TS_BENCH_JSON");
     if (const std::string s = env("TS_NO_FAST_FORWARD"); !s.empty())
         opt.noFastForward = s != "0";
+    if (const std::string s = env("TS_PROGRESS"); !s.empty())
+        opt.progress = parseProgress(s, "TS_PROGRESS");
+    if (const std::string s = env("TS_TIMELINE"); !s.empty())
+        opt.timelineInterval = parseCount(s, "TS_TIMELINE");
+    opt.timelineSeries = env("TS_TIMELINE_SERIES");
+    if (const std::string s = env("TS_HOST_PROFILE"); !s.empty())
+        opt.hostProfile = s != "0";
+    if (const std::string s = env("TS_FLIGHT_RECORDER"); !s.empty())
+        opt.flightRecorder = static_cast<std::size_t>(
+            parseCount(s, "TS_FLIGHT_RECORDER"));
     return opt;
 }
 
@@ -141,6 +189,23 @@ optionsHelp()
         "  --log N            stderr verbosity 0|1|2 [TS_LOG]\n"
         "  --no-fast-forward  naive per-cycle ticking (bit-identical\n"
         "                     reference mode) [TS_NO_FAST_FORWARD]\n"
+        "  --progress[=]MODE  sweep progress lines: auto|always|never\n"
+        "                     (auto = only when stderr is a TTY)\n"
+        "                     [TS_PROGRESS]\n"
+        "  --timeline N       sample a delta.timeline.* time series\n"
+        "                     every N simulated cycles (0 = off)\n"
+        "                     [TS_TIMELINE]\n"
+        "  --timeline-series LIST\n"
+        "                     probe-group subset out of\n"
+        "                     lanes,ready,noc,dram (default: all)\n"
+        "                     [TS_TIMELINE_SERIES]\n"
+        "  --host-profile     attribute host wall time per component\n"
+        "                     class and phase (sim.host.profile.*)\n"
+        "                     [TS_HOST_PROFILE]\n"
+        "  --flight-recorder N\n"
+        "                     keep a ring of the last N sleep/wake/\n"
+        "                     commit/event records, dumped on\n"
+        "                     deadlock (0 = off) [TS_FLIGHT_RECORDER]\n"
         "  -j N, --jobs N     host worker threads (default: hardware\n"
         "                     concurrency)\n";
 }
@@ -181,6 +246,22 @@ parseCommandLine(int& argc, char** argv, bool strict)
             opt.benchJsonDir = value("--bench-json");
         } else if (arg == "--no-fast-forward") {
             opt.noFastForward = true;
+        } else if (arg == "--progress") {
+            opt.progress =
+                parseProgress(value("--progress"), "--progress");
+        } else if (arg.rfind("--progress=", 0) == 0) {
+            opt.progress = parseProgress(
+                arg.substr(std::strlen("--progress=")), "--progress");
+        } else if (arg == "--timeline") {
+            opt.timelineInterval =
+                parseCount(value("--timeline"), "--timeline");
+        } else if (arg == "--timeline-series") {
+            opt.timelineSeries = value("--timeline-series");
+        } else if (arg == "--host-profile") {
+            opt.hostProfile = true;
+        } else if (arg == "--flight-recorder") {
+            opt.flightRecorder = static_cast<std::size_t>(parseCount(
+                value("--flight-recorder"), "--flight-recorder"));
         } else if (arg == "-j" || arg == "--jobs") {
             opt.jobs = parseJobs(value("--jobs"), "--jobs");
         } else if (strict && (arg == "--help" || arg == "-h")) {

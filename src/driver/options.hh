@@ -68,6 +68,37 @@ struct RunOptions
      *  hardware concurrency at use site). */
     unsigned jobs = 0;
 
+    /**
+     * Progress/ETA lines on stderr for sweep-style drivers:
+     * "auto" (default) emits them only when stderr is a TTY,
+     * "always" forces them (CI logs), "never" suppresses them.
+     * --progress[=]VALUE / TS_PROGRESS.
+     */
+    std::string progress = "auto";
+
+    /** Timeline sampling interval in simulated cycles (0 = off).
+     *  --timeline N / TS_TIMELINE. */
+    Tick timelineInterval = 0;
+
+    /** Timeline probe-group subset ("lanes,ready,noc,dram"; empty =
+     *  all).  --timeline-series LIST / TS_TIMELINE_SERIES. */
+    std::string timelineSeries;
+
+    /** Attribute host wall-ns per component class and simulator
+     *  phase (sim.host.profile.*).  --host-profile /
+     *  TS_HOST_PROFILE. */
+    bool hostProfile = false;
+
+    /** Flight-recorder ring capacity in records (0 = off).
+     *  --flight-recorder N / TS_FLIGHT_RECORDER. */
+    std::size_t flightRecorder = 0;
+
+    /**
+     * Resolve the progress setting against a TTY check of stderr:
+     * "always" is true, "never" is false, "auto" is isatty(stderr).
+     */
+    bool progressEnabled() const;
+
     /** Suite knobs in the shape the workload factories expect. */
     SuiteParams suiteParams() const;
 

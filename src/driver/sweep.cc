@@ -183,7 +183,9 @@ canonicalConfig(const DeltaConfig& cfg)
        << " noc=" << cfg.nocLinks.channelCapacity << "/"
        << cfg.nocLinks.linkWords
        << " maxCycles=" << cfg.maxCycles
-       << " noFastForward=" << cfg.noFastForward;
+       << " noFastForward=" << cfg.noFastForward
+       << " timeline=" << cfg.timelineInterval << "/"
+       << cfg.timelineMaxSamples << "/" << cfg.timelineSeries;
     return os.str();
 }
 
@@ -203,6 +205,15 @@ resolvePointConfig(const SweepSpec& spec, const RunPoint& point)
     }
     if (spec.noFastForward)
         cfg.noFastForward = true;
+    if (spec.timelineInterval > 0) {
+        cfg.timelineInterval = spec.timelineInterval;
+        cfg.timelineMaxSamples = spec.timelineMaxSamples;
+        cfg.timelineSeries = spec.timelineSeries;
+    }
+    // Host-side only: changes sim.host.* output but never simulated
+    // results, so it stays out of canonicalConfig/cache keys.
+    if (spec.hostProfile)
+        cfg.hostProfile = true;
     return cfg;
 }
 
@@ -474,32 +485,40 @@ executePoint(const SweepSpec& spec, const RunPoint& point,
 } // namespace
 
 void
-parallelFor(std::size_t n, unsigned jobs,
-            const std::function<void(std::size_t)>& fn)
+parallelForWorkers(std::size_t n, unsigned jobs,
+                   const std::function<void(unsigned, std::size_t)>& fn)
 {
     const unsigned workers = static_cast<unsigned>(
         std::min<std::size_t>(resolveJobs(jobs), n));
     if (workers <= 1) {
         for (std::size_t i = 0; i < n; ++i)
-            fn(i);
+            fn(0, i);
         return;
     }
     std::atomic<std::size_t> next{0};
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (unsigned t = 0; t < workers; ++t) {
-        pool.emplace_back([&] {
+        pool.emplace_back([&, t] {
             for (;;) {
                 const std::size_t i =
                     next.fetch_add(1, std::memory_order_relaxed);
                 if (i >= n)
                     return;
-                fn(i);
+                fn(t, i);
             }
         });
     }
     for (std::thread& t : pool)
         t.join();
+}
+
+void
+parallelFor(std::size_t n, unsigned jobs,
+            const std::function<void(std::size_t)>& fn)
+{
+    parallelForWorkers(n, jobs,
+                       [&](unsigned, std::size_t i) { fn(i); });
 }
 
 SweepReport
@@ -526,7 +545,12 @@ Sweep::run()
     std::size_t done = 0;
     std::uint64_t hits = 0, misses = 0;
 
-    parallelFor(points_.size(), spec_.jobs, [&](std::size_t i) {
+    parallelForWorkers(points_.size(), spec_.jobs, [&](unsigned worker,
+                                                       std::size_t i) {
+        if (spec_.onCellStart) {
+            std::lock_guard<std::mutex> lock(ioMutex);
+            spec_.onCellStart(worker, points_[i]);
+        }
         bool fromCache = false;
         RunOutcome out =
             executePoint(spec_, points_[i], cache.get(), fromCache);

@@ -69,6 +69,7 @@ std::vector<ConfigVariant>
 sweepConfigsFromList(const std::string& list, std::uint32_t lanes = 8);
 
 struct RunOutcome;
+struct RunPoint;
 
 /** The declarative grid: the cross product of the four axes. */
 struct SweepSpec
@@ -102,6 +103,22 @@ struct SweepSpec
      *  and host-throughput comparison). */
     bool noFastForward = false;
 
+    /** Sample a delta.timeline.* time series in every run at this
+     *  interval (0 = off).  Cache-key relevant: it changes the
+     *  emitted stats, so it participates in canonicalConfig. */
+    Tick timelineInterval = 0;
+
+    /** Timeline sample cap (see DeltaConfig::timelineMaxSamples). */
+    std::size_t timelineMaxSamples = 512;
+
+    /** Timeline probe-group subset (empty = all). */
+    std::string timelineSeries;
+
+    /** Attribute host wall time per component class and phase
+     *  (sim.host.profile.*).  Host-side only: never cache-key
+     *  relevant, and excluded from byte-compared dumps. */
+    bool hostProfile = false;
+
     /**
      * When non-empty, consult a content-addressed run cache rooted
      * here before executing each point, and publish every finished
@@ -129,6 +146,15 @@ struct SweepSpec
      */
     std::function<void(const RunOutcome& out, bool fromCache)>
         onResult;
+
+    /**
+     * Called as each worker picks up its next point, under the same
+     * internal lock as onResult.  @p worker is a dense index in
+     * [0, jobs); together with onResult this lets a live status
+     * surface (the sweep daemon) track what every worker is doing.
+     */
+    std::function<void(unsigned worker, const RunPoint& point)>
+        onCellStart;
 
     /** Resolved baseline name ("" when speedups are off). */
     std::string baselineName() const;
@@ -246,6 +272,15 @@ class Sweep
  */
 void parallelFor(std::size_t n, unsigned jobs,
                  const std::function<void(std::size_t)>& fn);
+
+/**
+ * parallelFor, but fn also receives the dense worker index in
+ * [0, workers) running the item — for per-worker status tracking.
+ * Serial fallback (n or jobs <= 1) uses worker 0.
+ */
+void parallelForWorkers(
+    std::size_t n, unsigned jobs,
+    const std::function<void(unsigned, std::size_t)>& fn);
 
 /**
  * Canonical single-line rendering of every determinism-relevant

@@ -57,6 +57,12 @@ class MainMemory : public Ticked
     /** Lines written so far. */
     std::uint64_t linesWritten() const { return linesWritten_; }
 
+    /** Requests queued or in service (timeline probe). */
+    std::size_t queueDepth() const
+    {
+        return pending_.size() + static_cast<std::size_t>(inflight_);
+    }
+
     std::unique_ptr<ComponentSnap> saveState() const override;
     void restoreState(const ComponentSnap& snap) override;
 

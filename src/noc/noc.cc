@@ -247,6 +247,7 @@ Noc::Noc(Simulator& sim, const NocConfig& cfg) : sim_(sim), cfg_(cfg)
             cfg_.channelCapacity);
         routers_[from]->out_[dirOut] = &ch;
         routers_[to]->in_[dirIn] = &ch;
+        linkCh_.push_back(&ch);
     };
     for (std::uint32_t y = 0; y < h; ++y) {
         for (std::uint32_t x = 0; x < w; ++x) {
@@ -331,6 +332,17 @@ Noc::hopDistance(std::uint32_t a, std::uint32_t b) const
     const auto dy = static_cast<std::int64_t>(a / w) -
                     static_cast<std::int64_t>(b / w);
     return static_cast<std::uint32_t>(std::abs(dx) + std::abs(dy));
+}
+
+std::size_t
+Noc::packetsInFlight() const
+{
+    std::size_t n = 0;
+    for (const Channel<Packet>* c : injectCh_)
+        n += c->size();
+    for (const Channel<Packet>* c : linkCh_)
+        n += c->size();
+    return n;
 }
 
 Noc::Counters

@@ -104,6 +104,16 @@ class Noc
     Counters counters() const;
     void restoreCounters(const Counters& c);
 
+    /**
+     * Packets currently buffered in the network: visible occupancy
+     * of every injection and inter-router link channel (timeline
+     * probe).  Ejection channels are excluded — a packet parked
+     * there has been delivered.  Counting occupancy directly stays
+     * correct under multicast, where one injected packet produces
+     * several deliveries.
+     */
+    std::size_t packetsInFlight() const;
+
   private:
     friend class NocRouter;
 
@@ -112,6 +122,7 @@ class Noc
     std::vector<std::unique_ptr<class NocRouter>> routers_;
     std::vector<Channel<Packet>*> injectCh_;
     std::vector<Channel<Packet>*> ejectCh_;
+    std::vector<Channel<Packet>*> linkCh_;
 
     std::uint64_t wordHops_ = 0;
     std::uint64_t delivered_ = 0;

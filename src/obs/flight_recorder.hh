@@ -1,0 +1,133 @@
+/**
+ * @file
+ * A fixed-size ring of recent simulation scheduling events — sleeps,
+ * wakes, channel commits, event fires — kept for post-mortem
+ * diagnosis.  When a run deadlocks, Simulator::deadlockFatal dumps
+ * the ring oldest-first so the missed-wake investigation starts from
+ * the actual last-K history instead of just the stuck cycle.
+ *
+ * Recording is opt-in (DeltaConfig::flightRecorder, default off) and
+ * the hooks sit behind null-pointer checks off the hot paths: an
+ * un-attached recorder costs one predictable branch per sleep/commit
+ * and nothing at all on the repeated-wake fast path.
+ *
+ * Header-only and dependency-light on purpose: the hooks live inside
+ * ts_sim (simulator.cc, event_queue.cc), so this header must not pull
+ * in simulator.hh.  Names are passed as `const std::string*` —
+ * component and channel names outlive the simulation, so the ring
+ * stores pointers, never copies.
+ */
+
+#ifndef TS_OBS_FLIGHT_RECORDER_HH
+#define TS_OBS_FLIGHT_RECORDER_HH
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace ts::obs
+{
+
+class FlightRecorder
+{
+  public:
+    enum class Kind : unsigned char
+    {
+        Sleep,  ///< component left the active list (aux = wake tick)
+        Wake,   ///< sleeping component re-entered the active list
+        Commit, ///< dirty channel committed (aux = visible entries)
+        Event,  ///< strong event fired (name = owner, may be null)
+    };
+
+    /** @p capacity is the ring size in records (>= 1). */
+    explicit FlightRecorder(std::size_t capacity)
+        : ring_(capacity > 0 ? capacity : 1)
+    {
+    }
+
+    /** Append one record, evicting the oldest when full. */
+    void
+    record(Tick at, Kind kind, const std::string* name, Tick aux = 0)
+    {
+        Rec& r = ring_[head_];
+        r.at = at;
+        r.kind = kind;
+        r.name = name;
+        r.aux = aux;
+        head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+        if (count_ < ring_.size())
+            ++count_;
+    }
+
+    std::size_t size() const { return count_; }
+    std::size_t capacity() const { return ring_.size(); }
+
+    /** Write the ring oldest-first, one record per line. */
+    void
+    dump(std::ostream& os) const
+    {
+        std::size_t idx =
+            count_ < ring_.size() ? 0 : head_; // oldest record
+        for (std::size_t i = 0; i < count_; ++i) {
+            const Rec& r = ring_[idx];
+            os << "  [@" << r.at << "] " << kindName(r.kind);
+            if (r.name != nullptr)
+                os << ' ' << *r.name;
+            switch (r.kind) {
+            case Kind::Sleep:
+                if (r.aux == kNoAux)
+                    os << " (until wake)";
+                else
+                    os << " (until @" << r.aux << ")";
+                break;
+            case Kind::Commit:
+                os << " (" << r.aux << " visible)";
+                break;
+            case Kind::Wake:
+            case Kind::Event:
+                break;
+            }
+            os << '\n';
+            idx = idx + 1 == ring_.size() ? 0 : idx + 1;
+        }
+    }
+
+    /** Sentinel aux for a Sleep with no timed wake. */
+    static constexpr Tick kNoAux = ~Tick{0};
+
+  private:
+    struct Rec
+    {
+        Tick at = 0;
+        Tick aux = 0;
+        const std::string* name = nullptr;
+        Kind kind = Kind::Event;
+    };
+
+    static const char*
+    kindName(Kind k)
+    {
+        switch (k) {
+        case Kind::Sleep:
+            return "sleep ";
+        case Kind::Wake:
+            return "wake  ";
+        case Kind::Commit:
+            return "commit";
+        case Kind::Event:
+            return "event ";
+        }
+        return "?";
+    }
+
+    std::vector<Rec> ring_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+};
+
+} // namespace ts::obs
+
+#endif // TS_OBS_FLIGHT_RECORDER_HH

@@ -1,0 +1,152 @@
+#include "obs/timeline.hh"
+
+#include <cstdio>
+
+#include "sim/logging.hh"
+#include "sim/simulator.hh"
+
+namespace ts::obs
+{
+
+namespace
+{
+
+std::vector<std::string>
+splitGroups(const std::string& csv)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        const std::size_t comma = csv.find(',', pos);
+        const std::size_t end =
+            comma == std::string::npos ? csv.size() : comma;
+        if (end > pos)
+            out.push_back(csv.substr(pos, end - pos));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return out;
+}
+
+/** Zero-padded 5-digit sample index, so lexicographic JSON key order
+ *  equals sample order. */
+std::string
+sampleKey(std::size_t k)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%05zu", k);
+    return buf;
+}
+
+} // namespace
+
+Timeline::Timeline(Simulator& sim, TimelineConfig cfg)
+    : sim_(sim), cfg_(std::move(cfg)),
+      groups_(splitGroups(cfg_.series))
+{
+    TS_ASSERT(cfg_.interval > 0,
+              "Timeline requires a positive sampling interval");
+    TS_ASSERT(cfg_.maxSamples > 0,
+              "Timeline requires a positive sample cap");
+}
+
+bool
+Timeline::wants(const std::string& group) const
+{
+    if (groups_.empty())
+        return true;
+    for (const std::string& g : groups_)
+        if (g == group)
+            return true;
+    return false;
+}
+
+void
+Timeline::addProbe(const std::string& group, std::string series,
+                   std::function<double()> read, bool counter)
+{
+    if (!wants(group))
+        return;
+    TS_ASSERT(at_.empty(), "probes must be added before start()");
+    probes_.push_back(
+        Probe{std::move(series), std::move(read), counter});
+    values_.emplace_back();
+}
+
+void
+Timeline::addCounter(const std::string& group, std::string series,
+                     std::function<double()> read)
+{
+    addProbe(group, std::move(series), std::move(read), true);
+}
+
+void
+Timeline::addGauge(const std::string& group, std::string series,
+                   std::function<double()> read)
+{
+    addProbe(group, std::move(series), std::move(read), false);
+}
+
+void
+Timeline::sample()
+{
+    // Deferred per-cycle accounting must be flushed so counter probes
+    // see the same cumulative value a never-sleeping run would show.
+    sim_.catchUpAll();
+    at_.push_back(sim_.now());
+    for (std::size_t i = 0; i < probes_.size(); ++i)
+        values_[i].push_back(probes_[i].read());
+    if (at_.size() < cfg_.maxSamples)
+        arm();
+}
+
+void
+Timeline::arm()
+{
+    sim_.scheduleWeak(cfg_.interval, [this] { sample(); });
+}
+
+void
+Timeline::start()
+{
+    sample(); // the t = now baseline sample; also arms the cadence
+}
+
+void
+Timeline::finalSample()
+{
+    if (!at_.empty() && at_.back() == sim_.now())
+        return;
+    // One-shot: record without re-arming the cadence.
+    sim_.catchUpAll();
+    at_.push_back(sim_.now());
+    for (std::size_t i = 0; i < probes_.size(); ++i)
+        values_[i].push_back(probes_[i].read());
+}
+
+void
+Timeline::report(StatSet& stats) const
+{
+    stats.set("delta.timeline.interval",
+              static_cast<double>(cfg_.interval));
+    stats.set("delta.timeline.samples",
+              static_cast<double>(at_.size()));
+    for (std::size_t k = 0; k < at_.size(); ++k)
+        stats.set("delta.timeline.t." + sampleKey(k),
+                  static_cast<double>(at_[k]));
+    for (std::size_t i = 0; i < probes_.size(); ++i) {
+        const Probe& p = probes_[i];
+        const std::string prefix =
+            "delta.timeline." + p.series + ".";
+        double prev = 0.0;
+        for (std::size_t k = 0; k < values_[i].size(); ++k) {
+            const double v = values_[i][k];
+            stats.set(prefix + sampleKey(k),
+                      p.counter ? v - prev : v);
+            prev = v;
+        }
+    }
+}
+
+} // namespace ts::obs

@@ -9,8 +9,11 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
+#include <mutex>
 #include <sstream>
 #include <thread>
+#include <utility>
 
 #include "analysis/json.hh"
 #include "driver/grid.hh"
@@ -106,12 +109,146 @@ errorEvent(const std::string& message)
 }
 
 /**
+ * Mutex-guarded live telemetry shared between the accept loop (which
+ * answers status/metrics scrapes) and the sweep thread (which
+ * updates it from the engine's onCellStart/onResult callbacks).
+ * Counters describe the sweep in flight, or the last finished one —
+ * they are reset when the next sweep starts, not when one ends, so a
+ * scrape at completion still reconciles against the final report.
+ */
+struct DaemonState
+{
+    std::mutex m;
+    std::chrono::steady_clock::time_point start{
+        std::chrono::steady_clock::now()};
+    std::uint64_t served = 0;
+    bool sweeping = false;
+    std::chrono::steady_clock::time_point sweepStart;
+    std::uint64_t runsTotal = 0;
+    std::uint64_t runsDone = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    /** Worker index -> tag of the cell it is executing right now. */
+    std::map<unsigned, std::string> workerCell;
+};
+
+/** Point-in-time copy of the counters plus derived gauges. */
+struct StatusSample
+{
+    double uptimeSec = 0;
+    bool sweeping = false;
+    std::uint64_t served = 0;
+    std::uint64_t runsTotal = 0;
+    std::uint64_t runsDone = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    double etaSec = 0;
+    std::map<unsigned, std::string> workerCell;
+};
+
+StatusSample
+sampleStatus(DaemonState& state)
+{
+    std::lock_guard<std::mutex> lock(state.m);
+    const auto now = std::chrono::steady_clock::now();
+    StatusSample s;
+    s.uptimeSec =
+        std::chrono::duration<double>(now - state.start).count();
+    s.sweeping = state.sweeping;
+    s.served = state.served;
+    s.runsTotal = state.runsTotal;
+    s.runsDone = state.runsDone;
+    s.hits = state.hits;
+    s.misses = state.misses;
+    if (state.sweeping && state.runsDone > 0) {
+        // The same estimator the progress lines print: mean seconds
+        // per retired cell, times the cells still outstanding.
+        const double elapsed =
+            std::chrono::duration<double>(now - state.sweepStart)
+                .count();
+        s.etaSec = elapsed / static_cast<double>(state.runsDone) *
+                   static_cast<double>(state.runsTotal -
+                                       state.runsDone);
+    }
+    s.workerCell = state.workerCell;
+    return s;
+}
+
+std::string
+statusReply(DaemonState& state)
+{
+    const StatusSample s = sampleStatus(state);
+    std::ostringstream os;
+    os << "{\"ok\": true, \"status\": {\"uptimeSec\": "
+       << jsonNumber(s.uptimeSec)
+       << ", \"sweeping\": " << (s.sweeping ? "true" : "false")
+       << ", \"served\": " << s.served
+       << ", \"runs\": " << s.runsTotal
+       << ", \"done\": " << s.runsDone
+       << ", \"inflight\": " << s.workerCell.size()
+       << ", \"hits\": " << s.hits << ", \"misses\": " << s.misses
+       << ", \"etaSec\": " << jsonNumber(s.etaSec)
+       << ", \"workers\": [";
+    bool first = true;
+    for (const auto& [worker, cell] : s.workerCell) {
+        os << (first ? "" : ", ") << "{\"worker\": " << worker
+           << ", \"cell\": \"" << jsonEscape(cell) << "\"}";
+        first = false;
+    }
+    os << "]}}";
+    return os.str();
+}
+
+std::string
+metricsReply(DaemonState& state)
+{
+    const StatusSample s = sampleStatus(state);
+    std::ostringstream os;
+    const auto metric = [&os](const char* name, const char* type,
+                              const char* help, double value) {
+        os << "# HELP " << name << ' ' << help << '\n'
+           << "# TYPE " << name << ' ' << type << '\n'
+           << name << ' ' << jsonNumber(value) << '\n';
+    };
+    metric("ts_sweep_uptime_seconds", "gauge",
+           "Seconds since the daemon started.", s.uptimeSec);
+    metric("ts_sweep_requests_total", "counter",
+           "Requests served over the daemon's lifetime.",
+           static_cast<double>(s.served));
+    metric("ts_sweep_active", "gauge",
+           "1 while a sweep is in flight, else 0.",
+           s.sweeping ? 1 : 0);
+    metric("ts_sweep_runs_total", "gauge",
+           "Grid points in the current (or last) sweep.",
+           static_cast<double>(s.runsTotal));
+    metric("ts_sweep_runs_done", "gauge",
+           "Grid points retired so far.",
+           static_cast<double>(s.runsDone));
+    metric("ts_sweep_runs_inflight", "gauge",
+           "Grid points executing right now.",
+           static_cast<double>(s.workerCell.size()));
+    metric("ts_sweep_cache_hits_total", "counter",
+           "Run-cache hits in the current (or last) sweep.",
+           static_cast<double>(s.hits));
+    metric("ts_sweep_cache_misses_total", "counter",
+           "Run-cache misses in the current (or last) sweep.",
+           static_cast<double>(s.misses));
+    metric("ts_sweep_eta_seconds", "gauge",
+           "Estimated seconds until the in-flight sweep completes "
+           "(0 when idle or unknown).",
+           s.etaSec);
+    return "{\"ok\": true, \"metrics\": \"" + jsonEscape(os.str()) +
+           "\"}";
+}
+
+/**
  * Execute one sweep request on @p fd, streaming start/cell/done
- * events.  Every failure mode becomes an error event; the connection
- * (and daemon) survive bad requests.
+ * events and keeping @p state live for concurrent scrapes.  Every
+ * failure mode becomes an error event; the connection (and daemon)
+ * survive bad requests.
  */
 void
-handleSweep(int fd, const analysis::Json& req)
+handleSweep(int fd, const analysis::Json& req, DaemonState& state)
 {
     driver::RunOptions opt;
     driver::GridSettings grid;
@@ -133,8 +270,19 @@ handleSweep(int fd, const analysis::Json& req)
 
         driver::SweepSpec spec = driver::buildSweepSpec(opt, grid);
         spec.progress = false;
-        spec.onResult = [fd](const driver::RunOutcome& out,
-                             bool fromCache) {
+        spec.onCellStart = [&state](unsigned worker,
+                                    const driver::RunPoint& point) {
+            std::lock_guard<std::mutex> lock(state.m);
+            state.workerCell[worker] = point.tag();
+        };
+        // Mirror the engine's accounting: hit/miss counts exist only
+        // when a cache is configured (and tracing doesn't bypass it),
+        // so a completion scrape reconciles with the final report.
+        const bool cacheOn =
+            !grid.cacheDir.empty() && spec.tracePath.empty();
+        spec.onResult = [fd, &state,
+                         cacheOn](const driver::RunOutcome& out,
+                                  bool fromCache) {
             std::ostringstream ev;
             ev << "{\"event\": \"cell\", \"tag\": \""
                << jsonEscape(out.point.tag()) << "\", \"source\": \""
@@ -142,9 +290,27 @@ handleSweep(int fd, const analysis::Json& req)
                << (out.ok() ? "true" : "false")
                << ", \"cycles\": " << jsonNumber(out.cycles) << "}";
             writeLine(fd, ev.str());
+            std::lock_guard<std::mutex> lock(state.m);
+            ++state.runsDone;
+            if (cacheOn)
+                ++(fromCache ? state.hits : state.misses);
+            for (auto it = state.workerCell.begin();
+                 it != state.workerCell.end(); ++it) {
+                if (it->second == out.point.tag()) {
+                    state.workerCell.erase(it);
+                    break;
+                }
+            }
         };
 
         driver::Sweep sweep(std::move(spec));
+        {
+            std::lock_guard<std::mutex> lock(state.m);
+            state.sweepStart = std::chrono::steady_clock::now();
+            state.runsTotal = sweep.points().size();
+            state.runsDone = state.hits = state.misses = 0;
+            state.workerCell.clear();
+        }
         writeLine(fd, "{\"event\": \"start\", \"runs\": " +
                           std::to_string(sweep.points().size()) + "}");
         const driver::SweepReport report = sweep.run();
@@ -159,6 +325,15 @@ handleSweep(int fd, const analysis::Json& req)
             report.writeJson(os);
         }
 
+        // Go idle *before* the done event reaches the client, so a
+        // status scrape issued after "done" always sees a reconciled
+        // idle daemon (the background thread's own clear is then a
+        // no-op covering the error paths above).
+        {
+            std::lock_guard<std::mutex> lock(state.m);
+            state.sweeping = false;
+            state.workerCell.clear();
+        }
         std::ostringstream done;
         done << "{\"event\": \"done\", \"ok\": "
              << (report.allOk() ? "true" : "false")
@@ -171,17 +346,29 @@ handleSweep(int fd, const analysis::Json& req)
     }
 }
 
-/** Serve every request of one connection; true = shutdown asked. */
+/**
+ * Serve every request of one connection; true = stop the daemon
+ * (shutdown, or the request cap reached).  An accepted sweep request
+ * moves the connection onto @p sweepThread — @p conn.fd is stolen,
+ * the reader loop ends, and the accept loop keeps answering scrapes
+ * while the sweep streams its events from the thread.
+ */
 bool
-handleConnection(int fd, std::uint64_t& served,
-                 std::uint64_t maxRequests)
+handleConnection(FdGuard& conn, DaemonState& state,
+                 std::uint64_t maxRequests, std::thread& sweepThread)
 {
+    const int fd = conn.fd;
     LineReader reader(fd);
     std::string line;
     while (reader.next(line)) {
         if (line.empty())
             continue;
-        ++served;
+        std::uint64_t served;
+        {
+            std::lock_guard<std::mutex> lock(state.m);
+            served = ++state.served;
+        }
+        const bool last = maxRequests > 0 && served >= maxRequests;
         analysis::Json req;
         if (!analysis::parseJson(line, req) || !req.isObj() ||
             !req.has("op") ||
@@ -189,16 +376,46 @@ handleConnection(int fd, std::uint64_t& served,
             writeLine(fd, errorEvent("malformed request line"));
         } else if (req.at("op").str == "ping") {
             writeLine(fd, "{\"ok\": true}");
+        } else if (req.at("op").str == "status") {
+            writeLine(fd, statusReply(state));
+        } else if (req.at("op").str == "metrics") {
+            writeLine(fd, metricsReply(state));
         } else if (req.at("op").str == "shutdown") {
             writeLine(fd, "{\"ok\": true}");
             return true;
         } else if (req.at("op").str == "sweep") {
-            handleSweep(fd, req);
+            bool busy = false;
+            {
+                std::lock_guard<std::mutex> lock(state.m);
+                busy = state.sweeping;
+                if (!busy)
+                    state.sweeping = true;
+            }
+            if (busy) {
+                writeLine(fd, errorEvent(
+                                  "a sweep is already in progress"));
+            } else {
+                // The previous sweep thread (if any) has finished —
+                // sweeping was false — so joining it is immediate.
+                if (sweepThread.joinable())
+                    sweepThread.join();
+                conn.fd = -1; // the thread owns the fd now
+                sweepThread = std::thread([fd, req, &state] {
+                    handleSweep(fd, req, state);
+                    {
+                        std::lock_guard<std::mutex> lock(state.m);
+                        state.sweeping = false;
+                        state.workerCell.clear();
+                    }
+                    ::close(fd);
+                });
+                return last;
+            }
         } else {
             writeLine(fd, errorEvent("unknown op '" +
                                      req.at("op").str + "'"));
         }
-        if (maxRequests > 0 && served >= maxRequests)
+        if (last)
             return true;
     }
     return false;
@@ -262,7 +479,8 @@ serve(const ServeConfig& cfg)
         fatal("cannot listen on '", cfg.socketPath,
               "': ", std::strerror(errno));
 
-    std::uint64_t served = 0;
+    DaemonState state;
+    std::thread sweepThread;
     bool stop = false;
     while (!stop) {
         FdGuard conn{::accept(listener.fd, nullptr, nullptr)};
@@ -272,8 +490,13 @@ serve(const ServeConfig& cfg)
             fatal("accept on '", cfg.socketPath,
                   "' failed: ", std::strerror(errno));
         }
-        stop = handleConnection(conn.fd, served, cfg.maxRequests);
+        stop = handleConnection(conn, state, cfg.maxRequests,
+                                sweepThread);
     }
+    // Let an in-flight sweep finish and deliver its done event
+    // before the daemon exits.
+    if (sweepThread.joinable())
+        sweepThread.join();
     ::unlink(cfg.socketPath.c_str());
 }
 
@@ -323,6 +546,50 @@ bool
 ping(const std::string& socketPath)
 {
     return simpleRequest(socketPath, "ping");
+}
+
+namespace
+{
+
+/** Send one op; the single raw reply line ("" on any failure). */
+std::string
+fetchReplyLine(const std::string& socketPath, const std::string& op)
+{
+    FdGuard fd{connectTo(socketPath)};
+    if (fd.fd < 0)
+        return std::string();
+    if (!writeLine(fd.fd, "{\"op\": \"" + op + "\"}"))
+        return std::string();
+    LineReader reader(fd.fd);
+    std::string line;
+    if (!reader.next(line))
+        return std::string();
+    return line;
+}
+
+} // namespace
+
+std::string
+status(const std::string& socketPath)
+{
+    const std::string line = fetchReplyLine(socketPath, "status");
+    analysis::Json reply;
+    if (!analysis::parseJson(line, reply) || !reply.isObj() ||
+        !reply.has("status") || !reply.at("status").isObj())
+        return std::string();
+    return line;
+}
+
+std::string
+metrics(const std::string& socketPath)
+{
+    const std::string line = fetchReplyLine(socketPath, "metrics");
+    analysis::Json reply;
+    if (!analysis::parseJson(line, reply) || !reply.isObj() ||
+        !reply.has("metrics") ||
+        reply.at("metrics").kind != analysis::Json::Kind::Str)
+        return std::string();
+    return reply.at("metrics").str;
 }
 
 bool

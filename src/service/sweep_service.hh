@@ -12,6 +12,21 @@
  *   request  {"op":"shutdown"}
  *   reply    {"ok":true}            (then the daemon exits)
  *
+ *   request  {"op":"status"}
+ *   reply    {"ok":true,"status":{"uptimeSec":...,"sweeping":B,
+ *             "served":N,"runs":N,"done":N,"inflight":N,"hits":N,
+ *             "misses":N,"etaSec":...,"workers":[{"worker":W,
+ *             "cell":"tag"},...]}}
+ *     Live telemetry: run counts and cache outcomes of the sweep in
+ *     flight (or the last finished one), plus the cell every busy
+ *     worker is currently executing.
+ *
+ *   request  {"op":"metrics"}
+ *   reply    {"ok":true,"metrics":"..."}
+ *     The same telemetry as a Prometheus text exposition (ts_sweep_*
+ *     families), JSON-escaped into one string for the line protocol;
+ *     clients unescape and hand it to a scraper verbatim.
+ *
  *   request  {"op":"sweep","grid":{"<key>":"<value>", ...}}
  *     where every grid entry is a string applied through the same
  *     applyGridKey() vocabulary as grid files and CLI flags (see
@@ -28,9 +43,14 @@
  *     or, on a malformed or invalid request,
  *            {"event":"error","message":"..."}
  *
- * The daemon serves one connection at a time (each sweep already
- * saturates the host thread pool) and keeps serving after request
- * errors; only "shutdown" or a fatal socket error ends serve().
+ * A sweep request moves its connection onto a background thread for
+ * the duration of the sweep (and is the last request served on that
+ * connection), so the daemon keeps answering status/metrics/ping
+ * scrapes from other clients while a sweep is in flight.  One sweep
+ * runs at a time — a second request while one is active gets an
+ * error event.  The daemon keeps serving after request errors; only
+ * "shutdown" or a fatal socket error ends serve(), which joins any
+ * sweep still running before returning.
  */
 
 #ifndef TS_SERVICE_SWEEP_SERVICE_HH
@@ -75,6 +95,14 @@ int requestSweep(const std::string& socketPath,
 
 /** Client: send {"op":"ping"}; true iff the daemon answered ok. */
 bool ping(const std::string& socketPath);
+
+/** Client: send {"op":"status"}; the raw single-line JSON reply, or
+ *  "" when the daemon is unreachable or answered malformed. */
+std::string status(const std::string& socketPath);
+
+/** Client: send {"op":"metrics"}; the unescaped Prometheus text
+ *  exposition, or "" on failure. */
+std::string metrics(const std::string& socketPath);
 
 /** Client: send {"op":"shutdown"}; true iff the daemon acknowledged
  *  before exiting. */

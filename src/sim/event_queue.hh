@@ -29,6 +29,11 @@ namespace ts
 
 class Ticked;
 
+namespace obs
+{
+class FlightRecorder;
+}
+
 /**
  * A move-only callable with inline storage for small captures.
  *
@@ -152,17 +157,41 @@ class EventQueue
      */
     void schedule(Tick when, Callback cb, Ticked* owner = nullptr);
 
-    /** Fire every event scheduled at or before @p now. */
+    /**
+     * Schedule a *weak* callback: it fires like a normal event but
+     * does not keep the simulation alive.  Weak events are invisible
+     * to empty()/size()/nextTick(), so quiescence detection and
+     * deadlock diagnosis ignore them; the fast-forward loop still
+     * stops at weak ticks (see Simulator::runFast) so observers such
+     * as the timeline sampler fire at exact simulated times without
+     * perturbing execution.
+     */
+    void scheduleWeak(Tick when, Callback cb);
+
+    /** Fire every event (strong, then weak) at or before @p now. */
     void fireUpTo(Tick now);
 
-    /** Whether any event is pending. */
+    /** Whether any *strong* event is pending. */
     bool empty() const { return heap_.empty(); }
 
-    /** Tick of the earliest pending event; panics when empty. */
+    /** Tick of the earliest pending strong event; panics when empty. */
     Tick nextTick() const;
 
-    /** Number of pending events. */
+    /** Number of pending strong events. */
     std::size_t size() const { return heap_.size(); }
+
+    /** Whether any weak event is pending. */
+    bool hasWeak() const { return !weakHeap_.empty(); }
+
+    /** Tick of the earliest pending weak event; panics when empty. */
+    Tick nextWeakTick() const;
+
+    /** Drop all pending weak events (end-of-run cleanup). */
+    void clearWeak();
+
+    /** Attach a flight recorder notified on every strong-event fire
+     *  (null detaches; weak observer events are not recorded). */
+    void setRecorder(obs::FlightRecorder* rec) { recorder_ = rec; }
 
   private:
     struct Entry
@@ -185,7 +214,9 @@ class EventQueue
     };
 
     std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::priority_queue<Entry, std::vector<Entry>, Later> weakHeap_;
     std::uint64_t nextSeq_ = 0;
+    obs::FlightRecorder* recorder_ = nullptr;
 };
 
 } // namespace ts

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <sstream>
 
+#include "obs/host_profiler.hh"
 #include "sim/logging.hh"
 #include "trace/trace.hh"
 
@@ -72,10 +73,44 @@ Simulator::schedule(Tick delay, EventQueue::Callback cb, Ticked* owner)
 }
 
 void
+Simulator::scheduleWeak(Tick delay, EventQueue::Callback cb)
+{
+    TS_ASSERT(delay >= 1,
+              "weak events must be scheduled at least 1 cycle out");
+    events_.scheduleWeak(now_ + delay, std::move(cb));
+}
+
+void
+Simulator::setFlightRecorder(obs::FlightRecorder* rec)
+{
+    recorder_ = rec;
+    events_.setRecorder(rec);
+}
+
+void
+Simulator::setHostProfiler(obs::HostProfiler* prof)
+{
+    profiler_ = prof;
+    profClass_.clear();
+    if (prof == nullptr)
+        return;
+    profClass_.reserve(ticked_.size());
+    for (const Ticked* t : ticked_)
+        profClass_.push_back(static_cast<unsigned char>(
+            obs::HostProfiler::tickBucketForName(t->name())));
+}
+
+void
 Simulator::applySleep(Ticked* t)
 {
     t->sleepPending_ = false;
     t->sleeping_ = true;
+    if (recorder_ != nullptr)
+        recorder_->record(now_, obs::FlightRecorder::Kind::Sleep,
+                          &t->name_,
+                          t->sleepAt_ == kNoWakeTick
+                              ? obs::FlightRecorder::kNoAux
+                              : t->sleepAt_);
     const std::uint32_t idx = t->simIndex_;
     active_[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
     --activeCount_;
@@ -174,6 +209,68 @@ Simulator::doCycleFast()
 }
 
 void
+Simulator::doCycleFastObs()
+{
+    if (trace::on())
+        trace::active()->setNow(now_);
+    if (profiler_ != nullptr) {
+        const auto t0 = obs::HostProfiler::now();
+        events_.fireUpTo(now_);
+        profiler_->add(obs::HostProfiler::Events, t0,
+                       obs::HostProfiler::now());
+    } else {
+        events_.fireUpTo(now_);
+    }
+
+    pending_ = active_;
+    walking_ = true;
+    for (std::size_t w = 0; w < pending_.size(); ++w) {
+        while (pending_[w] != 0) {
+            const std::uint32_t idx = static_cast<std::uint32_t>(
+                (w << 6) + std::countr_zero(pending_[w]));
+            pending_[w] &= pending_[w] - 1;
+            walkPos_ = idx;
+            Ticked* t = ticked_[idx];
+            t->sleepPending_ = false;
+            if (profiler_ != nullptr) {
+                const auto t0 = obs::HostProfiler::now();
+                t->tick(now_);
+                profiler_->add(profClass_[idx], t0,
+                               obs::HostProfiler::now());
+            } else {
+                t->tick(now_);
+            }
+            ++ticksExecuted_;
+            if (t->sleepPending_)
+                applySleep(t);
+        }
+    }
+    walking_ = false;
+
+    const auto c0 = profiler_ != nullptr
+                        ? obs::HostProfiler::now()
+                        : obs::HostProfiler::Clock::time_point{};
+    for (ChannelBase* c : dirtyCh_) {
+        c->commit();
+        if (c->anyVisible()) {
+            if (recorder_ != nullptr)
+                recorder_->record(now_,
+                                  obs::FlightRecorder::Kind::Commit,
+                                  &c->name());
+            for (Ticked* o : c->observers())
+                wake(o);
+        }
+    }
+    dirtyCh_.clear();
+    if (profiler_ != nullptr)
+        profiler_->add(obs::HostProfiler::Commit, c0,
+                       obs::HostProfiler::now());
+
+    ++now_;
+    ++cyclesExecuted_;
+}
+
+void
 Simulator::doCycleNaive()
 {
     if (trace::on())
@@ -185,6 +282,50 @@ Simulator::doCycleNaive()
     for (ChannelBase* c : channels_)
         c->commit();
     dirtyCh_.clear();
+    ++now_;
+    ++cyclesExecuted_;
+}
+
+void
+Simulator::doCycleNaiveObs()
+{
+    if (trace::on())
+        trace::active()->setNow(now_);
+    if (profiler_ != nullptr) {
+        auto t0 = obs::HostProfiler::now();
+        events_.fireUpTo(now_);
+        auto t1 = obs::HostProfiler::now();
+        profiler_->add(obs::HostProfiler::Events, t0, t1);
+        for (std::size_t i = 0; i < ticked_.size(); ++i) {
+            ticked_[i]->tick(now_);
+            auto t2 = obs::HostProfiler::now();
+            profiler_->add(profClass_[i], t1, t2);
+            t1 = t2;
+        }
+    } else {
+        events_.fireUpTo(now_);
+        for (Ticked* t : ticked_)
+            t->tick(now_);
+    }
+    ticksExecuted_ += ticked_.size();
+    const auto c0 = profiler_ != nullptr
+                        ? obs::HostProfiler::now()
+                        : obs::HostProfiler::Clock::time_point{};
+    for (ChannelBase* c : channels_)
+        c->commit();
+    if (recorder_ != nullptr) {
+        // Record only channels pushed this cycle (the dirty list is
+        // maintained by the push hooks in both execution modes).
+        for (ChannelBase* c : dirtyCh_)
+            if (c->anyVisible())
+                recorder_->record(
+                    now_, obs::FlightRecorder::Kind::Commit,
+                    &c->name());
+    }
+    dirtyCh_.clear();
+    if (profiler_ != nullptr)
+        profiler_->add(obs::HostProfiler::Commit, c0,
+                       obs::HostProfiler::now());
     ++now_;
     ++cyclesExecuted_;
 }
@@ -218,13 +359,37 @@ Simulator::run(Tick maxCycles)
     const auto t0 = std::chrono::steady_clock::now();
     const Tick end =
         fastForward_ ? runFast(maxCycles) : runNaive(maxCycles);
+    // Weak observers beyond quiescence never fire; drop them so their
+    // captures cannot dangle and snapshot()'s empty-queue contract
+    // holds at quiescence.
+    events_.clearWeak();
     wallNs_ += nsSince(t0);
     return end;
+}
+
+bool
+Simulator::checkQuiescentFast()
+{
+    if (profiler_ == nullptr)
+        return maybeQuiescent();
+    const auto t0 = obs::HostProfiler::now();
+    const bool q = maybeQuiescent();
+    profiler_->add(obs::HostProfiler::Quiescence, t0,
+                   obs::HostProfiler::now());
+    return q;
 }
 
 Tick
 Simulator::runFast(Tick maxCycles)
 {
+    // The instrumented twin keeps every observability hook out of
+    // this loop: with no profiler or recorder attached the function
+    // below must compile to the same tight code as before obs/
+    // existed (the compiler inlines doCycleFast here only when the
+    // loop stays this small).
+    if (obsActive())
+        return runFastObs(maxCycles);
+
     const Tick start = now_;
     const Tick limit = start + maxCycles;
     for (;;) {
@@ -244,9 +409,17 @@ Simulator::runFast(Tick maxCycles)
             if (target == kNoWakeTick) {
                 // Not quiescent, yet nothing can ever wake: a missed
                 // wake (component porting bug) or an unconsumed
-                // channel value.  Diagnose loudly.
+                // channel value.  Diagnose loudly.  Pending weak
+                // observers don't count — they cannot create work.
                 deadlockFatal(maxCycles, /*overrun=*/false);
             }
+            // Weak observers (timeline samples) never keep the run
+            // alive but do pin the fast-forward so they fire at
+            // their exact tick; target == now_ falls through to
+            // doCycleFast, which fires them and ticks nothing.
+            if (events_.hasWeak() &&
+                events_.nextWeakTick() < target)
+                target = events_.nextWeakTick();
             if (target > now_) {
                 const Tick to = target < limit ? target : limit;
                 cyclesFastForwarded_ += to - now_;
@@ -272,8 +445,67 @@ Simulator::runFast(Tick maxCycles)
 }
 
 Tick
+Simulator::runFastObs(Tick maxCycles)
+{
+    const Tick start = now_;
+    const Tick limit = start + maxCycles;
+    for (;;) {
+        if (profiler_ != nullptr) {
+            const auto f0 = obs::HostProfiler::now();
+            wakeDueSleepers();
+            profiler_->add(obs::HostProfiler::FastForward, f0,
+                           obs::HostProfiler::now());
+        } else {
+            wakeDueSleepers();
+        }
+        if (activeCount_ == 0) {
+            if (checkQuiescentFast()) {
+                catchUpAll();
+                return now_;
+            }
+            // See runFast for the target math; the logic must stay
+            // identical or the two dispatch arms diverge.
+            Tick target = kNoWakeTick;
+            if (!events_.empty())
+                target = events_.nextTick();
+            if (!sleepHeap_.empty() && sleepHeap_.top().at < target)
+                target = sleepHeap_.top().at;
+            if (target == kNoWakeTick) {
+                deadlockFatal(maxCycles, /*overrun=*/false);
+            }
+            if (events_.hasWeak() &&
+                events_.nextWeakTick() < target)
+                target = events_.nextWeakTick();
+            if (target > now_) {
+                const Tick to = target < limit ? target : limit;
+                cyclesFastForwarded_ += to - now_;
+                now_ = to;
+                if (to == target)
+                    continue; // wake the due sleepers at `to`
+            }
+        } else if (checkQuiescentFast()) {
+            catchUpAll();
+            return now_;
+        }
+        if (now_ - start >= maxCycles) {
+            if (maybeQuiescent()) {
+                catchUpAll();
+                return now_;
+            }
+            deadlockFatal(maxCycles, /*overrun=*/true);
+        }
+        doCycleFastObs();
+    }
+}
+
+Tick
 Simulator::runNaive(Tick maxCycles)
 {
+    // See runFast: the twin keeps observability hooks out of this
+    // loop so the uninstrumented path keeps the seed's codegen.
+    if (obsActive())
+        return runNaiveObs(maxCycles);
+
     const Tick start = now_;
     while (now_ - start < maxCycles) {
         if (quiescent()) {
@@ -281,6 +513,33 @@ Simulator::runNaive(Tick maxCycles)
             return now_;
         }
         doCycleNaive();
+    }
+    if (quiescent()) {
+        catchUpAll();
+        return now_;
+    }
+    deadlockFatal(maxCycles, /*overrun=*/true);
+}
+
+Tick
+Simulator::runNaiveObs(Tick maxCycles)
+{
+    const Tick start = now_;
+    while (now_ - start < maxCycles) {
+        if (profiler_ != nullptr) {
+            const auto t0 = obs::HostProfiler::now();
+            const bool q = quiescent();
+            profiler_->add(obs::HostProfiler::Quiescence, t0,
+                           obs::HostProfiler::now());
+            if (q) {
+                catchUpAll();
+                return now_;
+            }
+        } else if (quiescent()) {
+            catchUpAll();
+            return now_;
+        }
+        doCycleNaiveObs();
     }
     if (quiescent()) {
         catchUpAll();
@@ -310,6 +569,51 @@ Simulator::deadlockFatal(Tick maxCycles, bool overrun)
         if (t->busy())
             os << " busy:" << t->name();
     }
+    // Who is stuck: every busy sleeper, the wake it is (not) waiting
+    // for, and the state of each channel that could wake it.  This is
+    // the missed-wake diagnosis: a busy component sleeping forever on
+    // channels that are all empty means a producer forgot a wake; a
+    // visible channel here means the observer list is miswired.
+    os << "\nstuck components:";
+    bool anyStuck = false;
+    for (const Ticked* t : ticked_) {
+        if (!t->sleeping_ || !t->busy())
+            continue;
+        anyStuck = true;
+        os << "\n  " << t->name() << ": sleeping ";
+        if (t->sleepAt_ == kNoWakeTick)
+            os << "until woken";
+        else
+            os << "until @" << t->sleepAt_;
+        bool anyCh = false;
+        for (const ChannelBase* c : channels_) {
+            const auto& obsList = c->observers();
+            bool watches = false;
+            for (const Ticked* o : obsList)
+                if (o == t)
+                    watches = true;
+            if (!watches)
+                continue;
+            os << (anyCh ? ", " : "; observes ") << c->name() << " [";
+            if (c->anyVisible())
+                os << "visible";
+            else if (!c->quiescent())
+                os << "staged";
+            else
+                os << "empty";
+            os << "]";
+            anyCh = true;
+        }
+        if (!anyCh)
+            os << "; observes no channel";
+    }
+    if (!anyStuck)
+        os << " none (no busy sleeper)";
+    if (recorder_ != nullptr && recorder_->size() > 0) {
+        os << "\nflight recorder (last " << recorder_->size()
+           << " of " << recorder_->capacity() << " records):\n";
+        recorder_->dump(os);
+    }
     fatal(os.str());
 }
 
@@ -317,9 +621,14 @@ void
 Simulator::step(Tick cycles)
 {
     const auto t0 = std::chrono::steady_clock::now();
+    const bool instrumented = obsActive();
     if (!fastForward_) {
-        for (Tick i = 0; i < cycles; ++i)
-            doCycleNaive();
+        for (Tick i = 0; i < cycles; ++i) {
+            if (instrumented)
+                doCycleNaiveObs();
+            else
+                doCycleNaive();
+        }
     } else {
         const Tick end = now_ + cycles;
         while (now_ < end) {
@@ -331,13 +640,19 @@ Simulator::step(Tick cycles)
                 if (!sleepHeap_.empty() &&
                     sleepHeap_.top().at < target)
                     target = sleepHeap_.top().at;
+                if (events_.hasWeak() &&
+                    events_.nextWeakTick() < target)
+                    target = events_.nextWeakTick();
                 if (target > now_) {
                     cyclesFastForwarded_ += target - now_;
                     now_ = target;
                     continue;
                 }
             }
-            doCycleFast();
+            if (instrumented)
+                doCycleFastObs();
+            else
+                doCycleFast();
         }
     }
     catchUpAll();
@@ -348,7 +663,7 @@ SimSnapshot
 Simulator::snapshot() const
 {
     TS_ASSERT(!walking_, "snapshot from inside the tick walk");
-    TS_ASSERT(events_.empty(),
+    TS_ASSERT(events_.empty() && !events_.hasWeak(),
               "snapshot requires an empty event queue (callbacks are "
               "move-only); snapshot post-configuration or at "
               "quiescence");
@@ -387,7 +702,7 @@ void
 Simulator::restore(const SimSnapshot& s)
 {
     TS_ASSERT(!walking_, "restore from inside the tick walk");
-    TS_ASSERT(events_.empty(),
+    TS_ASSERT(events_.empty() && !events_.hasWeak(),
               "restore requires an empty event queue; restore at "
               "quiescence (after run()) or before any cycle");
     TS_ASSERT(dirtyCh_.empty(),
@@ -439,6 +754,8 @@ Simulator::reportStats(StatSet& stats) const
                   ? 0.0
                   : static_cast<double>(ticksExecuted_) /
                         static_cast<double>(cyclesExecuted_));
+    if (profiler_ != nullptr)
+        profiler_->reportStats(stats);
 }
 
 } // namespace ts

@@ -55,6 +55,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight_recorder.hh"
 #include "sim/channel.hh"
 #include "sim/event_queue.hh"
 #include "sim/snapshot.hh"
@@ -66,6 +67,11 @@ namespace ts
 
 class Simulator;
 class SimSnapshot;
+
+namespace obs
+{
+class HostProfiler;
+}
 
 /** Base class for every cycle-stepped hardware model. */
 class Ticked
@@ -176,6 +182,16 @@ class Simulator
     void schedule(Tick delay, EventQueue::Callback cb,
                   Ticked* owner = nullptr);
 
+    /**
+     * Schedule a *weak* callback @p delay cycles from now (delay >=
+     * 1): it fires at its exact simulated tick in both execution
+     * modes but never keeps the simulation alive — quiescence and
+     * deadlock detection ignore it, and pending weak events are
+     * dropped when run() returns.  Observers only (e.g. the timeline
+     * sampler); a weak callback must not change simulated state.
+     */
+    void scheduleWeak(Tick delay, EventQueue::Callback cb);
+
     /** Current cycle. */
     Tick now() const { return now_; }
 
@@ -231,6 +247,34 @@ class Simulator
      *  channels, in the same registration order. */
     void restore(const SimSnapshot& s);
 
+    /**
+     * Flush deferred accounting on every component (see
+     * Ticked::catchUp).  Called automatically before run()/step()
+     * return; public so mid-run observers (the timeline sampler) can
+     * align cumulative counters with a never-sleeping run.  Safe to
+     * call repeatedly: catchUp is incremental and idempotent.
+     */
+    void catchUpAll();
+
+    /**
+     * Attach a flight recorder capturing sleep/wake/commit/event
+     * records (null detaches).  Off the hot path when detached: the
+     * hooks are single null-pointer branches, and the repeated-wake
+     * fast path is untouched either way.
+     */
+    void setFlightRecorder(obs::FlightRecorder* rec);
+
+    /** The attached flight recorder, or null. */
+    obs::FlightRecorder* flightRecorder() const { return recorder_; }
+
+    /**
+     * Attach a host profiler attributing wall-ns to events, per-class
+     * ticks, commits, fast-forward, and quiescence checks (null
+     * detaches).  Components are classified by name at attach time,
+     * so attach after registering every component.
+     */
+    void setHostProfiler(obs::HostProfiler* prof);
+
   private:
     friend class Ticked;
     friend class SimSnapshot;
@@ -254,6 +298,24 @@ class Simulator
 
     void doCycleFast();
     void doCycleNaive();
+
+    /** Instrumented twins of the cycle bodies and run loops,
+     *  dispatched to once per run() when a profiler or flight
+     *  recorder is attached, so the uninstrumented hot loops carry
+     *  no observability code at all and keep the seed's inlining
+     *  (the sub-2%-overhead contract in obs/). */
+    void doCycleFastObs();
+    void doCycleNaiveObs();
+    Tick runFastObs(Tick maxCycles);
+    Tick runNaiveObs(Tick maxCycles);
+
+    /** Whether the per-cycle observability twins must run. */
+    bool
+    obsActive() const
+    {
+        return profiler_ != nullptr || recorder_ != nullptr;
+    }
+
     Tick runFast(Tick maxCycles);
     Tick runNaive(Tick maxCycles);
 
@@ -276,8 +338,9 @@ class Simulator
      */
     bool maybeQuiescent();
 
-    /** Flush deferred accounting on every component (see catchUp). */
-    void catchUpAll();
+    /** maybeQuiescent(), timed into the profiler's Quiescence bucket
+     *  when one is attached. */
+    bool checkQuiescentFast();
 
     [[noreturn]] void deadlockFatal(Tick maxCycles, bool overrun);
 
@@ -321,6 +384,15 @@ class Simulator
     std::uint64_t ticksExecuted_ = 0;
     std::uint64_t cyclesExecuted_ = 0;
     std::uint64_t cyclesFastForwarded_ = 0;
+
+    // Observability attachments live past every hot member so the
+    // per-cycle working set keeps its pre-obs cache-line layout.
+    /** Optional flight recorder (see setFlightRecorder). */
+    obs::FlightRecorder* recorder_ = nullptr;
+    /** Optional host profiler (see setHostProfiler). */
+    obs::HostProfiler* profiler_ = nullptr;
+    /** Per-component tick bucket, filled at setHostProfiler time. */
+    std::vector<unsigned char> profClass_;
 };
 
 /**
@@ -390,6 +462,11 @@ Simulator::wake(Ticked* t)
     t->sleepPending_ = false;
     if (!t->sleeping_)
         return;
+    // The recorder hook sits below the repeated-wake early-out, so
+    // the hot path (waking an already-awake component) never pays it.
+    if (recorder_ != nullptr)
+        recorder_->record(now_, obs::FlightRecorder::Kind::Wake,
+                          &t->name_);
     t->sleeping_ = false;
     const std::uint32_t idx = t->simIndex_;
     active_[idx >> 6] |= std::uint64_t{1} << (idx & 63);

@@ -142,6 +142,10 @@ class Dispatcher : public Ticked
      *  TaskGraph::criticalPath). */
     std::vector<TaskSpan> taskSpans() const;
 
+    /** Tasks currently ready but not yet issued to a lane (timeline
+     *  probe). */
+    std::size_t readyQueueDepth() const { return readyQ_.size(); }
+
     std::unique_ptr<ComponentSnap> saveState() const override;
     void restoreState(const ComponentSnap& snap) override;
 

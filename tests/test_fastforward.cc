@@ -34,11 +34,13 @@ struct RunResult
 };
 
 RunResult
-runOnce(Wk wk, bool staticConfig, bool noFastForward)
+runOnce(Wk wk, bool staticConfig, bool noFastForward,
+        Tick timelineInterval = 0)
 {
     DeltaConfig cfg = staticConfig ? DeltaConfig::staticBaseline()
                                    : DeltaConfig::delta();
     cfg.noFastForward = noFastForward;
+    cfg.timelineInterval = timelineInterval;
 
     SuiteParams sp;
     sp.scale = 0.25;
@@ -95,6 +97,46 @@ diffName(const ::testing::TestParamInfo<std::tuple<Wk, bool>>& info)
 
 INSTANTIATE_TEST_SUITE_P(
     AllWorkloads, FastForwardDifferential,
+    ::testing::Combine(::testing::ValuesIn(allWorkloads()),
+                       ::testing::Bool()),
+    diffName);
+
+/**
+ * The same contract with timeline sampling enabled: the sampler's
+ * weak events must neither perturb the simulation (the skipped-ticks
+ * proof still holds around catchUpAll) nor themselves observe
+ * different values in the two execution modes.  The timeline columns
+ * are part of the byte-compared dump, so any divergence shows up as
+ * a stats mismatch.
+ */
+class TimelineDifferential
+    : public ::testing::TestWithParam<std::tuple<Wk, bool>>
+{
+};
+
+TEST_P(TimelineDifferential, SampledRunsBitIdenticalToNaiveTicking)
+{
+    const Wk wk = std::get<0>(GetParam());
+    const bool staticConfig = std::get<1>(GetParam());
+
+    const RunResult fast = runOnce(wk, staticConfig, false, 300);
+    const RunResult naive = runOnce(wk, staticConfig, true, 300);
+
+    EXPECT_TRUE(fast.correct);
+    EXPECT_TRUE(naive.correct);
+    EXPECT_NE(fast.statsJson.find("delta.timeline.samples"),
+              std::string::npos)
+        << "the sampled run must emit timeline columns";
+    EXPECT_EQ(fast.statsJson, naive.statsJson)
+        << "timeline columns diverged between activity-driven and "
+           "naive runs for "
+        << wkName(wk) << " (" << (staticConfig ? "static" : "delta")
+        << "): a sampler fired at a different simulated time or "
+           "observed un-caught-up counters";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, TimelineDifferential,
     ::testing::Combine(::testing::ValuesIn(allWorkloads()),
                        ::testing::Bool()),
     diffName);

@@ -206,6 +206,87 @@ TEST(SweepServiceTest, MalformedRequestsYieldErrorEventsNotDeath)
     EXPECT_TRUE(service::ping(daemon.sock));
 }
 
+TEST(SweepServiceTest, StatusReportsIdleDaemonShape)
+{
+    TestDaemon daemon("status");
+
+    const std::string line = service::status(daemon.sock);
+    analysis::Json reply;
+    ASSERT_TRUE(analysis::parseJson(line, reply)) << line;
+    ASSERT_TRUE(reply.at("ok").b);
+
+    const analysis::Json& st = reply.at("status");
+    EXPECT_GE(st.at("uptimeSec").num, 0.0);
+    EXPECT_FALSE(st.at("sweeping").b);
+    EXPECT_GE(st.at("served").num, 1.0)
+        << "the status request itself counts as served";
+    EXPECT_EQ(st.at("runs").num, 0.0);
+    EXPECT_EQ(st.at("done").num, 0.0);
+    EXPECT_EQ(st.at("inflight").num, 0.0);
+    ASSERT_TRUE(st.at("workers").isArr());
+    EXPECT_TRUE(st.at("workers").arr.empty())
+        << "no worker is on a cell while idle";
+}
+
+TEST(SweepServiceTest, StatusReconcilesAfterASweep)
+{
+    TestDaemon daemon("status_sweep");
+
+    std::ostringstream replies;
+    ASSERT_EQ(service::requestSweep(
+                  daemon.sock,
+                  "{\"op\": \"sweep\", \"grid\": "
+                  "{\"workloads\": \"spmv\", "
+                  "\"configs\": \"static,delta\", \"seeds\": \"3\", "
+                  "\"scales\": \"0.25\"}}",
+                  replies),
+              0);
+
+    analysis::Json reply;
+    ASSERT_TRUE(
+        analysis::parseJson(service::status(daemon.sock), reply));
+    const analysis::Json& st = reply.at("status");
+    EXPECT_FALSE(st.at("sweeping").b);
+    EXPECT_EQ(st.at("runs").num, 2.0)
+        << "the last sweep's grid size must be visible after it ends";
+    EXPECT_EQ(st.at("done").num, st.at("runs").num)
+        << "a finished sweep must show every cell retired";
+    EXPECT_EQ(st.at("inflight").num, 0.0);
+    EXPECT_TRUE(st.at("workers").arr.empty());
+}
+
+TEST(SweepServiceTest, MetricsSpeakPrometheusExposition)
+{
+    TestDaemon daemon("metrics");
+
+    const std::string text = service::metrics(daemon.sock);
+
+    // Every ts_sweep_* family appears with HELP and TYPE comments
+    // followed by a sample line.
+    for (const char* family :
+         {"ts_sweep_uptime_seconds", "ts_sweep_requests_total",
+          "ts_sweep_active", "ts_sweep_runs_total",
+          "ts_sweep_runs_done", "ts_sweep_runs_inflight",
+          "ts_sweep_cache_hits_total", "ts_sweep_cache_misses_total",
+          "ts_sweep_eta_seconds"}) {
+        EXPECT_NE(text.find(std::string("# HELP ") + family),
+                  std::string::npos)
+            << family << " missing HELP in:\n"
+            << text;
+        EXPECT_NE(text.find(std::string("# TYPE ") + family),
+                  std::string::npos)
+            << family << " missing TYPE in:\n"
+            << text;
+        EXPECT_NE(text.find(std::string("\n") + family + " "),
+                  std::string::npos)
+            << family << " missing sample line in:\n"
+            << text;
+    }
+    EXPECT_NE(text.find("ts_sweep_active 0"), std::string::npos)
+        << "an idle daemon exports ts_sweep_active 0:\n"
+        << text;
+}
+
 TEST(SweepServiceTest, ShutdownStopsTheDaemon)
 {
     auto daemon = std::make_unique<TestDaemon>("shutdown");

@@ -35,6 +35,9 @@ usage(const char* argv0)
         << "usage: " << argv0 << " RUN.json [options]\n"
         << "  --baseline FILE.json     compare against another run\n"
         << "  --trace TRACE.json       summarize a Perfetto trace\n"
+        << "  --timeline               render the delta.timeline.*\n"
+        << "                           series (lane waterfall and\n"
+        << "                           queue-depth sparklines)\n"
         << "  --topk N                 task-type rows (default 5)\n"
         << "  --assert-speedup-min X   exit 1 unless speedup >= X\n";
     std::exit(2);
@@ -53,6 +56,7 @@ main(int argc, char** argv)
     std::string tracePath;
     std::size_t topk = 5;
     double speedupMin = -1.0;
+    bool timeline = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -65,6 +69,8 @@ main(int argc, char** argv)
             baselinePath = next();
         } else if (arg == "--trace") {
             tracePath = next();
+        } else if (arg == "--timeline") {
+            timeline = true;
         } else if (arg == "--topk") {
             topk = static_cast<std::size_t>(
                 std::strtoul(next().c_str(), nullptr, 10));
@@ -95,6 +101,7 @@ main(int argc, char** argv)
         Json trace;
         ReportOptions opt;
         opt.topk = topk;
+        opt.timeline = timeline;
         if (!baselinePath.empty()) {
             baseline = loadStats(baselinePath);
             opt.baseline = &baseline;

@@ -27,6 +27,7 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -35,7 +36,9 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 
+#include "analysis/json.hh"
 #include "cache/run_cache.hh"
 #include "driver/grid.hh"
 #include "service/sweep_service.hh"
@@ -77,7 +80,15 @@ usage(int code)
         "  --serve SOCK      serve sweep requests on a Unix socket\n"
         "  --connect SOCK    send one request to a serving daemon;\n"
         "                    combine with --set/--grid (sweep),\n"
-        "                    --ping, or --shutdown\n",
+        "                    --ping, --shutdown, --status,\n"
+        "                    --metrics, or --watch\n"
+        "  --status          one live-telemetry snapshot: uptime,\n"
+        "                    cells done/in flight, per-worker cells,\n"
+        "                    cache outcomes, ETA\n"
+        "  --metrics         Prometheus text exposition (ts_sweep_*)\n"
+        "                    on stdout, for scrapers\n"
+        "  --watch           poll status about once a second until\n"
+        "                    the in-flight sweep finishes\n",
         os);
     std::fputs(ts::driver::optionsHelp(), os);
     std::exit(code);
@@ -129,6 +140,92 @@ readGridKvs(const std::string& path)
     return kvs;
 }
 
+/** One-line summary of a parsed status reply's "status" object. */
+std::string
+statusSummary(const analysis::Json& st)
+{
+    std::ostringstream os;
+    const auto num = [&st](const char* key) {
+        return static_cast<unsigned long long>(st.at(key).num);
+    };
+    if (st.at("sweeping").b) {
+        os << "sweeping: " << num("done") << "/" << num("runs")
+           << " cells done, " << num("inflight") << " in flight";
+        if (num("hits") + num("misses") > 0)
+            os << ", cache " << num("hits") << "/"
+               << (num("hits") + num("misses")) << " hits";
+        const double eta = st.at("etaSec").num;
+        if (eta > 0) {
+            char buf[32];
+            std::snprintf(buf, sizeof buf, ", ETA %.0fs", eta);
+            os << buf;
+        }
+    } else if (num("runs") > 0) {
+        os << "idle (last sweep: " << num("done") << "/"
+           << num("runs") << " cells)";
+    } else {
+        os << "idle";
+    }
+    return os.str();
+}
+
+/** --status: one pretty snapshot of the daemon's live telemetry. */
+int
+statusMain(const std::string& sock)
+{
+    const std::string line = service::status(sock);
+    analysis::Json reply;
+    if (line.empty() || !analysis::parseJson(line, reply)) {
+        std::fprintf(stderr, "delta-sweep: no daemon at %s\n",
+                     sock.c_str());
+        return 2;
+    }
+    const analysis::Json& st = reply.at("status");
+    std::printf("daemon: up %.1fs, %llu requests served\n",
+                st.at("uptimeSec").num,
+                static_cast<unsigned long long>(st.at("served").num));
+    std::printf("%s\n", statusSummary(st).c_str());
+    for (const analysis::Json& w : st.at("workers").arr)
+        std::printf("  worker %llu: %s\n",
+                    static_cast<unsigned long long>(
+                        w.at("worker").num),
+                    w.at("cell").str.c_str());
+    return 0;
+}
+
+/** --watch: poll status about once a second until the sweep ends. */
+int
+watchMain(const std::string& sock)
+{
+    const bool tty = isatty(fileno(stdout)) != 0;
+    for (;;) {
+        const std::string line = service::status(sock);
+        analysis::Json reply;
+        if (line.empty() || !analysis::parseJson(line, reply)) {
+            if (tty)
+                std::printf("\n");
+            std::fprintf(stderr, "delta-sweep: no daemon at %s\n",
+                         sock.c_str());
+            return 2;
+        }
+        const analysis::Json& st = reply.at("status");
+        const std::string summary = statusSummary(st);
+        if (tty) {
+            // Redraw in place; \033[K clears the previous line's tail.
+            std::printf("\r\033[K%s", summary.c_str());
+            std::fflush(stdout);
+        } else {
+            std::printf("%s\n", summary.c_str());
+        }
+        if (!st.at("sweeping").b) {
+            if (tty)
+                std::printf("\n");
+            return 0;
+        }
+        std::this_thread::sleep_for(std::chrono::seconds(1));
+    }
+}
+
 /**
  * Client mode: everything after --connect is forwarded verbatim, so
  * shared flags are rejected here (use `--set key=value` instead) —
@@ -140,6 +237,9 @@ clientMain(int argc, char** argv)
     std::string sock;
     bool doPing = false;
     bool doShutdown = false;
+    bool doStatus = false;
+    bool doMetrics = false;
+    bool doWatch = false;
     std::map<std::string, std::string> settings;
 
     // Validation scratch: catches bad keys/values client-side with
@@ -165,6 +265,12 @@ clientMain(int argc, char** argv)
             doPing = true;
         } else if (arg == "--shutdown") {
             doShutdown = true;
+        } else if (arg == "--status") {
+            doStatus = true;
+        } else if (arg == "--metrics") {
+            doMetrics = true;
+        } else if (arg == "--watch") {
+            doWatch = true;
         } else if (arg == "--set") {
             const auto [k, v] = splitSetting(value());
             record(k, v);
@@ -196,9 +302,23 @@ clientMain(int argc, char** argv)
                      sock.c_str());
         return 2;
     }
+    if (doStatus)
+        return statusMain(sock);
+    if (doWatch)
+        return watchMain(sock);
+    if (doMetrics) {
+        const std::string text = service::metrics(sock);
+        if (text.empty()) {
+            std::fprintf(stderr, "delta-sweep: no daemon at %s\n",
+                         sock.c_str());
+            return 2;
+        }
+        std::fputs(text.c_str(), stdout);
+        return 0;
+    }
     if (settings.empty())
-        fatal("--connect needs a request: --set/--grid, --ping, or "
-              "--shutdown");
+        fatal("--connect needs a request: --set/--grid, --ping, "
+              "--shutdown, --status, --metrics, or --watch");
 
     std::ostringstream req;
     req << "{\"op\": \"sweep\", \"grid\": {";
@@ -291,9 +411,10 @@ main(int argc, char** argv)
         }
 
         driver::SweepSpec spec = driver::buildSweepSpec(opt, grid);
-        // Progress/ETA is interactive chrome: keep it off pipes and
-        // CI logs even without --quiet.
-        spec.progress = !grid.quiet && isatty(fileno(stderr)) != 0;
+        // Progress/ETA is interactive chrome: off for pipes by
+        // default, but --progress=always forces it into CI logs and
+        // --progress=never silences a TTY.
+        spec.progress = !grid.quiet && opt.progressEnabled();
 
         if (grid.dryRun) {
             driver::Sweep sweep(spec);
