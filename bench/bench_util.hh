@@ -15,13 +15,12 @@
 #ifndef TS_BENCH_BENCH_UTIL_HH
 #define TS_BENCH_BENCH_UTIL_HH
 
-#include <atomic>
 #include <cmath>
 #include <cstdio>
-#include <fstream>
 #include <string>
 
 #include "driver/options.hh"
+#include "driver/run_one.hh"
 #include "workloads/workload.hh"
 
 namespace ts::bench
@@ -69,64 +68,18 @@ suiteParams()
     return options().suiteParams();
 }
 
-/** Outcome of one simulated run. */
-struct RunResult
-{
-    double cycles = 0;
-    bool correct = false;
-    StatSet stats;
-};
+/** Outcome of one simulated run (driver::runOne's result type;
+ *  bench-JSON emission now lives there too). */
+using RunResult = driver::RunResult;
 
-/**
- * When --bench-json/TS_BENCH_JSON names an (existing) directory,
- * every runOnce() writes its full StatSet there as
- * `<seq>_<workload>_<policy>.json`, so figure programs emit
- * machine-readable results alongside the text tables.
- */
-inline void
-emitJson(const std::string& tag, Wk w, const DeltaConfig& cfg,
-         const RunResult& r)
-{
-    const std::string& dir = options().benchJsonDir;
-    if (dir.empty())
-        return;
-    static std::atomic<int> seq{0};
-    const std::string path =
-        dir + "/" +
-        std::to_string(seq.fetch_add(1, std::memory_order_relaxed)) +
-        "_" + tag + ".json";
-    std::ofstream os(path);
-    if (!os) {
-        warn("bench: cannot write '", path, "'");
-        return;
-    }
-    os << "{\n  \"workload\": \"" << wkName(w) << "\",\n"
-       << "  \"policy\": \"" << schedPolicyName(cfg.policy) << "\",\n"
-       << "  \"lanes\": " << cfg.lanes << ",\n"
-       << "  \"correct\": " << (r.correct ? "true" : "false") << ",\n"
-       << "  \"stats\": ";
-    r.stats.dumpJson(os);
-    os << "}\n";
-}
-
-/** Build and simulate one workload under one configuration (trace
- *  and stats outputs injected from the shared options). */
+/** Build and simulate one workload under one configuration (trace,
+ *  stats, shards, and bench-JSON outputs injected from the shared
+ *  options via driver::runOne). */
 inline RunResult
 runOnce(Wk w, const DeltaConfig& cfg, const SuiteParams& sp)
 {
     auto wl = makeWorkload(w, sp);
-    Delta delta(options().applyTo(cfg));
-    TaskGraph graph;
-    wl->build(delta, graph);
-    RunResult r;
-    r.stats = delta.run(graph);
-    r.cycles = r.stats.get("delta.cycles");
-    r.correct = wl->check(delta.image());
-    emitJson(std::string(wkName(w)) + "_" +
-                 schedPolicyName(cfg.policy) + "_l" +
-                 std::to_string(cfg.lanes),
-             w, cfg, r);
-    return r;
+    return driver::runOne(options(), *wl, cfg);
 }
 
 /** Print a horizontal rule sized for our tables. */

@@ -36,23 +36,18 @@ measure(Wk w, SchedPolicy policy)
     cfg.enableMulticast = false;
     if (policy == SchedPolicy::Static)
         cfg.bulkSynchronous = true;
-    SuiteParams sp;
-    auto wl = makeWorkload(w, sp);
-    Delta delta(cfg);
-    TaskGraph g;
-    wl->build(delta, g);
-    const StatSet stats = delta.run(g);
-    TS_ASSERT(wl->check(delta.image()));
+    const RunResult res = runOnce(w, cfg, SuiteParams{});
+    TS_ASSERT(res.correct);
 
     Row r;
-    r.cycles = stats.get("delta.cycles");
-    r.meanBusy = stats.get("delta.busyMean");
-    r.maxBusy = stats.get("delta.busyMax");
-    r.imbalance = stats.get("delta.imbalance");
+    r.cycles = res.cycles;
+    r.meanBusy = res.stats.get("delta.busyMean");
+    r.maxBusy = res.stats.get("delta.busyMax");
+    r.imbalance = res.stats.get("delta.imbalance");
     double mn = r.maxBusy;
     for (unsigned l = 0; l < 8; ++l) {
-        mn = std::min(mn, stats.get("lane" + std::to_string(l) +
-                                    ".tu.busyCycles"));
+        mn = std::min(mn, res.stats.get("lane" + std::to_string(l) +
+                                        ".tu.busyCycles"));
     }
     r.minBusy = mn;
     return r;

@@ -11,7 +11,7 @@
 
 #include <cstdio>
 
-#include "driver/options.hh"
+#include "driver/run_one.hh"
 #include "workloads/msort.hh"
 
 using namespace ts;
@@ -30,28 +30,30 @@ runConfig(const char* label, bool enablePipeline,
     params.leafSize = 1024;
     MsortWorkload wl(params);
 
-    DeltaConfig cfg = DeltaConfig::delta(lanes);
-    cfg.enablePipeline = enablePipeline;
-    Delta delta(gOpt.applyTo(cfg));
-    TaskGraph graph;
-    wl.build(delta, graph);
-    const StatSet stats = delta.run(graph);
+    driver::RunSpec spec;
+    spec.cfg = DeltaConfig::delta(lanes);
+    spec.cfg.enablePipeline = enablePipeline;
+    spec.tag = std::string("pipelined_sort_l") + std::to_string(lanes);
+    spec.build = [&](Delta& d, TaskGraph& g) { wl.build(d, g); };
+    std::uint64_t activated = 0, degraded = 0;
+    spec.check = [&](Delta& d) {
+        activated = d.dispatcher().pipesActivated();
+        degraded = d.dispatcher().pipesDegraded();
+        return wl.check(d.image());
+    };
+    const driver::RunResult r = driver::runOne(gOpt, spec);
 
     double pipeTokens = 0;
     for (std::uint32_t l = 0; l < lanes; ++l) {
-        pipeTokens += stats.getOr(
+        pipeTokens += r.stats.getOr(
             "lane" + std::to_string(l) + ".pipeTokens", 0);
     }
     std::printf("  %-26s %9.0f cycles   pipes %2llu/%llu activated   "
                 "%8.0f tokens forwarded   %s\n",
-                label, stats.get("delta.cycles"),
-                static_cast<unsigned long long>(
-                    delta.dispatcher().pipesActivated()),
-                static_cast<unsigned long long>(
-                    delta.dispatcher().pipesActivated() +
-                    delta.dispatcher().pipesDegraded()),
-                pipeTokens,
-                wl.check(delta.image()) ? "ok" : "WRONG");
+                label, r.cycles,
+                static_cast<unsigned long long>(activated),
+                static_cast<unsigned long long>(activated + degraded),
+                pipeTokens, r.correct ? "ok" : "WRONG");
 }
 
 } // namespace

@@ -3,8 +3,9 @@
  * Quickstart: the smallest complete Delta program.
  *
  * Defines one dataflow task type (y[i] = 3*x[i] + 7), carves an input
- * array into independent tasks, runs them on an 8-lane Delta, and
- * checks the result.
+ * array into independent tasks, runs them on an 8-lane Delta via
+ * driver::runOne — the shared assemble/run/check/report path every
+ * one-shot binary uses — and checks the result.
  *
  *   $ ./build/examples/quickstart
  *   $ ./build/examples/quickstart --trace trace.json --stats-json stats.json
@@ -12,84 +13,102 @@
 
 #include <cstdio>
 
-#include "accel/delta.hh"
-#include "driver/options.hh"
+#include "driver/run_one.hh"
 
 using namespace ts;
 
 int
 main(int argc, char** argv)
 {
-    // Shared flags (--trace, --stats-json, --log, ...), each with a
-    // TS_* environment fallback.  This is the only layer that reads
-    // the environment; Delta itself never does.
+    // Shared flags (--trace, --stats-json, --shards, --log, ...),
+    // each with a TS_* environment fallback.  This is the only layer
+    // that reads the environment; Delta itself never does.
     const driver::RunOptions opt =
         driver::parseCommandLineOrExit(argc, argv);
 
-    // 1. Build the accelerator (TaskStream configuration: work-aware
-    //    balancing + pipeline recovery + shared-read multicast).
-    Delta delta(opt.applyTo(DeltaConfig::delta(8)));
-    MemImage& img = delta.image();
-
-    // 2. Describe the task body as a dataflow graph.  Every input
-    //    port streams tokens into the fabric; immediates are baked
-    //    into the configuration.
-    auto dfg = std::make_unique<Dfg>("scale");
-    const auto x = dfg->addInput();
-    const auto m = dfg->add(Op::Mul, Operand::ref(x), Operand::immI(3));
-    const auto a = dfg->add(Op::Add, Operand::ref(m), Operand::immI(7));
-    dfg->addOutput(a);
-    const TaskTypeId scale =
-        delta.registry().addDfgType("scale", std::move(dfg));
-
-    // 3. Lay out data in the functional memory image.
     const std::size_t n = 1 << 14, chunk = 512;
-    const Addr in = img.allocWords(n);
-    const Addr out = img.allocWords(n);
-    for (std::size_t i = 0; i < n; ++i)
-        img.writeInt(in + i * wordBytes, static_cast<std::int64_t>(i));
+    Addr in = 0, out = 0;
 
-    // 4. Emit one task per chunk.  The stream descriptor *is* the
-    //    argument: the hardware reads work estimates straight from it.
-    TaskGraph graph;
-    for (std::size_t c = 0; c < n; c += chunk) {
-        WriteDesc dst;
-        dst.base = out + c * wordBytes;
-        graph.addTask(scale,
-                      {StreamDesc::linear(Space::Dram,
-                                          in + c * wordBytes, chunk)},
-                      {dst});
-    }
+    driver::RunSpec spec;
+    // TaskStream configuration: work-aware balancing + pipeline
+    // recovery + shared-read multicast, on 8 lanes.
+    spec.cfg = DeltaConfig::delta(8);
+    spec.tag = "quickstart";
 
-    // 5. Run to completion and inspect results + statistics.
-    const StatSet stats = delta.run(graph);
+    spec.build = [&](Delta& delta, TaskGraph& graph) {
+        MemImage& img = delta.image();
 
-    std::size_t errors = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-        if (img.readInt(out + i * wordBytes) !=
-            3 * static_cast<std::int64_t>(i) + 7) {
-            ++errors;
+        // 1. Describe the task body as a dataflow graph.  Every
+        //    input port streams tokens into the fabric; immediates
+        //    are baked into the configuration.
+        auto dfg = std::make_unique<Dfg>("scale");
+        const auto x = dfg->addInput();
+        const auto m =
+            dfg->add(Op::Mul, Operand::ref(x), Operand::immI(3));
+        const auto a =
+            dfg->add(Op::Add, Operand::ref(m), Operand::immI(7));
+        dfg->addOutput(a);
+        const TaskTypeId scale =
+            delta.registry().addDfgType("scale", std::move(dfg));
+
+        // 2. Lay out data in the functional memory image.
+        in = img.allocWords(n);
+        out = img.allocWords(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            img.writeInt(in + i * wordBytes,
+                         static_cast<std::int64_t>(i));
         }
-    }
 
-    std::printf("quickstart: %zu tasks, %zu words, %s\n",
-                n / chunk, n, errors == 0 ? "PASS" : "FAIL");
-    std::printf("  cycles         : %.0f\n", stats.get("delta.cycles"));
-    std::printf("  DRAM lines read: %.0f\n", stats.get("mem.linesRead"));
-    std::printf("  NoC word-hops  : %.0f\n", stats.get("noc.wordHops"));
+        // 3. Emit one task per chunk.  The stream descriptor *is*
+        //    the argument: the hardware reads work estimates straight
+        //    from it.
+        for (std::size_t c = 0; c < n; c += chunk) {
+            WriteDesc dst;
+            dst.base = out + c * wordBytes;
+            graph.addTask(scale,
+                          {StreamDesc::linear(Space::Dram,
+                                              in + c * wordBytes,
+                                              chunk)},
+                          {dst});
+        }
+    };
+
+    std::string tracePath;
+    spec.check = [&](Delta& delta) {
+        if (delta.tracer().enabled())
+            tracePath = delta.tracer().path();
+        std::size_t errors = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (delta.image().readInt(out + i * wordBytes) !=
+                3 * static_cast<std::int64_t>(i) + 7) {
+                ++errors;
+            }
+        }
+        return errors == 0;
+    };
+
+    // 4. Run to completion and inspect results + statistics.
+    const driver::RunResult r = driver::runOne(opt, spec);
+
+    std::printf("quickstart: %zu tasks, %zu words, %s\n", n / chunk,
+                n, r.correct ? "PASS" : "FAIL");
+    std::printf("  cycles         : %.0f\n", r.cycles);
+    std::printf("  DRAM lines read: %.0f\n",
+                r.stats.get("mem.linesRead"));
+    std::printf("  NoC word-hops  : %.0f\n",
+                r.stats.get("noc.wordHops"));
     std::printf("  lane imbalance : %.3f (max/mean busy)\n",
-                stats.get("delta.imbalance"));
+                r.stats.get("delta.imbalance"));
     std::printf("  cycle breakdown: %.0f%% busy, %.0f%% memWait, "
                 "%.0f%% nocWait, %.0f%% idle\n",
-                100 * stats.get("delta.accounting.frac.busy"),
-                100 * stats.get("delta.accounting.frac.memWait"),
-                100 * stats.get("delta.accounting.frac.nocWait"),
-                100 * stats.get("delta.accounting.frac.idle"));
-    if (delta.tracer().enabled()) {
+                100 * r.stats.get("delta.accounting.frac.busy"),
+                100 * r.stats.get("delta.accounting.frac.memWait"),
+                100 * r.stats.get("delta.accounting.frac.nocWait"),
+                100 * r.stats.get("delta.accounting.frac.idle"));
+    if (!tracePath.empty()) {
         std::printf("  trace          : %s (%.0f events; load in "
                     "https://ui.perfetto.dev)\n",
-                    delta.tracer().path().c_str(),
-                    stats.get("trace.events"));
+                    tracePath.c_str(), r.stats.get("trace.events"));
     }
-    return errors == 0 ? 0 : 1;
+    return r.correct ? 0 : 1;
 }

@@ -16,7 +16,7 @@
 
 #include <cstdio>
 
-#include "driver/options.hh"
+#include "driver/run_one.hh"
 #include "workloads/spmv.hh"
 
 using namespace ts;
@@ -34,18 +34,13 @@ runConfig(const char* label, DeltaConfig cfg)
     params.cols = 1024;
     SpmvWorkload wl(params);
 
-    Delta delta(gOpt.applyTo(cfg));
-    TaskGraph graph;
-    wl.build(delta, graph);
-    const StatSet stats = delta.run(graph);
-
+    const driver::RunResult r = driver::runOne(gOpt, wl, cfg);
     std::printf("  %-28s %9.0f cycles  imbalance %.2f  "
                 "dram lines %7.0f  %s\n",
-                label, stats.get("delta.cycles"),
-                stats.get("delta.imbalance"),
-                stats.get("mem.linesRead"),
-                wl.check(delta.image()) ? "ok" : "WRONG");
-    return stats.get("delta.cycles");
+                label, r.cycles, r.stats.get("delta.imbalance"),
+                r.stats.get("mem.linesRead"),
+                r.correct ? "ok" : "WRONG");
+    return r.cycles;
 }
 
 } // namespace

@@ -56,23 +56,44 @@ Delta::Delta(const DeltaConfig& cfg)
     if (cfg_.lanes == 0 || cfg_.lanes > 62)
         fatal("Delta supports 1..62 lanes, got ", cfg_.lanes);
 
+    // Executor shard count.  Tracing and the naive loop are
+    // single-threaded by contract; partitions are still declared
+    // identically below, so the forced --shards 1 run stays
+    // bit-identical to any sharded one.
+    std::uint32_t shards = cfg_.shards == 0 ? 1 : cfg_.shards;
+    if (cfg_.noFastForward || cfg_.trace.enabled)
+        shards = 1;
+    sim_.setShards(shards);
+
     sim_.setFastForward(!cfg_.noFastForward);
     tracer_ = std::make_unique<trace::Tracer>(cfg_.trace);
 
-    noc_ = std::make_unique<Noc>(sim_, meshFor(cfg_.lanes,
-                                               cfg_.nocLinks));
+    // Partition map: every mesh node is its own partition — the
+    // dispatcher, each lane (with its task unit, engines, and
+    // scratchpad), and the memory node, plus any spare mesh corners.
+    // The declaration is a property of the simulated structure, made
+    // identically for every shard count (results would otherwise
+    // depend on K through boundary-channel credits).
+    const NocConfig mesh = meshFor(cfg_.lanes, cfg_.nocLinks);
+    std::vector<std::uint32_t> nodeParts(mesh.width * mesh.height);
+    for (std::uint32_t i = 0; i < nodeParts.size(); ++i)
+        nodeParts[i] = i;
+    noc_ = std::make_unique<Noc>(sim_, mesh, nodeParts);
 
     const std::uint32_t dispatcherNode = 0;
     const std::uint32_t memNodeId = cfg_.lanes + 1;
 
+    sim_.setPartition(memNodeId);
     memNode_ = std::make_unique<MemNode>(sim_, *noc_, memNodeId,
                                          cfg_.mem);
 
     for (std::uint32_t i = 0; i < cfg_.lanes; ++i) {
+        sim_.setPartition(laneNode(i));
         lanes_.push_back(std::make_unique<Lane>(
             sim_, *noc_, img_, registry_, i, laneNode(i),
             dispatcherNode, memNodeId, cfg_.lane));
     }
+    sim_.setPartition(dispatcherNode);
 
     DispatcherConfig dcfg;
     dcfg.policy = cfg_.policy;
@@ -88,6 +109,7 @@ Delta::Delta(const DeltaConfig& cfg)
     dispatcher_ = std::make_unique<Dispatcher>(*noc_, img_, registry_,
                                                dcfg);
     sim_.add(dispatcher_.get());
+    sim_.setPartition(0);
 
     if (cfg_.flightRecorder > 0) {
         recorder_ =

@@ -146,12 +146,19 @@ applyGridKey(const std::string& key, const std::string& value,
         opt.timelineSeries = value;
     } else if (key == "host-profile") {
         opt.hostProfile = value != "0";
+    } else if (key == "shards") {
+        char* end = nullptr;
+        const long v = std::strtol(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0' || v < 1)
+            fatal("grid key 'shards' must be a positive integer, "
+                  "got '", value, "'");
+        opt.shards = static_cast<std::uint32_t>(v);
     } else {
         fatal("unknown grid key '", key,
               "'; valid keys: workloads, configs, seeds, scales, "
               "lanes, baseline, jobs, out, bench-json, trace, "
               "no-fast-forward, cache, cache-cap, no-snapshot-fork, "
-              "timeline, timeline-series, host-profile");
+              "timeline, timeline-series, host-profile, shards");
     }
 }
 
@@ -209,6 +216,7 @@ buildSweepSpec(const RunOptions& opt, const GridSettings& grid)
     spec.timelineInterval = opt.timelineInterval;
     spec.timelineSeries = opt.timelineSeries;
     spec.hostProfile = opt.hostProfile;
+    spec.shards = opt.shards;
     spec.cacheDir = grid.cacheDir;
     spec.cacheCapBytes = grid.cacheCapBytes;
     spec.noSnapshotFork = grid.noSnapshotFork;

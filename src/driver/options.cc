@@ -110,6 +110,8 @@ RunOptions::applyTo(DeltaConfig cfg) const
         cfg.statsJsonPath = statsJsonPath;
     if (noFastForward)
         cfg.noFastForward = true;
+    if (cfg.shards == 1)
+        cfg.shards = shards;
     if (cfg.timelineInterval == 0)
         cfg.timelineInterval = timelineInterval;
     if (cfg.timelineSeries.empty())
@@ -161,6 +163,12 @@ RunOptions::fromEnv()
     opt.benchJsonDir = env("TS_BENCH_JSON");
     if (const std::string s = env("TS_NO_FAST_FORWARD"); !s.empty())
         opt.noFastForward = s != "0";
+    if (const std::string s = env("TS_SHARDS"); !s.empty()) {
+        const std::uint64_t v = parseCount(s, "TS_SHARDS");
+        if (v < 1)
+            fatal("TS_SHARDS must be at least 1, got '", s, "'");
+        opt.shards = static_cast<std::uint32_t>(v);
+    }
     if (const std::string s = env("TS_PROGRESS"); !s.empty())
         opt.progress = parseProgress(s, "TS_PROGRESS");
     if (const std::string s = env("TS_TIMELINE"); !s.empty())
@@ -189,6 +197,9 @@ optionsHelp()
         "  --log N            stderr verbosity 0|1|2 [TS_LOG]\n"
         "  --no-fast-forward  naive per-cycle ticking (bit-identical\n"
         "                     reference mode) [TS_NO_FAST_FORWARD]\n"
+        "  --shards N         executor shards per run (host threads\n"
+        "                     inside one simulation; bit-identical\n"
+        "                     for every N) [TS_SHARDS]\n"
         "  --progress[=]MODE  sweep progress lines: auto|always|never\n"
         "                     (auto = only when stderr is a TTY)\n"
         "                     [TS_PROGRESS]\n"
@@ -246,6 +257,12 @@ parseCommandLine(int& argc, char** argv, bool strict)
             opt.benchJsonDir = value("--bench-json");
         } else if (arg == "--no-fast-forward") {
             opt.noFastForward = true;
+        } else if (arg == "--shards") {
+            const std::uint64_t v =
+                parseCount(value("--shards"), "--shards");
+            if (v < 1)
+                fatal("--shards must be at least 1");
+            opt.shards = static_cast<std::uint32_t>(v);
         } else if (arg == "--progress") {
             opt.progress =
                 parseProgress(value("--progress"), "--progress");

@@ -64,6 +64,12 @@ struct RunOptions
      *  and host-performance comparison. */
     bool noFastForward = false;
 
+    /** Executor shards for the conservative-PDES core (host threads
+     *  per run).  Results are bit-identical for every value; forced
+     *  to 1 with tracing or --no-fast-forward.  --shards N /
+     *  TS_SHARDS. */
+    std::uint32_t shards = 1;
+
     /** Host worker threads for sweep-style drivers (0 = pick
      *  hardware concurrency at use site). */
     unsigned jobs = 0;

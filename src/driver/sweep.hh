@@ -119,6 +119,13 @@ struct SweepSpec
      *  relevant, and excluded from byte-compared dumps. */
     bool hostProfile = false;
 
+    /** Executor shards inside every run (host threads per
+     *  simulation).  Results are bit-identical for every value, so
+     *  like hostProfile it stays out of canonicalConfig/cache keys:
+     *  a cached single-shard result is a valid answer for a sharded
+     *  request and vice versa. */
+    std::uint32_t shards = 1;
+
     /**
      * When non-empty, consult a content-addressed run cache rooted
      * here before executing each point, and publish every finished

@@ -83,25 +83,46 @@ class NocRouter : public Ticked
     {
         auto s = std::make_unique<Snap>();
         s->linkFreeAt = linkFreeAt_;
+        s->delivered = delivered_;
+        s->wordHops = wordHops_;
+        s->mcastWordHops = mcastWordHops_;
+        s->mcastDeliveries = mcastDeliveries_;
         return s;
     }
 
     void
     restoreState(const ComponentSnap& snap) override
     {
-        linkFreeAt_ = snapCast<Snap>(snap).linkFreeAt;
+        const Snap& s = snapCast<Snap>(snap);
+        linkFreeAt_ = s.linkFreeAt;
+        delivered_ = s.delivered;
+        wordHops_ = s.wordHops;
+        mcastWordHops_ = s.mcastWordHops;
+        mcastDeliveries_ = s.mcastDeliveries;
     }
 
     std::array<Channel<Packet>*, NumDirs> in_;
     std::array<Channel<Packet>*, NumDirs> out_;
 
+    /** Forwarding-side traffic counters, owned by this router so the
+     *  sharded core's parallel ticks never contend on the mesh-wide
+     *  totals; Noc's accessors sum them. */
+    std::uint64_t delivered_ = 0;
+    std::uint64_t wordHops_ = 0;
+    std::uint64_t mcastWordHops_ = 0;
+    std::uint64_t mcastDeliveries_ = 0;
+
   private:
-    /** The only mutable router state: per-link serialization
-     *  maturity.  in_/out_ are wiring, and the round-robin pointer is
-     *  a pure function of simulated time. */
+    /** Mutable router state: per-link serialization maturity plus
+     *  this router's traffic counters.  in_/out_ are wiring, and the
+     *  round-robin pointer is a pure function of simulated time. */
     struct Snap final : ComponentSnap
     {
         std::array<Tick, NumDirs> linkFreeAt{};
+        std::uint64_t delivered = 0;
+        std::uint64_t wordHops = 0;
+        std::uint64_t mcastWordHops = 0;
+        std::uint64_t mcastDeliveries = 0;
     };
 
     unsigned
@@ -180,9 +201,9 @@ class NocRouter : public Ticked
             const bool ok = out_[d]->push(std::move(copy));
             TS_ASSERT(ok);
             if (d == LocalPort) {
-                ++noc_.delivered_;
+                ++delivered_;
                 if (head.mcast)
-                    ++noc_.mcastDeliveries_;
+                    ++mcastDeliveries_;
                 if (statsOn()) {
                     const auto lat =
                         static_cast<double>(now - head.injectedAt);
@@ -192,18 +213,20 @@ class NocRouter : public Ticked
                                lat);
                 }
                 if (trace::on()) {
+                    // Tracing forces single-shard execution, so the
+                    // mesh-wide sum is safe to read here.
                     trace::active()->counter(
                         "noc.traffic", "delivered",
-                        static_cast<double>(noc_.delivered_));
+                        static_cast<double>(noc_.delivered()));
                 }
             } else {
                 const Tick ser = std::max<Tick>(
                     1, divCeil<std::uint32_t>(head.sizeWords,
                                               noc_.cfg_.linkWords));
                 linkFreeAt_[d] = now + ser;
-                noc_.wordHops_ += head.sizeWords;
+                wordHops_ += head.sizeWords;
                 if (head.mcast)
-                    noc_.mcastWordHops_ += head.sizeWords;
+                    mcastWordHops_ += head.sizeWords;
             }
         }
     }
@@ -213,38 +236,59 @@ class NocRouter : public Ticked
     std::array<Tick, NumDirs> linkFreeAt_;
 };
 
-Noc::Noc(Simulator& sim, const NocConfig& cfg) : sim_(sim), cfg_(cfg)
+Noc::Noc(Simulator& sim, const NocConfig& cfg,
+         const std::vector<std::uint32_t>& nodeParts)
+    : sim_(sim), cfg_(cfg)
 {
     const std::uint32_t n = numNodes();
     if (n == 0 || n > 64)
         fatal("mesh must have between 1 and 64 nodes, got ", n);
+    TS_ASSERT(nodeParts.empty() || nodeParts.size() == n,
+              "nodeParts must name a partition per mesh node");
+
+    const std::uint32_t basePart = sim.partition();
+    const auto part = [&](std::uint32_t node) {
+        return nodeParts.empty() ? basePart : nodeParts[node];
+    };
+
+    injected_.assign(n, 0);
+    mcastPackets_.assign(n, 0);
+    mcastUnicastEquivWordHops_.assign(n, 0);
 
     routers_.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) {
         routers_.push_back(std::make_unique<NocRouter>(*this, i));
+        sim.setPartition(part(i));
         sim.add(routers_.back().get());
     }
 
+    // A node's inject/eject channels stay inside the node's
+    // partition: the local component and its router always share a
+    // shard, so only inter-router links ever cross shards.
     injectCh_.resize(n);
     ejectCh_.resize(n);
     for (std::uint32_t i = 0; i < n; ++i) {
         auto& inj = sim.makeChannel<Packet>(
-            "noc.inject" + std::to_string(i), cfg_.channelCapacity);
+            "noc.inject" + std::to_string(i), cfg_.channelCapacity,
+            part(i), part(i));
         auto& ej = sim.makeChannel<Packet>(
-            "noc.eject" + std::to_string(i), 0 /* unbounded sink */);
+            "noc.eject" + std::to_string(i), 0 /* unbounded sink */,
+            part(i), part(i));
         injectCh_[i] = &inj;
         ejectCh_[i] = &ej;
         routers_[i]->in_[LocalPort] = &inj;
         routers_[i]->out_[LocalPort] = &ej;
     }
 
-    // Directed neighbor links.
+    // Directed neighbor links; a link's producer is the upstream
+    // router's partition and its consumer the downstream router's, so
+    // differently-partitioned neighbors get a boundary channel.
     const std::uint32_t w = cfg_.width, h = cfg_.height;
     auto link = [&](std::uint32_t from, std::uint32_t to, unsigned dirOut,
                     unsigned dirIn) {
         auto& ch = sim.makeChannel<Packet>(
             "noc.link" + std::to_string(from) + dirNames[dirOut],
-            cfg_.channelCapacity);
+            cfg_.channelCapacity, part(from), part(to));
         routers_[from]->out_[dirOut] = &ch;
         routers_[to]->in_[dirIn] = &ch;
         linkCh_.push_back(&ch);
@@ -270,6 +314,7 @@ Noc::Noc(Simulator& sim, const NocConfig& cfg) : sim_(sim), cfg_(cfg)
                 routers_[i]->in_[p]->addObserver(routers_[i].get());
         }
     }
+    sim.setPartition(basePart);
 }
 
 Noc::~Noc() = default;
@@ -290,19 +335,19 @@ Noc::inject(Packet pkt)
     const bool mcast = pkt.mcast;
     if (!injectCh_[pkt.src]->push(std::move(pkt)))
         return false;
-    ++injected_;
+    ++injected_[src];
     if (mcast) {
-        ++mcastPackets_;
+        ++mcastPackets_[src];
         // What this fanout would cost as one unicast per member:
-        // the tree's actual word-hops accumulate in mcastWordHops_
-        // as branches traverse links, and the difference is the
+        // the tree's actual word-hops accumulate per router as
+        // branches traverse links, and the difference is the
         // traffic the multicast mechanism saved.
         std::uint64_t rest = dstMask;
         while (rest != 0) {
             const auto dst =
                 static_cast<std::uint32_t>(__builtin_ctzll(rest));
             rest &= rest - 1;
-            mcastUnicastEquivWordHops_ +=
+            mcastUnicastEquivWordHops_[src] +=
                 static_cast<std::uint64_t>(hopDistance(src, dst)) *
                 words;
         }
@@ -345,45 +390,106 @@ Noc::packetsInFlight() const
     return n;
 }
 
+namespace
+{
+
+std::uint64_t
+sumVec(const std::vector<std::uint64_t>& v)
+{
+    std::uint64_t t = 0;
+    for (const std::uint64_t x : v)
+        t += x;
+    return t;
+}
+
+} // namespace
+
+std::uint64_t
+Noc::wordHops() const
+{
+    std::uint64_t t = 0;
+    for (const auto& r : routers_)
+        t += r->wordHops_;
+    return t;
+}
+
+std::uint64_t
+Noc::delivered() const
+{
+    std::uint64_t t = 0;
+    for (const auto& r : routers_)
+        t += r->delivered_;
+    return t;
+}
+
+std::uint64_t
+Noc::mcastWordHops() const
+{
+    std::uint64_t t = 0;
+    for (const auto& r : routers_)
+        t += r->mcastWordHops_;
+    return t;
+}
+
+std::uint64_t
+Noc::mcastDeliveries() const
+{
+    std::uint64_t t = 0;
+    for (const auto& r : routers_)
+        t += r->mcastDeliveries_;
+    return t;
+}
+
+std::uint64_t
+Noc::injected() const
+{
+    return sumVec(injected_);
+}
+
+std::uint64_t
+Noc::mcastPackets() const
+{
+    return sumVec(mcastPackets_);
+}
+
+std::uint64_t
+Noc::mcastUnicastEquivWordHops() const
+{
+    return sumVec(mcastUnicastEquivWordHops_);
+}
+
 Noc::Counters
 Noc::counters() const
 {
     Counters c;
-    c.wordHops = wordHops_;
-    c.delivered = delivered_;
     c.injected = injected_;
-    c.mcastWordHops = mcastWordHops_;
-    c.mcastUnicastEquivWordHops = mcastUnicastEquivWordHops_;
     c.mcastPackets = mcastPackets_;
-    c.mcastDeliveries = mcastDeliveries_;
+    c.mcastUnicastEquivWordHops = mcastUnicastEquivWordHops_;
     return c;
 }
 
 void
 Noc::restoreCounters(const Counters& c)
 {
-    wordHops_ = c.wordHops;
-    delivered_ = c.delivered;
     injected_ = c.injected;
-    mcastWordHops_ = c.mcastWordHops;
-    mcastUnicastEquivWordHops_ = c.mcastUnicastEquivWordHops;
     mcastPackets_ = c.mcastPackets;
-    mcastDeliveries_ = c.mcastDeliveries;
+    mcastUnicastEquivWordHops_ = c.mcastUnicastEquivWordHops;
 }
 
 void
 Noc::reportStats(StatSet& stats) const
 {
-    stats.set("noc.wordHops", static_cast<double>(wordHops_));
-    stats.set("noc.delivered", static_cast<double>(delivered_));
-    stats.set("noc.injected", static_cast<double>(injected_));
-    stats.set("noc.mcast.packets", static_cast<double>(mcastPackets_));
+    stats.set("noc.wordHops", static_cast<double>(wordHops()));
+    stats.set("noc.delivered", static_cast<double>(delivered()));
+    stats.set("noc.injected", static_cast<double>(injected()));
+    stats.set("noc.mcast.packets",
+              static_cast<double>(mcastPackets()));
     stats.set("noc.mcast.deliveries",
-              static_cast<double>(mcastDeliveries_));
+              static_cast<double>(mcastDeliveries()));
     stats.set("noc.mcast.wordHops",
-              static_cast<double>(mcastWordHops_));
+              static_cast<double>(mcastWordHops()));
     stats.set("noc.mcast.unicastEquivWordHops",
-              static_cast<double>(mcastUnicastEquivWordHops_));
+              static_cast<double>(mcastUnicastEquivWordHops()));
 }
 
 } // namespace ts

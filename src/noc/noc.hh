@@ -38,7 +38,18 @@ struct NocConfig
 class Noc
 {
   public:
-    Noc(Simulator& sim, const NocConfig& cfg);
+    /**
+     * @param nodeParts optional per-node partition ids (size
+     *        numNodes()): router @c i and its inject/eject channels
+     *        are declared in partition nodeParts[i], making every
+     *        inter-router link of differently-partitioned nodes a
+     *        boundary channel (credit back-pressure, shardable).
+     *        Empty (default) keeps the whole mesh in the simulator's
+     *        current registration partition — single-partition, as
+     *        before.
+     */
+    Noc(Simulator& sim, const NocConfig& cfg,
+        const std::vector<std::uint32_t>& nodeParts = {});
     ~Noc();
 
     Noc(const Noc&) = delete;
@@ -56,27 +67,32 @@ class Noc
     /** The ejection channel of a node; consumers pop from it. */
     Channel<Packet>& eject(std::uint32_t node);
 
+    /**
+     * Traffic totals.  Forwarding-side counts (word-hops,
+     * deliveries) accumulate per router and injection-side counts
+     * per source node — each mutated only by its owning partition,
+     * so shards never contend — and these accessors sum them.
+     */
     /** Total word-hops traversed (traffic metric for Fig-5). */
-    std::uint64_t wordHops() const { return wordHops_; }
+    std::uint64_t wordHops() const;
 
     /** Total packets delivered to local ports. */
-    std::uint64_t delivered() const { return delivered_; }
+    std::uint64_t delivered() const;
+
+    /** Total packets accepted by inject(). */
+    std::uint64_t injected() const;
 
     /** Word-hops traversed by multicast (fanout > 1) packets. */
-    std::uint64_t mcastWordHops() const { return mcastWordHops_; }
+    std::uint64_t mcastWordHops() const;
 
     /** Word-hops the same multicast traffic would have cost as one
      *  unicast packet per destination (sum of Manhattan distances
      *  times payload size, accumulated at injection). */
-    std::uint64_t
-    mcastUnicastEquivWordHops() const
-    {
-        return mcastUnicastEquivWordHops_;
-    }
+    std::uint64_t mcastUnicastEquivWordHops() const;
 
     /** Multicast packets injected / local deliveries they produced. */
-    std::uint64_t mcastPackets() const { return mcastPackets_; }
-    std::uint64_t mcastDeliveries() const { return mcastDeliveries_; }
+    std::uint64_t mcastPackets() const;
+    std::uint64_t mcastDeliveries() const;
 
     /** Report traffic statistics. */
     void reportStats(StatSet& stats) const;
@@ -85,19 +101,17 @@ class Noc
     std::uint32_t hopDistance(std::uint32_t a, std::uint32_t b) const;
 
     /**
-     * The mesh's accumulated traffic counters (snapshot/fork
-     * support).  Routers and channels are Simulator-registered and
-     * snapshot through it; the Noc itself only owns these counters.
+     * The mesh's accumulated injection-side traffic counters
+     * (snapshot/fork support), per source node.  Routers and
+     * channels are Simulator-registered and snapshot through it —
+     * including the per-router forwarding counters — so the Noc
+     * itself only owns these.
      */
     struct Counters
     {
-        std::uint64_t wordHops = 0;
-        std::uint64_t delivered = 0;
-        std::uint64_t injected = 0;
-        std::uint64_t mcastWordHops = 0;
-        std::uint64_t mcastUnicastEquivWordHops = 0;
-        std::uint64_t mcastPackets = 0;
-        std::uint64_t mcastDeliveries = 0;
+        std::vector<std::uint64_t> injected;
+        std::vector<std::uint64_t> mcastPackets;
+        std::vector<std::uint64_t> mcastUnicastEquivWordHops;
     };
 
     /** Copy out / restore the traffic counters. */
@@ -124,13 +138,12 @@ class Noc
     std::vector<Channel<Packet>*> ejectCh_;
     std::vector<Channel<Packet>*> linkCh_;
 
-    std::uint64_t wordHops_ = 0;
-    std::uint64_t delivered_ = 0;
-    std::uint64_t injected_ = 0;
-    std::uint64_t mcastWordHops_ = 0;
-    std::uint64_t mcastUnicastEquivWordHops_ = 0;
-    std::uint64_t mcastPackets_ = 0;
-    std::uint64_t mcastDeliveries_ = 0;
+    /** Injection-side counters, indexed by source node: inject() is
+     *  called from the source node's partition, so each slot has a
+     *  single writing shard. */
+    std::vector<std::uint64_t> injected_;
+    std::vector<std::uint64_t> mcastPackets_;
+    std::vector<std::uint64_t> mcastUnicastEquivWordHops_;
 };
 
 } // namespace ts

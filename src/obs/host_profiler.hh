@@ -66,6 +66,14 @@ class HostProfiler
 
     std::uint64_t ns(unsigned bucket) const { return ns_[bucket]; }
 
+    /** Accumulate another profiler's buckets (per-shard merge). */
+    void
+    mergeFrom(const HostProfiler& o)
+    {
+        for (unsigned b = 0; b < kBuckets; ++b)
+            ns_[b] += o.ns_[b];
+    }
+
     std::uint64_t
     totalNs() const
     {

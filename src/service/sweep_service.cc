@@ -108,6 +108,45 @@ errorEvent(const std::string& message)
            jsonEscape(message) + "\"}";
 }
 
+/** The `{"ok": true, "proto": N}` acknowledgement. */
+std::string
+okReply()
+{
+    return "{\"ok\": true, \"proto\": " +
+           std::to_string(kProtoVersion) + "}";
+}
+
+/**
+ * Protocol version a daemon reply claims: the "proto" field, or 1
+ * for the original unversioned daemon.
+ */
+int
+observedProto(const analysis::Json& reply)
+{
+    if (reply.isObj() && reply.has("proto") &&
+        reply.at("proto").isNum())
+        return static_cast<int>(reply.at("proto").num);
+    return 1;
+}
+
+/**
+ * Client-side version gate: false (after a loud stderr warning
+ * naming observed vs expected) when the daemon speaks a different
+ * protocol version than this client was built for.
+ */
+bool
+protoCompatible(const analysis::Json& reply, const char* what)
+{
+    const int observed = observedProto(reply);
+    if (observed == kProtoVersion)
+        return true;
+    warn("delta-sweep ", what, ": daemon speaks protocol v", observed,
+         " but this client expects v", kProtoVersion,
+         "; rebuild the client or restart the daemon from the same "
+         "build");
+    return false;
+}
+
 /**
  * Mutex-guarded live telemetry shared between the accept loop (which
  * answers status/metrics scrapes) and the sweep thread (which
@@ -179,7 +218,8 @@ statusReply(DaemonState& state)
 {
     const StatusSample s = sampleStatus(state);
     std::ostringstream os;
-    os << "{\"ok\": true, \"status\": {\"uptimeSec\": "
+    os << "{\"ok\": true, \"proto\": " << kProtoVersion
+       << ", \"status\": {\"uptimeSec\": "
        << jsonNumber(s.uptimeSec)
        << ", \"sweeping\": " << (s.sweeping ? "true" : "false")
        << ", \"served\": " << s.served
@@ -237,8 +277,9 @@ metricsReply(DaemonState& state)
            "Estimated seconds until the in-flight sweep completes "
            "(0 when idle or unknown).",
            s.etaSec);
-    return "{\"ok\": true, \"metrics\": \"" + jsonEscape(os.str()) +
-           "\"}";
+    return "{\"ok\": true, \"proto\": " +
+           std::to_string(kProtoVersion) + ", \"metrics\": \"" +
+           jsonEscape(os.str()) + "\"}";
 }
 
 /**
@@ -311,7 +352,9 @@ handleSweep(int fd, const analysis::Json& req, DaemonState& state)
             state.runsDone = state.hits = state.misses = 0;
             state.workerCell.clear();
         }
-        writeLine(fd, "{\"event\": \"start\", \"runs\": " +
+        writeLine(fd, "{\"event\": \"start\", \"proto\": " +
+                          std::to_string(kProtoVersion) +
+                          ", \"runs\": " +
                           std::to_string(sweep.points().size()) + "}");
         const driver::SweepReport report = sweep.run();
 
@@ -375,13 +418,13 @@ handleConnection(FdGuard& conn, DaemonState& state,
             req.at("op").kind != analysis::Json::Kind::Str) {
             writeLine(fd, errorEvent("malformed request line"));
         } else if (req.at("op").str == "ping") {
-            writeLine(fd, "{\"ok\": true}");
+            writeLine(fd, okReply());
         } else if (req.at("op").str == "status") {
             writeLine(fd, statusReply(state));
         } else if (req.at("op").str == "metrics") {
             writeLine(fd, metricsReply(state));
         } else if (req.at("op").str == "shutdown") {
-            writeLine(fd, "{\"ok\": true}");
+            writeLine(fd, okReply());
             return true;
         } else if (req.at("op").str == "sweep") {
             bool busy = false;
@@ -454,10 +497,12 @@ simpleRequest(const std::string& socketPath, const std::string& op)
     if (!reader.next(line))
         return false;
     analysis::Json reply;
-    return analysis::parseJson(line, reply) && reply.isObj() &&
-           reply.has("ok") &&
-           reply.at("ok").kind == analysis::Json::Kind::Bool &&
-           reply.at("ok").b;
+    if (!analysis::parseJson(line, reply) || !reply.isObj() ||
+        !reply.has("ok") ||
+        reply.at("ok").kind != analysis::Json::Kind::Bool ||
+        !reply.at("ok").b)
+        return false;
+    return protoCompatible(reply, op.c_str());
 }
 
 } // namespace
@@ -529,6 +574,15 @@ requestSweep(const std::string& socketPath,
         const std::string& kind = ev.at("event").str;
         if (kind == "error")
             return 2;
+        if (kind == "start" && !protoCompatible(ev, "sweep")) {
+            replies << errorEvent(
+                           "daemon speaks protocol v" +
+                           std::to_string(observedProto(ev)) +
+                           ", this client expects v" +
+                           std::to_string(kProtoVersion))
+                    << "\n";
+            return 2;
+        }
         if (kind == "done") {
             const bool ok = ev.has("ok") &&
                             ev.at("ok").kind ==
@@ -577,6 +631,8 @@ status(const std::string& socketPath)
     if (!analysis::parseJson(line, reply) || !reply.isObj() ||
         !reply.has("status") || !reply.at("status").isObj())
         return std::string();
+    if (!protoCompatible(reply, "status"))
+        return std::string();
     return line;
 }
 
@@ -588,6 +644,8 @@ metrics(const std::string& socketPath)
     if (!analysis::parseJson(line, reply) || !reply.isObj() ||
         !reply.has("metrics") ||
         reply.at("metrics").kind != analysis::Json::Kind::Str)
+        return std::string();
+    if (!protoCompatible(reply, "metrics"))
         return std::string();
     return reply.at("metrics").str;
 }

@@ -4,16 +4,26 @@
  * sweep requests through the shared engine (src/driver/sweep.hh) and
  * streams per-cell results back as line-delimited JSON.
  *
- * Protocol (one JSON object per line, both directions):
+ * Protocol (one JSON object per line, both directions).  Every
+ * daemon reply to ping/status/metrics — and the "start" event of a
+ * sweep — carries `"proto": kProtoVersion`.  A reply without the
+ * field is protocol v1 (the original unversioned daemon).  Clients
+ * compare the observed version against kProtoVersion and fail loudly
+ * on any mismatch, naming both versions — a silent fallback would
+ * mis-parse fields that changed shape.  Compat rule (also in
+ * README.md): the version bumps on ANY change to reply shapes or
+ * event vocabulary, and daemon and client must be built from the
+ * same version; there is no cross-version negotiation.
  *
  *   request  {"op":"ping"}
- *   reply    {"ok":true}
+ *   reply    {"ok":true,"proto":N}
  *
  *   request  {"op":"shutdown"}
- *   reply    {"ok":true}            (then the daemon exits)
+ *   reply    {"ok":true,"proto":N}  (then the daemon exits)
  *
  *   request  {"op":"status"}
- *   reply    {"ok":true,"status":{"uptimeSec":...,"sweeping":B,
+ *   reply    {"ok":true,"proto":N,
+ *             "status":{"uptimeSec":...,"sweeping":B,
  *             "served":N,"runs":N,"done":N,"inflight":N,"hits":N,
  *             "misses":N,"etaSec":...,"workers":[{"worker":W,
  *             "cell":"tag"},...]}}
@@ -22,7 +32,7 @@
  *     worker is currently executing.
  *
  *   request  {"op":"metrics"}
- *   reply    {"ok":true,"metrics":"..."}
+ *   reply    {"ok":true,"proto":N,"metrics":"..."}
  *     The same telemetry as a Prometheus text exposition (ts_sweep_*
  *     families), JSON-escaped into one string for the line protocol;
  *     clients unescape and hand it to a scraper verbatim.
@@ -34,7 +44,7 @@
  *     equivalent flags mean exactly the same sweep.  When the grid
  *     includes "out", the daemon writes the aggregate JSON report to
  *     that path itself.
- *   replies  {"event":"start","runs":N}
+ *   replies  {"event":"start","proto":N,"runs":N}
  *            {"event":"cell","tag":"...","source":"cache"|"run",
  *             "ok":true,"cycles":N}     (one per point, completion
  *                                        order)
@@ -64,6 +74,15 @@ namespace ts
 {
 namespace service
 {
+
+/**
+ * Line-JSON protocol version spoken by this build's daemon and
+ * clients (see the compat rule in the file comment).  History:
+ *   1  the original unversioned protocol (no "proto" field)
+ *   2  "proto" added to ping/shutdown/status/metrics replies and the
+ *      sweep "start" event; clients reject mismatches
+ */
+inline constexpr int kProtoVersion = 2;
 
 /** Daemon-side configuration. */
 struct ServeConfig

@@ -19,11 +19,28 @@
  *    commit makes new values visible.
  * All three hooks are installed by Simulator::addChannel; a channel
  * used standalone (unit tests) behaves exactly as before.
+ *
+ * Partition boundaries
+ * --------------------
+ * Every channel has a producer and a consumer partition (declared at
+ * Simulator::addChannel / makeChannel; both default to the
+ * simulator's current partition).  A channel whose endpoints differ
+ * is a *boundary* channel and uses producer-side credit occupancy
+ * for back-pressure: canPush() reads a credit counter that pushes
+ * raise immediately but pops lower only at the next commit.  Freed
+ * capacity therefore becomes visible one cycle after the pop — the
+ * same next-cycle rule values already follow — which makes the
+ * producer's view independent of within-cycle tick order across
+ * partitions.  That is the lookahead property the sharded
+ * (conservative-PDES) core synchronizes on, and it is declared per
+ * *partition*, never per shard count, so simulated results are
+ * bit-identical for every --shards value including 1.
  */
 
 #ifndef TS_SIM_CHANNEL_HH
 #define TS_SIM_CHANNEL_HH
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -89,6 +106,67 @@ class ChannelBase
     /** Whether a push this cycle has not yet been committed. */
     bool dirty() const { return dirty_; }
 
+    /**
+     * Declare the producer/consumer partitions (called by
+     * Simulator::addChannel before any traffic).  A cross-partition
+     * channel switches to credit-based back-pressure; see the header
+     * comment.
+     */
+    void
+    setEndpoints(std::uint32_t producerPartition,
+                 std::uint32_t consumerPartition)
+    {
+        producerPartition_ = producerPartition;
+        consumerPartition_ = consumerPartition;
+        boundary_ = producerPartition != consumerPartition;
+    }
+
+    std::uint32_t producerPartition() const { return producerPartition_; }
+    std::uint32_t consumerPartition() const { return consumerPartition_; }
+
+    /** Whether the endpoints live in different partitions. */
+    bool boundary() const { return boundary_; }
+
+    /**
+     * Bind the sharded core's per-cycle work flags (consumer-shard
+     * inbox).  @p stagedFlag is raised by every push (any producer
+     * shard; atomic), @p popFlag by every pop (consumer shard only).
+     * Null detaches (single-shard execution).
+     */
+    void
+    setShardFlags(std::atomic<std::uint8_t>* stagedFlag,
+                  std::uint8_t* popFlag)
+    {
+        stagedFlag_ = stagedFlag;
+        popFlag_ = popFlag;
+        shardDetached_ = popFlag != nullptr;
+    }
+
+    /** Whether the sharded integrate phase has work here: staged
+     *  pushes to commit or pops whose credits are unapplied. */
+    bool integratePending() const { return dirty_ || pendingPops_ != 0; }
+
+    /**
+     * Re-bind the live-counter/dirty-list hooks (sharded core:
+     * intra-shard channels move onto their shard's structures,
+     * boundary channels detach — their liveness is scanned at the
+     * coordinator's serialized decision point instead).  Must be
+     * called between cycles (never while dirty).
+     */
+    void
+    rebindHooks(std::int64_t* liveCounter,
+                std::vector<ChannelBase*>* dirtyList)
+    {
+        if (live_) {
+            if (liveCounter_ != nullptr)
+                --*liveCounter_;
+            if (liveCounter != nullptr)
+                ++*liveCounter;
+        }
+        liveCounter_ = liveCounter;
+        dirtyList_ = dirtyList;
+    }
+
     /** Diagnostic name. */
     const std::string& name() const { return name_; }
 
@@ -119,13 +197,73 @@ class ChannelBase
         }
     }
 
+    /** Producer-side push accounting on a boundary channel. */
+    void
+    notePush()
+    {
+        if (!boundary_)
+            return;
+        ++credit_;
+        if (stagedFlag_ != nullptr)
+            stagedFlag_->store(1, std::memory_order_relaxed);
+    }
+
+    /**
+     * Consumer-side pop accounting on a boundary channel: the freed
+     * slot is credited back at the next commit.  Outside the sharded
+     * core the channel marks itself dirty so the commit phase visits
+     * it even on pop-only cycles; inside it the consumer shard's
+     * integrate phase walks its boundary list instead.
+     */
+    void
+    notePop()
+    {
+        if (!boundary_)
+            return;
+        ++pendingPops_;
+        if (popFlag_ != nullptr)
+            *popFlag_ = 1;
+        else
+            markDirty();
+    }
+
+    /** Commit-time credit application (boundary channels). */
+    void
+    applyCredits()
+    {
+        credit_ -= pendingPops_;
+        pendingPops_ = 0;
+    }
+
+    /** Producer-visible occupancy of a boundary channel. */
+    std::size_t credit() const { return credit_; }
+
+    /** Reset credit accounting from restored queue contents. */
+    void
+    resetCredits(std::size_t occupancy)
+    {
+        credit_ = occupancy;
+        pendingPops_ = 0;
+    }
+
     /** Commit served this channel; re-arm for the next cycle. */
     void clearDirty() { dirty_ = false; }
+
+    /**
+     * Whether the sharded core owns this boundary channel's commit
+     * (setShardFlags).  Producer and consumer shards then touch it
+     * concurrently within a cycle, so liveness tracking is frozen —
+     * quiescence scans the boundary list at a serialized point
+     * instead — and pop() must not read producer-side staging.
+     */
+    bool shardDetached() const { return shardDetached_; }
 
     /** Track the visible-or-staged liveness transition. */
     void
     setLive(bool v)
     {
+        if (shardDetached_)
+            return;
         if (v != live_) {
             live_ = v;
             if (liveCounter_ != nullptr)
@@ -138,6 +276,19 @@ class ChannelBase
     std::vector<Ticked*> observers_;
     std::int64_t* liveCounter_ = nullptr;
     std::vector<ChannelBase*>* dirtyList_ = nullptr;
+    /** Consumer-shard inbox flag raised on every push (sharded). */
+    std::atomic<std::uint8_t>* stagedFlag_ = nullptr;
+    /** Consumer-shard flag raised on every pop (sharded). */
+    std::uint8_t* popFlag_ = nullptr;
+    /** Commit ownership moved to the sharded integrate phase. */
+    bool shardDetached_ = false;
+    /** Producer-view occupancy (boundary channels only). */
+    std::size_t credit_ = 0;
+    /** Pops since the last commit (boundary channels only). */
+    std::size_t pendingPops_ = 0;
+    std::uint32_t producerPartition_ = 0;
+    std::uint32_t consumerPartition_ = 0;
+    bool boundary_ = false;
     bool live_ = false;
     bool dirty_ = false;
 };
@@ -160,12 +311,17 @@ class Channel : public ChannelBase
         : ChannelBase(std::move(name)), capacity_(capacity)
     {}
 
-    /** Whether a push would be accepted this cycle. */
+    /** Whether a push would be accepted this cycle.  On a boundary
+     *  channel the producer sees credit occupancy: capacity freed by
+     *  a pop becomes pushable one cycle later (see header). */
     bool
     canPush() const
     {
-        return capacity_ == 0 ||
-               queue_.size() + staging_.size() < capacity_;
+        if (capacity_ == 0)
+            return true;
+        if (boundary())
+            return credit() < capacity_;
+        return queue_.size() + staging_.size() < capacity_;
     }
 
     /** Stage a value for next-cycle visibility; false if full. */
@@ -176,6 +332,7 @@ class Channel : public ChannelBase
             return false;
         staging_.push_back(std::move(v));
         ++pushed_;
+        notePush();
         markDirty();
         setLive(true);
         return true;
@@ -202,7 +359,10 @@ class Channel : public ChannelBase
         TS_ASSERT(!queue_.empty(), "pop on empty channel ", name());
         T v = std::move(queue_.front());
         queue_.pop_front();
-        if (queue_.empty() && staging_.empty())
+        notePop();
+        // A shard-detached boundary channel must not read staging_
+        // here: the producer's shard may be appending concurrently.
+        if (!shardDetached() && queue_.empty() && staging_.empty())
             setLive(false);
         return v;
     }
@@ -213,6 +373,7 @@ class Channel : public ChannelBase
         for (auto& v : staging_)
             queue_.push_back(std::move(v));
         staging_.clear();
+        applyCredits();
         clearDirty();
         if (queue_.size() > maxOccupancy_)
             maxOccupancy_ = queue_.size();
@@ -256,6 +417,9 @@ class Channel : public ChannelBase
         staging_ = s.staging;
         pushed_ = s.pushed;
         maxOccupancy_ = s.maxOccupancy;
+        // Snapshots are taken between cycles, where credit occupancy
+        // equals the stored contents and no pop is pending.
+        resetCredits(queue_.size() + staging_.size());
         setLive(!queue_.empty() || !staging_.empty());
     }
 

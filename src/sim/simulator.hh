@@ -43,6 +43,37 @@
  * them; the skipped cycles are no-ops by the contract above.
  * setFastForward(false) restores the naive everything-every-cycle
  * loop for differential testing (--no-fast-forward).
+ *
+ * Partitions and shards (the conservative-PDES core)
+ * --------------------------------------------------
+ * Every component and channel endpoint carries a *partition* — a
+ * host-independent affinity domain declared at registration time
+ * (setPartition / the addChannel endpoint overloads).  Components of
+ * one partition may touch each other's state directly; all traffic
+ * between partitions must flow through channels or events, and a
+ * cross-partition channel uses credit back-pressure (see channel.hh)
+ * so within-cycle tick order never leaks across partitions.
+ *
+ * setShards(K) + finalize() split the partitions over K executors
+ * (executor = partition mod K), each running its own active-list walk
+ * for the cycle.  The cycle protocol:
+ *
+ *   1. (coordinator, serialized) due timed wakes, quiescence /
+ *      fast-forward decision over the min of all shard-local next
+ *      events, then every due strong event (per-shard queues, shard
+ *      order) and weak event — event callbacks may touch any state.
+ *   2. (parallel, barrier-bounded) each shard walks its active list
+ *      and commits its intra-shard dirty channels.
+ *   3. (parallel, only on cycles with boundary traffic) each shard
+ *      commits the cross-partition channels it consumes, applying
+ *      pop credits and waking observers.
+ *
+ * Because channels make results walk-order independent and boundary
+ * credits make back-pressure pop-order independent, the simulated
+ * results are bit-identical for every K, including K=1 — the same
+ * hard gate --no-fast-forward holds to.  Registering a
+ * cross-partition channel after finalize() is a fatal error; see
+ * DESIGN.md §8 for the full sharding contract.
  */
 
 #ifndef TS_SIM_SIMULATOR_HH
@@ -51,7 +82,6 @@
 #include <bit>
 #include <limits>
 #include <memory>
-#include <queue>
 #include <string>
 #include <vector>
 
@@ -108,7 +138,11 @@ class Ticked
      * Ensure this component ticks as soon as possible: during the
      * current cycle when the tick walk has not passed it yet,
      * otherwise on the next executed cycle.  Safe to call from
-     * anywhere at any time; spurious wakes are harmless.
+     * anywhere at any time; spurious wakes are harmless.  Under the
+     * sharded core a wake may only originate from the component's own
+     * shard (or a serialized coordinator phase) — which is implied by
+     * the partition contract: only same-partition code holds a
+     * reference to poke.
      */
     void requestWake();
 
@@ -127,6 +161,9 @@ class Ticked
     /** Diagnostic name. */
     const std::string& name() const { return name_; }
 
+    /** Partition (shard-affinity domain) assigned at registration. */
+    std::uint32_t partition() const { return partition_; }
+
   protected:
     /**
      * From inside tick(): skip subsequent ticks until cycle
@@ -143,6 +180,20 @@ class Ticked
     std::string name_;
     Simulator* sim_ = nullptr;
     std::uint32_t simIndex_ = 0;
+    /** Registration-time partition (Simulator::setPartition). */
+    std::uint32_t partition_ = 0;
+    /** Executor shard (partition_ % shards); set by finalize(). */
+    std::uint32_t shard_ = 0;
+    /** Index within the shard's component slice (finalize()). */
+    std::uint32_t shardIndex_ = 0;
+    /**
+     * The earliest timed-wake heap entry currently queued for this
+     * component, or kNoWakeTick.  sleepUntil() pushes a new entry
+     * only when it is strictly earlier, so a component that re-sleeps
+     * many times before its wake keeps one heap entry, not one per
+     * sleep (wake-target dedup).
+     */
+    Tick queuedWakeAt_ = std::numeric_limits<Tick>::max();
     /** Sleep requested by the current tick (applied after it). */
     bool sleepPending_ = false;
     /** Currently absent from the active list. */
@@ -157,27 +208,84 @@ class Ticked
 class Simulator
 {
   public:
-    /** Register a component (not owned); it starts active. */
+    Simulator();
+    ~Simulator();
+
+    /**
+     * Partition assigned to subsequently registered components and
+     * channel endpoints (default 0).  Partitions are part of the
+     * simulated system's structure: the same declaration must be made
+     * for every shard count, and results never depend on it beyond
+     * the boundary-channel credit rule (channel.hh).
+     */
+    void setPartition(std::uint32_t p) { currentPartition_ = p; }
+
+    /** The current registration partition. */
+    std::uint32_t partition() const { return currentPartition_; }
+
+    /**
+     * Number of executor shards for run()/step() (default 1).  Must
+     * be set before finalize().  Shards only change host execution:
+     * results are bit-identical for every value.
+     */
+    void setShards(std::uint32_t k);
+
+    /** Configured executor shard count. */
+    std::uint32_t shards() const { return shards_; }
+
+    /**
+     * Freeze the component/channel registration and build the
+     * per-shard executor state (component slices, active bitmaps,
+     * event queues, boundary-channel lists).  Idempotent; called
+     * implicitly by the first sharded run.  After finalize(),
+     * registering a cross-partition channel is fatal — the shard
+     * boundary lists would silently miss it.
+     */
+    void finalize();
+
+    /** Whether finalize() has run. */
+    bool finalized() const { return finalized_; }
+
+    /** Register a component (not owned); it starts active and
+     *  belongs to the current registration partition. */
     void add(Ticked* t);
 
-    /** Register an externally owned channel. */
+    /** Register an externally owned channel; both endpoints default
+     *  to the current registration partition. */
     void addChannel(ChannelBase* c);
+
+    /** Register a channel with explicit endpoint partitions. */
+    void addChannel(ChannelBase* c, std::uint32_t producerPartition,
+                    std::uint32_t consumerPartition);
 
     /** Create and own a channel, registering it automatically. */
     template <typename T>
     Channel<T>&
     makeChannel(const std::string& name, std::size_t capacity)
     {
+        return makeChannel<T>(name, capacity, currentPartition_,
+                              currentPartition_);
+    }
+
+    /** Create and own a channel with explicit endpoint partitions. */
+    template <typename T>
+    Channel<T>&
+    makeChannel(const std::string& name, std::size_t capacity,
+                std::uint32_t producerPartition,
+                std::uint32_t consumerPartition)
+    {
         auto ch = std::make_unique<Channel<T>>(name, capacity);
         Channel<T>& ref = *ch;
         owned_.push_back(std::move(ch));
-        addChannel(&ref);
+        addChannel(&ref, producerPartition, consumerPartition);
         return ref;
     }
 
     /**
      * Schedule a callback @p delay cycles from now (delay >= 1).
-     * A non-null @p owner is woken when the callback fires.
+     * A non-null @p owner is woken when the callback fires.  Under
+     * the sharded core callbacks always fire in a serialized
+     * coordinator phase, in deterministic per-shard order.
      */
     void schedule(Tick delay, EventQueue::Callback cb,
                   Ticked* owner = nullptr);
@@ -225,9 +333,19 @@ class Simulator
      * Enable/disable activity-driven execution (default on).  When
      * off, every component ticks and every channel commits every
      * cycle — the naive reference loop used by --no-fast-forward
-     * differential testing.  Results are bit-identical either way.
+     * differential testing.  Must be chosen before a sharded
+     * finalize(): the naive loop is single-threaded, so drivers force
+     * --shards 1 together with --no-fast-forward.
+     * Results are bit-identical either way.
      */
-    void setFastForward(bool on) { fastForward_ = on; }
+    void
+    setFastForward(bool on)
+    {
+        TS_ASSERT(on || !sharded_,
+                  "naive execution is single-threaded; select "
+                  "--no-fast-forward with --shards 1");
+        fastForward_ = on;
+    }
 
     /** Whether activity-driven execution is enabled. */
     bool fastForward() const { return fastForward_; }
@@ -239,7 +357,10 @@ class Simulator
      * called between cycles with an empty event queue (event
      * callbacks are move-only); both are true post-configuration and
      * at quiescence.  A run resumed from a restored snapshot is
-     * bit-identical to one that never snapshotted.
+     * bit-identical to one that never snapshotted.  Snapshots store
+     * the sleep/wake bookkeeping in shard-independent (global
+     * registration order) form, so they are portable across shard
+     * counts of the same object graph.
      */
     SimSnapshot snapshot() const;
 
@@ -260,7 +381,10 @@ class Simulator
      * Attach a flight recorder capturing sleep/wake/commit/event
      * records (null detaches).  Off the hot path when detached: the
      * hooks are single null-pointer branches, and the repeated-wake
-     * fast path is untouched either way.
+     * fast path is untouched either way.  Under the sharded core
+     * each shard records into its own ring (events, fired
+     * serialized, use the attached ring); deadlock diagnosis dumps
+     * them all.
      */
     void setFlightRecorder(obs::FlightRecorder* rec);
 
@@ -271,7 +395,10 @@ class Simulator
      * Attach a host profiler attributing wall-ns to events, per-class
      * ticks, commits, fast-forward, and quiescence checks (null
      * detaches).  Components are classified by name at attach time,
-     * so attach after registering every component.
+     * so attach after registering every component.  Under the sharded
+     * core each shard profiles into its own instance; reportStats
+     * merges them and additionally emits per-shard
+     * sim.host.shard<i>.* keys.
      */
     void setHostProfiler(obs::HostProfiler* prof);
 
@@ -296,6 +423,11 @@ class Simulator
         }
     };
 
+    /** Per-shard executor state (defined in simulator.cc). */
+    struct ShardState;
+    /** Per-run worker crew (threads + barrier; simulator.cc). */
+    struct ShardRuntime;
+
     void doCycleFast();
     void doCycleNaive();
 
@@ -318,6 +450,27 @@ class Simulator
 
     Tick runFast(Tick maxCycles);
     Tick runNaive(Tick maxCycles);
+
+    // -- sharded (conservative-PDES) execution; simulator.cc --
+    Tick runSharded(Tick maxCycles);
+    void stepSharded(Tick cycles);
+    void doCycleSharded();
+    void fireEventsSharded();
+    void shardPhaseTick(std::uint32_t s);
+    void shardPhaseIntegrate(std::uint32_t s);
+    void wakeDueSleepersSharded();
+    bool maybeQuiescentSharded();
+    std::uint64_t totalActiveSharded() const;
+    Tick nextEventTickSharded() const;
+    void startCrew();
+    void stopCrew() noexcept;
+    void runPhase(int cmd);
+    void workerLoop(std::uint32_t shard);
+    void mergeShardObservations();
+    void bindShardObs();
+    std::uint64_t totalTicksExecuted() const;
+    void wakeShardedSlow(Ticked* t);
+    void applySleepSharded(ShardState& sh, Ticked* t);
 
     /** Core of requestWake(); no-op in naive mode. */
     void wake(Ticked* t);
@@ -368,16 +521,32 @@ class Simulator
     /** Whether doCycleFast is inside the tick walk, and where. */
     bool walking_ = false;
     std::uint32_t walkPos_ = 0;
-    /** Pending sleepUntil wakes; stale entries wake spuriously. */
-    std::priority_queue<TimedWake, std::vector<TimedWake>,
-                        std::greater<TimedWake>>
-        sleepHeap_;
+    /** Pending sleepUntil wakes, as a min-heap over (at, idx) via
+     *  std::push_heap/pop_heap — kept iterable so snapshots can store
+     *  it canonically.  Stale entries wake spuriously. */
+    std::vector<TimedWake> sleepHeap_;
     /** Sleeping components that reported busy() when they slept. */
     std::vector<std::uint32_t> sleepersBusy_;
     /** Channels with visible or staged values (incremental). */
     std::int64_t liveChannels_ = 0;
     /** Channels pushed this cycle, in first-push order. */
     std::vector<ChannelBase*> dirtyCh_;
+
+    // -- partition / shard registration state --
+    std::uint32_t currentPartition_ = 0;
+    std::uint32_t shards_ = 1;
+    bool finalized_ = false;
+    /** shards_ > 1 and finalize() has built the shard state. */
+    bool sharded_ = false;
+    /** Per-shard executor slices (sharded_ only). */
+    std::vector<std::unique_ptr<ShardState>> shardState_;
+    /** Every cross-partition channel (coordinator liveness scan). */
+    std::vector<ChannelBase*> boundaryCh_;
+    /** Live worker crew during a sharded run()/step(), else null. */
+    std::unique_ptr<ShardRuntime> rt_;
+    /** Shard whose event queue the coordinator is draining (-1 when
+     *  not in the serialized event phase). */
+    std::int32_t firingShard_ = -1;
 
     // Host-side performance counters (sim.host.*).
     std::uint64_t wallNs_ = 0;
@@ -422,10 +591,9 @@ class SimSnapshot
     std::vector<std::unique_ptr<ComponentSnap>> channels;
     std::vector<std::uint64_t> active;
     std::uint32_t activeCount = 0;
-    std::priority_queue<Simulator::TimedWake,
-                        std::vector<Simulator::TimedWake>,
-                        std::greater<Simulator::TimedWake>>
-        sleepHeap;
+    /** Timed-wake entries in global registration-index form, sorted
+     *  by (at, idx) — shard-count portable. */
+    std::vector<Simulator::TimedWake> sleepHeap;
     std::vector<std::uint32_t> sleepersBusy;
     std::uint64_t wallNs = 0;
     std::uint64_t ticksExecuted = 0;
@@ -462,6 +630,10 @@ Simulator::wake(Ticked* t)
     t->sleepPending_ = false;
     if (!t->sleeping_)
         return;
+    if (sharded_) {
+        wakeShardedSlow(t);
+        return;
+    }
     // The recorder hook sits below the repeated-wake early-out, so
     // the hot path (waking an already-awake component) never pays it.
     if (recorder_ != nullptr)
