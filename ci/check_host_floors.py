@@ -1,7 +1,20 @@
 #!/usr/bin/env python3
-"""Gate simulator host throughput against the host-* perf floors.
+"""Gate simulator host throughput against the host-* perf floors,
+and NoC work stealing against the steal-* floors.
 
 Usage: check_host_floors.py <bench_host.json> <perf-floors.txt>
+       check_host_floors.py --steal <baseline.json> <steal.json> \\
+                            <perf-floors.txt>
+
+In --steal mode the two JSON files are per-run bench dumps written by
+delta-sweep --bench-json (same workload/seed/scale, configs `work`
+and `work-steal`).  The score is the simulated-cycle speedup
+baseline/steal — stealing on top of work-aware placement must beat
+work-aware placement alone — gated against the `steal-imbalance`
+floor.  Simulated cycles are deterministic, so unlike the host
+throughput floors this one carries no machine-noise slack.
+
+In the default mode:
 
 Reads google-benchmark JSON output from bench_host, computes the
 ff:1 / ff:0 speedup of every fast-forward benchmark and the
@@ -49,12 +62,76 @@ def load_floors(path):
             parts = line.split()
             if len(parts) != 2 or parts[0].startswith("#"):
                 continue
-            if parts[0].startswith("host-"):
+            if parts[0].startswith(("host-", "steal-")):
                 floors[parts[0]] = float(parts[1])
     return floors
 
 
+def check_steal(baseline_path, steal_path, floors_path):
+    """Gate the work-steal-vs-work speedup against steal-imbalance."""
+    with open(baseline_path) as f:
+        base = json.load(f)
+    with open(steal_path) as f:
+        steal = json.load(f)
+
+    for tag, run in (("baseline", base), ("steal", steal)):
+        if not run.get("correct", False):
+            annotate(
+                "STEAL RUN INCORRECT",
+                f"{tag} run reports correct=false",
+            )
+            sys.exit(1)
+
+    floor = load_floors(floors_path).get("steal-imbalance")
+    if floor is None:
+        print(
+            f"- `steal-imbalance`: no floor configured in "
+            f"{floors_path}, skipped",
+            file=sys.stderr,
+        )
+        sys.exit(0)
+
+    stats = steal.get("stats", {})
+    stolen = stats.get("delta.attrib.steal.tasksStolen", 0)
+    requests = stats.get("delta.attrib.steal.requests", 0)
+    grants = stats.get("delta.attrib.steal.grants", 0)
+    speedup = (
+        base["cycles"] / steal["cycles"] if steal["cycles"] > 0 else 0.0
+    )
+
+    print(
+        f"### Work stealing ({base.get('workload', '?')}, "
+        f"work-steal vs work)"
+    )
+    print()
+    print("| config | cycles | tasks stolen | probes granted |")
+    print("| --- | --- | --- | --- |")
+    print(f"| work | {base['cycles']:,.0f} | | |")
+    print(
+        f"| work-steal | {steal['cycles']:,.0f} | {stolen:.0f} "
+        f"| {grants:.0f}/{requests:.0f} |"
+    )
+    print()
+
+    checks = [
+        (speedup >= floor, f"speedup {speedup:.3f}x vs floor "
+                           f"{floor:.2f}x"),
+        (stolen > 0, f"{stolen:.0f} tasks stolen (must be > 0: an "
+                     f"inert steal machine scores no speedup)"),
+    ]
+    failed = False
+    for ok, desc in checks:
+        verdict = "ok" if ok else "**FLOOR VIOLATED**"
+        print(f"- `steal-imbalance`: {desc} — {verdict}")
+        if not ok:
+            failed = True
+            annotate("FLOOR VIOLATED", f"steal-imbalance: {desc}")
+    sys.exit(1 if failed else 0)
+
+
 def main():
+    if len(sys.argv) == 5 and sys.argv[1] == "--steal":
+        check_steal(sys.argv[2], sys.argv[3], sys.argv[4])
     if len(sys.argv) != 3:
         sys.exit(__doc__)
     with open(sys.argv[1]) as f:

@@ -87,16 +87,23 @@ Delta::Delta(const DeltaConfig& cfg)
     memNode_ = std::make_unique<MemNode>(sim_, *noc_, memNodeId,
                                          cfg_.mem);
 
+    std::vector<std::uint32_t> laneNodes;
+    for (std::uint32_t i = 0; i < cfg_.lanes; ++i)
+        laneNodes.push_back(laneNode(i));
+
+    LaneConfig lcfg = cfg_.lane;
+    lcfg.steal = cfg_.steal;
     for (std::uint32_t i = 0; i < cfg_.lanes; ++i) {
         sim_.setPartition(laneNode(i));
         lanes_.push_back(std::make_unique<Lane>(
             sim_, *noc_, img_, registry_, i, laneNode(i),
-            dispatcherNode, memNodeId, cfg_.lane));
+            dispatcherNode, memNodeId, lcfg, laneNodes));
     }
     sim_.setPartition(dispatcherNode);
 
     DispatcherConfig dcfg;
     dcfg.policy = cfg_.policy;
+    dcfg.steal = cfg_.steal;
     dcfg.enablePipeline = cfg_.enablePipeline;
     dcfg.enableMulticast = cfg_.enableMulticast;
     dcfg.bulkSynchronous = cfg_.bulkSynchronous;
@@ -280,6 +287,36 @@ Delta::run(const TaskGraph& graph)
               dispatcher_->shadowStaticMaxServiceCycles());
     stats.set("delta.attrib.loadbalance.imbalanceCyclesAvoided",
               dispatcher_->imbalanceCyclesAvoided());
+
+    // Dynamic-spawn volume and steal attribution: how much the NoC
+    // steal protocol moved, how far it traveled, and how many
+    // imbalance cycles it clawed back relative to the dispatch-time
+    // lane assignment.
+    stats.set("delta.tasksSpawned",
+              static_cast<double>(dispatcher_->tasksSpawned()));
+    if (cfg_.steal != StealPolicy::None) {
+        std::uint64_t reqs = 0, grants = 0, denies = 0;
+        for (const auto& lane : lanes_) {
+            reqs += lane->taskUnit().stealRequestsSent();
+            grants += lane->taskUnit().stealGrantsReceived();
+            denies += lane->taskUnit().stealDeniesReceived();
+        }
+        stats.set("delta.attrib.steal.tasksStolen",
+                  static_cast<double>(dispatcher_->tasksStolen()));
+        stats.set("delta.attrib.steal.hopsTraveled",
+                  static_cast<double>(
+                      dispatcher_->stealHopsTraveled()));
+        stats.set("delta.attrib.steal.requests",
+                  static_cast<double>(reqs));
+        stats.set("delta.attrib.steal.grants",
+                  static_cast<double>(grants));
+        stats.set("delta.attrib.steal.denies",
+                  static_cast<double>(denies));
+        stats.set("delta.attrib.steal.shadowMaxService",
+                  dispatcher_->stealShadowMaxServiceCycles());
+        stats.set("delta.attrib.steal.imbalanceCyclesRecovered",
+                  dispatcher_->stealImbalanceCyclesRecovered());
+    }
 
     stats.set("delta.attrib.pipeline.overlapCycles",
               dispatcher_->pipeOverlapCycles());

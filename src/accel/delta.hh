@@ -31,6 +31,8 @@ struct DeltaConfig
     std::uint32_t lanes = 8;
 
     SchedPolicy policy = SchedPolicy::WorkAware;
+    /** NoC work stealing between lane task units (DESIGN.md §9). */
+    StealPolicy steal = StealPolicy::None;
     bool enablePipeline = true;
     bool enableMulticast = true;
     /** Level-barrier execution (static-parallel designs only). */

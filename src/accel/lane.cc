@@ -1,5 +1,7 @@
 #include "accel/lane.hh"
 
+#include <algorithm>
+
 #include "mem/request.hh"
 #include "sim/logging.hh"
 #include "trace/trace.hh"
@@ -10,7 +12,8 @@ namespace ts
 Lane::Lane(Simulator& sim, Noc& noc, MemImage& img,
            const TaskTypeRegistry& registry, std::uint32_t laneIndex,
            std::uint32_t selfNode, std::uint32_t dispatcherNode,
-           std::uint32_t memNode, const LaneConfig& cfg)
+           std::uint32_t memNode, const LaneConfig& cfg,
+           const std::vector<std::uint32_t>& laneNodes)
     : Ticked("lane" + std::to_string(laneIndex)), noc_(noc),
       selfNode_(selfNode), memNode_(memNode), cfg_(cfg)
 {
@@ -45,6 +48,22 @@ Lane::Lane(Simulator& sim, Noc& noc, MemImage& img,
     ports.selfNode = selfNode;
     ports.dispatcherNode = dispatcherNode;
     ports.laneIndex = laneIndex;
+    ports.steal = cfg.steal;
+    if (cfg.steal != StealPolicy::None) {
+        // Locality-aware victim order: nearest peers first by NoC hop
+        // distance, lane index breaking ties (deterministic).
+        for (std::uint32_t j = 0;
+             j < static_cast<std::uint32_t>(laneNodes.size()); ++j) {
+            if (j != laneIndex)
+                ports.victims.emplace_back(j, laneNodes[j]);
+        }
+        std::stable_sort(
+            ports.victims.begin(), ports.victims.end(),
+            [&](const auto& a, const auto& b) {
+                return noc.hopDistance(selfNode, a.second) <
+                       noc.hopDistance(selfNode, b.second);
+            });
+    }
     taskUnit_ = std::make_unique<TaskUnit>(prefix + ".tu", registry,
                                            std::move(ports));
 
@@ -172,6 +191,18 @@ Lane::tick(Tick)
             pipes_.deliver(msg.pipeId, msg.toks);
             break;
           }
+          case PktKind::StealRequest:
+            taskUnit_->onStealRequest(
+                std::any_cast<StealRequestMsg>(pkt.payload));
+            break;
+          case PktKind::StealGrant:
+            taskUnit_->onStealGrant(
+                std::any_cast<StealGrantMsg>(std::move(pkt.payload)));
+            break;
+          case PktKind::StealDeny:
+            taskUnit_->onStealDeny(
+                std::any_cast<StealDenyMsg>(pkt.payload));
+            break;
           default:
             panic(name(), ": unexpected packet kind");
         }

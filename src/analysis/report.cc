@@ -211,7 +211,22 @@ printAttribution(std::ostream& os, const RunStats& s)
        << " bytes), word-hops saved "
        << fmt(s.getOr("delta.attrib.multicast.wordHopsSaved"))
        << " across " << fmt(s.getOr("delta.attrib.multicast.packets"))
-       << " multicast packets\n\n";
+       << " multicast packets\n";
+    if (s.has("delta.attrib.steal.tasksStolen")) {
+        os << "  steal        imbalance recovered "
+           << fmt(s.getOr(
+                  "delta.attrib.steal.imbalanceCyclesRecovered"))
+           << " cycles (no-steal shadow max service "
+           << fmt(s.getOr("delta.attrib.steal.shadowMaxService"))
+           << "): " << fmt(s.getOr("delta.attrib.steal.tasksStolen"))
+           << " tasks moved over "
+           << fmt(s.getOr("delta.attrib.steal.hopsTraveled"))
+           << " hops, "
+           << fmt(s.getOr("delta.attrib.steal.grants")) << "/"
+           << fmt(s.getOr("delta.attrib.steal.requests"))
+           << " probes granted\n";
+    }
+    os << "\n";
 }
 
 void

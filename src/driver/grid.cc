@@ -96,69 +96,161 @@ parseCapBytes(const std::string& s)
     return v * mult;
 }
 
+namespace
+{
+
+std::uint32_t
+parsePositive(const std::string& value, const char* key)
+{
+    char* end = nullptr;
+    const long v = std::strtol(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0' || v < 1)
+        fatal("grid key '", key, "' must be a positive integer, "
+              "got '", value, "'");
+    return static_cast<std::uint32_t>(v);
+}
+
+/** One entry of the grid-key vocabulary: the key, the values it
+ *  accepts (printed by `delta-sweep --list-grid-keys`), a one-line
+ *  meaning, and the setter. */
+struct GridKeyDef
+{
+    const char* key;
+    const char* values;
+    const char* help;
+    void (*apply)(const std::string& value, RunOptions& opt,
+                  GridSettings& grid);
+};
+
+const GridKeyDef kGridKeys[] = {
+    {"workloads", "comma list of workload names, or 'all'",
+     "workload axis (default: the whole suite)",
+     [](const std::string& v, RunOptions& o, GridSettings&) {
+         o.workloads = workloadsFromList(v);
+     }},
+    {"configs",
+     "comma list of: static, dyn, work, work-steal, pipe, delta",
+     "accelerator-config axis (default: static,delta)",
+     [](const std::string& v, RunOptions&, GridSettings& g) {
+         g.configs = v;
+         (void)sweepConfigsFromList(v); // validate now
+     }},
+    {"seeds", "comma list of non-negative integers",
+     "RNG-seed axis",
+     [](const std::string& v, RunOptions&, GridSettings& g) {
+         g.seeds = parseSeedList(v);
+     }},
+    {"scales", "comma list of positive numbers",
+     "problem-size axis",
+     [](const std::string& v, RunOptions&, GridSettings& g) {
+         g.scales = parseScaleList(v);
+     }},
+    {"lanes", "integer in 1..62", "accelerator lane count",
+     [](const std::string& v, RunOptions&, GridSettings& g) {
+         g.lanes = parseLanes(v);
+     }},
+    {"baseline", "a name from the configs list",
+     "config paired speedups are measured against",
+     [](const std::string& v, RunOptions&, GridSettings& g) {
+         g.baseline = v;
+     }},
+    {"steal", "none | steal-one | steal-half",
+     "NoC work stealing for configs whose preset leaves it off "
+     "(cache-key relevant)",
+     [](const std::string& v, RunOptions& o, GridSettings&) {
+         if (!stealPolicyFromName(v, o.steal))
+             fatal("grid key 'steal' must be none, steal-one, or "
+                   "steal-half, got '", v, "'");
+     }},
+    {"jobs", "positive integer", "host worker threads",
+     [](const std::string& v, RunOptions& o, GridSettings&) {
+         o.jobs = parsePositive(v, "jobs");
+     }},
+    {"out", "path", "aggregate JSON report destination",
+     [](const std::string& v, RunOptions&, GridSettings& g) {
+         g.out = v;
+     }},
+    {"bench-json", "directory path",
+     "per-run bench-JSON wrapper dumps",
+     [](const std::string& v, RunOptions& o, GridSettings&) {
+         o.benchJsonDir = v;
+     }},
+    {"trace", "path", "per-point Perfetto traces",
+     [](const std::string& v, RunOptions& o, GridSettings&) {
+         o.tracePath = v;
+     }},
+    {"no-fast-forward", "0 | 1",
+     "naive per-cycle ticking (bit-identical reference mode)",
+     [](const std::string& v, RunOptions& o, GridSettings&) {
+         o.noFastForward = v != "0";
+     }},
+    {"cache", "directory path", "content-addressed run cache root",
+     [](const std::string& v, RunOptions&, GridSettings& g) {
+         g.cacheDir = v;
+     }},
+    {"cache-cap", "BYTES[K|M|G]", "run-cache size budget",
+     [](const std::string& v, RunOptions&, GridSettings& g) {
+         g.cacheCapBytes = parseCapBytes(v);
+     }},
+    {"no-snapshot-fork", "0 | 1",
+     "fresh Delta per point instead of snapshot/fork warm starts",
+     [](const std::string& v, RunOptions&, GridSettings& g) {
+         g.noSnapshotFork = v != "0";
+     }},
+    {"timeline", "non-negative integer (cycles; 0 = off)",
+     "delta.timeline.* sampling interval",
+     [](const std::string& v, RunOptions& o, GridSettings&) {
+         char* end = nullptr;
+         const std::uint64_t n =
+             std::strtoull(v.c_str(), &end, 10);
+         if (end == v.c_str() || *end != '\0')
+             fatal("grid key 'timeline' must be a non-negative "
+                   "integer, got '", v, "'");
+         o.timelineInterval = n;
+     }},
+    {"timeline-series", "subset of lanes,ready,noc,dram",
+     "timeline probe groups (default: all)",
+     [](const std::string& v, RunOptions& o, GridSettings&) {
+         o.timelineSeries = v;
+     }},
+    {"host-profile", "0 | 1",
+     "host wall-time attribution (sim.host.profile.*)",
+     [](const std::string& v, RunOptions& o, GridSettings&) {
+         o.hostProfile = v != "0";
+     }},
+    {"shards", "positive integer",
+     "executor shards inside every run (bit-identical for every N)",
+     [](const std::string& v, RunOptions& o, GridSettings&) {
+         o.shards = parsePositive(v, "shards");
+     }},
+};
+
+} // namespace
+
 void
 applyGridKey(const std::string& key, const std::string& value,
              RunOptions& opt, GridSettings& grid)
 {
-    if (key == "workloads") {
-        opt.workloads = workloadsFromList(value);
-    } else if (key == "configs") {
-        grid.configs = value;
-        (void)sweepConfigsFromList(value); // validate now
-    } else if (key == "seeds") {
-        grid.seeds = parseSeedList(value);
-    } else if (key == "scales") {
-        grid.scales = parseScaleList(value);
-    } else if (key == "lanes") {
-        grid.lanes = parseLanes(value);
-    } else if (key == "baseline") {
-        grid.baseline = value;
-    } else if (key == "jobs") {
-        char* end = nullptr;
-        const long v = std::strtol(value.c_str(), &end, 10);
-        if (end == value.c_str() || *end != '\0' || v < 1)
-            fatal("grid key 'jobs' must be a positive integer, "
-                  "got '", value, "'");
-        opt.jobs = static_cast<unsigned>(v);
-    } else if (key == "out") {
-        grid.out = value;
-    } else if (key == "bench-json") {
-        opt.benchJsonDir = value;
-    } else if (key == "trace") {
-        opt.tracePath = value;
-    } else if (key == "no-fast-forward") {
-        opt.noFastForward = value != "0";
-    } else if (key == "cache") {
-        grid.cacheDir = value;
-    } else if (key == "cache-cap") {
-        grid.cacheCapBytes = parseCapBytes(value);
-    } else if (key == "no-snapshot-fork") {
-        grid.noSnapshotFork = value != "0";
-    } else if (key == "timeline") {
-        char* end = nullptr;
-        const std::uint64_t v =
-            std::strtoull(value.c_str(), &end, 10);
-        if (end == value.c_str() || *end != '\0')
-            fatal("grid key 'timeline' must be a non-negative "
-                  "integer, got '", value, "'");
-        opt.timelineInterval = v;
-    } else if (key == "timeline-series") {
-        opt.timelineSeries = value;
-    } else if (key == "host-profile") {
-        opt.hostProfile = value != "0";
-    } else if (key == "shards") {
-        char* end = nullptr;
-        const long v = std::strtol(value.c_str(), &end, 10);
-        if (end == value.c_str() || *end != '\0' || v < 1)
-            fatal("grid key 'shards' must be a positive integer, "
-                  "got '", value, "'");
-        opt.shards = static_cast<std::uint32_t>(v);
-    } else {
-        fatal("unknown grid key '", key,
-              "'; valid keys: workloads, configs, seeds, scales, "
-              "lanes, baseline, jobs, out, bench-json, trace, "
-              "no-fast-forward, cache, cache-cap, no-snapshot-fork, "
-              "timeline, timeline-series, host-profile, shards");
+    for (const GridKeyDef& def : kGridKeys) {
+        if (key == def.key) {
+            def.apply(value, opt, grid);
+            return;
+        }
+    }
+    std::string valid;
+    for (const GridKeyDef& def : kGridKeys)
+        valid += (valid.empty() ? "" : ", ") + std::string(def.key);
+    fatal("unknown grid key '", key, "'; valid keys: ", valid);
+}
+
+void
+printGridKeys(std::ostream& os)
+{
+    os << "grid keys (`key = value` in grid files, `key=value` with "
+          "--set):\n";
+    for (const GridKeyDef& def : kGridKeys) {
+        os << "  " << def.key << " = <" << def.values << ">\n"
+           << "      " << def.help << "\n";
     }
 }
 
@@ -217,6 +309,7 @@ buildSweepSpec(const RunOptions& opt, const GridSettings& grid)
     spec.timelineSeries = opt.timelineSeries;
     spec.hostProfile = opt.hostProfile;
     spec.shards = opt.shards;
+    spec.steal = opt.steal;
     spec.cacheDir = grid.cacheDir;
     spec.cacheCapBytes = grid.cacheCapBytes;
     spec.noSnapshotFork = grid.noSnapshotFork;

@@ -70,6 +70,14 @@ std::uint64_t parseCapBytes(const std::string& s);
 void applyGridKey(const std::string& key, const std::string& value,
                   RunOptions& opt, GridSettings& grid);
 
+/**
+ * Print the whole grid-key vocabulary — every key, the values it
+ * accepts, and what it does — generated from the same table
+ * applyGridKey dispatches on (so the listing can never go stale).
+ * Backs `delta-sweep --list-grid-keys`.
+ */
+void printGridKeys(std::ostream& os);
+
 /** Read a `key = value` grid file ('#' comments, blank lines ok). */
 void loadGridFile(const std::string& path, RunOptions& opt,
                   GridSettings& grid);

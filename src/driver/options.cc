@@ -90,6 +90,16 @@ parseCount(const std::string& s, const char* what)
     return v;
 }
 
+StealPolicy
+parseSteal(const std::string& s, const char* what)
+{
+    StealPolicy p = StealPolicy::None;
+    if (!stealPolicyFromName(s, p))
+        fatal(what, " must be none, steal-one, or steal-half, got '",
+              s, "'");
+    return p;
+}
+
 } // namespace
 
 SuiteParams
@@ -112,6 +122,8 @@ RunOptions::applyTo(DeltaConfig cfg) const
         cfg.noFastForward = true;
     if (cfg.shards == 1)
         cfg.shards = shards;
+    if (cfg.steal == StealPolicy::None)
+        cfg.steal = steal;
     if (cfg.timelineInterval == 0)
         cfg.timelineInterval = timelineInterval;
     if (cfg.timelineSeries.empty())
@@ -169,6 +181,8 @@ RunOptions::fromEnv()
             fatal("TS_SHARDS must be at least 1, got '", s, "'");
         opt.shards = static_cast<std::uint32_t>(v);
     }
+    if (const std::string s = env("TS_STEAL"); !s.empty())
+        opt.steal = parseSteal(s, "TS_STEAL");
     if (const std::string s = env("TS_PROGRESS"); !s.empty())
         opt.progress = parseProgress(s, "TS_PROGRESS");
     if (const std::string s = env("TS_TIMELINE"); !s.empty())
@@ -200,6 +214,10 @@ optionsHelp()
         "  --shards N         executor shards per run (host threads\n"
         "                     inside one simulation; bit-identical\n"
         "                     for every N) [TS_SHARDS]\n"
+        "  --steal P          lane work stealing over the NoC:\n"
+        "                     none|steal-one|steal-half (behaviour-\n"
+        "                     relevant: part of run-cache keys)\n"
+        "                     [TS_STEAL]\n"
         "  --progress[=]MODE  sweep progress lines: auto|always|never\n"
         "                     (auto = only when stderr is a TTY)\n"
         "                     [TS_PROGRESS]\n"
@@ -263,6 +281,8 @@ parseCommandLine(int& argc, char** argv, bool strict)
             if (v < 1)
                 fatal("--shards must be at least 1");
             opt.shards = static_cast<std::uint32_t>(v);
+        } else if (arg == "--steal") {
+            opt.steal = parseSteal(value("--steal"), "--steal");
         } else if (arg == "--progress") {
             opt.progress =
                 parseProgress(value("--progress"), "--progress");

@@ -20,6 +20,8 @@
  *   --log N                 TS_LOG           stderr verbosity 0|1|2
  *   --no-fast-forward       TS_NO_FAST_FORWARD
  *                                            naive per-cycle ticking
+ *   --steal P               TS_STEAL         lane work stealing
+ *                                            (none|steal-one|steal-half)
  *   -j N / --jobs N         (none)           host worker threads
  *
  * parseCommandLine() erases the flags it consumed from argv, so
@@ -69,6 +71,11 @@ struct RunOptions
      *  to 1 with tracing or --no-fast-forward.  --shards N /
      *  TS_SHARDS. */
     std::uint32_t shards = 1;
+
+    /** NoC work stealing between lane task units
+     *  (none|steal-one|steal-half).  Behaviour-relevant: participates
+     *  in canonicalConfig / cache keys.  --steal P / TS_STEAL. */
+    StealPolicy steal = StealPolicy::None;
 
     /** Host worker threads for sweep-style drivers (0 = pick
      *  hardware concurrency at use site). */

@@ -39,6 +39,7 @@ emitBenchJson(const RunOptions& opt, const std::string& tag,
     }
     os << "{\n  \"workload\": \"" << name << "\",\n"
        << "  \"policy\": \"" << schedPolicyName(cfg.policy) << "\",\n"
+       << "  \"steal\": \"" << stealPolicyName(cfg.steal) << "\",\n"
        << "  \"lanes\": " << cfg.lanes << ",\n"
        << "  \"correct\": " << (r.correct ? "true" : "false") << ",\n"
        << "  \"stats\": ";

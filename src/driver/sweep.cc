@@ -68,7 +68,7 @@ const std::vector<std::string>&
 sweepConfigNames()
 {
     static const std::vector<std::string> names = {
-        "static", "dyn", "work", "pipe", "delta"};
+        "static", "dyn", "work", "work-steal", "pipe", "delta"};
     return names;
 }
 
@@ -88,6 +88,11 @@ sweepConfig(const std::string& name, std::uint32_t lanes)
         v.cfg = DeltaConfig::delta(lanes);
         v.cfg.enablePipeline = false;
         v.cfg.enableMulticast = false;
+    } else if (name == "work-steal") {
+        v.cfg = DeltaConfig::delta(lanes);
+        v.cfg.enablePipeline = false;
+        v.cfg.enableMulticast = false;
+        v.cfg.steal = StealPolicy::StealHalf;
     } else if (name == "pipe") {
         v.cfg = DeltaConfig::delta(lanes);
         v.cfg.enableMulticast = false;
@@ -154,6 +159,7 @@ canonicalConfig(const DeltaConfig& cfg)
     std::ostringstream os;
     os << "lanes=" << cfg.lanes
        << " policy=" << schedPolicyName(cfg.policy)
+       << " steal=" << stealPolicyName(cfg.steal)
        << " pipeline=" << cfg.enablePipeline
        << " multicast=" << cfg.enableMulticast
        << " bulkSync=" << cfg.bulkSynchronous
@@ -218,6 +224,10 @@ resolvePointConfig(const SweepSpec& spec, const RunPoint& point)
     // so it is likewise excluded from canonicalConfig/cache keys.
     if (cfg.shards == 1)
         cfg.shards = spec.shards;
+    // Behaviour-relevant: canonicalConfig covers cfg.steal, so a
+    // spec-level override changes every point's cache key.
+    if (cfg.steal == StealPolicy::None)
+        cfg.steal = spec.steal;
     return cfg;
 }
 
@@ -227,7 +237,9 @@ std::string
 canonicalCell(const SweepSpec& spec, const RunPoint& point)
 {
     std::ostringstream os;
-    os << "v1 wk=" << wkName(point.workload)
+    // v2: dynamic-dependence engine + steal policies changed run
+    // behaviour and the canonical-config vocabulary.
+    os << "v2 wk=" << wkName(point.workload)
        << " config=" << point.config << " seed=" << point.seed
        << " scale=" << jsonNumber(point.scale) << " | "
        << canonicalConfig(resolvePointConfig(spec, point));

@@ -51,11 +51,12 @@ struct ConfigVariant
 };
 
 /** Names accepted by sweepConfig(): the ablation ladder.
- *    static  bulk-synchronous static-parallel baseline
- *    dyn     dependence-driven dispatch, count-balanced lanes
- *    work    + work-aware lane choice
- *    pipe    + pipelined inter-task dependence recovery
- *    delta   + shared-read multicast (full TaskStream)            */
+ *    static      bulk-synchronous static-parallel baseline
+ *    dyn         dependence-driven dispatch, count-balanced lanes
+ *    work        + work-aware lane choice
+ *    work-steal  work + NoC work stealing (steal-half)
+ *    pipe        + pipelined inter-task dependence recovery
+ *    delta       + shared-read multicast (full TaskStream)        */
 const std::vector<std::string>& sweepConfigNames();
 
 /** Build a named preset; fatal() on an unknown name, listing every
@@ -125,6 +126,12 @@ struct SweepSpec
      *  a cached single-shard result is a valid answer for a sharded
      *  request and vice versa. */
     std::uint32_t shards = 1;
+
+    /** Work-stealing override applied to every config whose preset
+     *  left stealing off.  Behaviour-relevant (unlike shards): the
+     *  resolved policy lands in canonicalConfig and so in every
+     *  point's cache key. */
+    StealPolicy steal = StealPolicy::None;
 
     /**
      * When non-empty, consult a content-addressed run cache rooted

@@ -28,8 +28,13 @@ enum class PktKind : std::uint8_t
     TaskDispatch, ///< dispatcher -> lane: run this task
     TaskStart,    ///< lane -> dispatcher: task began execution
     TaskComplete, ///< lane -> dispatcher: task finished
+    TaskSpawn,    ///< lane -> dispatcher: running task submits successors
     PipeChunk,    ///< producer lane -> consumer lane forwarded data
     SharedFill,   ///< multicast line fill into lane scratchpads
+    StealRequest, ///< idle lane -> peer lane: probe for queued work
+    StealGrant,   ///< victim lane -> thief lane: migrated tasks
+    StealDeny,    ///< victim lane -> thief lane: nothing stealable
+    StealNotify,  ///< victim lane -> dispatcher: ownership moved
     Generic,      ///< tests and miscellaneous control
 };
 
@@ -43,8 +48,13 @@ pktKindName(PktKind k)
       case PktKind::TaskDispatch: return "taskDispatch";
       case PktKind::TaskStart: return "taskStart";
       case PktKind::TaskComplete: return "taskComplete";
+      case PktKind::TaskSpawn: return "taskSpawn";
       case PktKind::PipeChunk: return "pipeChunk";
       case PktKind::SharedFill: return "sharedFill";
+      case PktKind::StealRequest: return "stealRequest";
+      case PktKind::StealGrant: return "stealGrant";
+      case PktKind::StealDeny: return "stealDeny";
+      case PktKind::StealNotify: return "stealNotify";
       case PktKind::Generic: return "generic";
     }
     return "?";

@@ -50,6 +50,7 @@ Dispatcher::Dispatcher(Noc& noc, const MemImage& img,
     laneDispatched_.assign(cfg_.laneNodes.size(), 0);
     actualService_.assign(cfg_.laneNodes.size(), 0.0);
     shadowService_.assign(cfg_.laneNodes.size(), 0.0);
+    stealShadowService_.assign(cfg_.laneNodes.size(), 0.0);
     noc_.eject(cfg_.selfNode).addObserver(this);
 }
 
@@ -61,9 +62,9 @@ Dispatcher::loadGraph(const TaskGraph& graph)
 
     states_.resize(graph.numTasks());
     for (std::size_t i = 0; i < graph.numTasks(); ++i) {
-        states_[i].inst = &graph.task(static_cast<TaskId>(i));
+        states_[i].inst = graph.task(static_cast<TaskId>(i));
         states_[i].workEst =
-            registry_.estimateWork(img_, *states_[i].inst);
+            registry_.estimateWork(img_, states_[i].inst);
     }
     edges_.reserve(graph.edges().size());
     for (const DepEdge& e : graph.edges()) {
@@ -77,9 +78,10 @@ Dispatcher::loadGraph(const TaskGraph& graph)
         groups_.push_back(GroupState{g, false, 0});
 
     // Dependence levels (longest path from the roots), used by the
-    // bulk-synchronous static-parallel mode.
+    // bulk-synchronous static-parallel mode.  Edges may point in
+    // either uid direction now, so walk a topological order.
     std::uint32_t maxLevel = 0;
-    for (std::size_t i = 0; i < states_.size(); ++i) {
+    for (const TaskId i : graph.topoOrder()) {
         std::uint32_t lvl = 0;
         for (std::size_t ei : states_[i].inEdges) {
             lvl = std::max(lvl,
@@ -121,6 +123,13 @@ Dispatcher::processInbox(Tick now)
           case PktKind::TaskComplete:
             onComplete(std::any_cast<CompleteMsg>(pkt.payload), now);
             break;
+          case PktKind::TaskSpawn:
+            onSpawn(std::any_cast<SpawnMsg>(pkt.payload), now);
+            break;
+          case PktKind::StealNotify:
+            onStealNotify(std::any_cast<StealNotifyMsg>(pkt.payload),
+                          now);
+            break;
           default:
             panic("dispatcher received unexpected packet kind");
         }
@@ -132,18 +141,26 @@ Dispatcher::onComplete(const CompleteMsg& msg, Tick now)
 {
     TaskState& ts = states_.at(msg.uid);
     TS_ASSERT(ts.dispatched && !ts.completed);
+    // A stolen task can complete on its thief lane before the
+    // victim's StealNotify reaches us (different NoC paths); apply
+    // the ownership move implicitly so queue bookkeeping balances.
+    if (ts.lane != static_cast<std::int32_t>(msg.lane))
+        applyStealMove(msg.uid, msg.lane);
     ts.completed = true;
     ts.endAt = now;
     ++completed_;
 
     // Attribution: charge this task's measured service time to its
-    // actual lane and to the lane the static owner-compute baseline
-    // would have used; the difference in per-lane maxima is the
-    // imbalance the dispatch policy avoided.
+    // actual lane, to the lane the static owner-compute baseline
+    // would have used, and to the dispatch-time lane (the pre-steal
+    // shadow); the differences in per-lane maxima are the imbalance
+    // the dispatch policy avoided and the steal protocol recovered.
     const auto service =
         static_cast<double>(now - (ts.started ? ts.startAt : now));
     actualService_[msg.lane] += service;
     shadowService_[msg.uid % cfg_.laneNodes.size()] += service;
+    TS_ASSERT(ts.origLane >= 0);
+    stealShadowService_[ts.origLane] += service;
 
     // Overlap recovered by pipelining: consumers of this producer's
     // activated pipes that already started executed concurrently
@@ -194,6 +211,230 @@ Dispatcher::onComplete(const CompleteMsg& msg, Tick now)
     }
 }
 
+void
+Dispatcher::onSpawn(const SpawnMsg& msg, Tick now)
+{
+    // Per-path NoC FIFO ordering guarantees the spawn precedes the
+    // spawner's own CompleteMsg.
+    // NOTE: states_ grows below; never hold a TaskState reference
+    // across the push_backs (vector reallocation).
+    TS_ASSERT(states_.at(msg.spawner).dispatched &&
+                  !states_[msg.spawner].completed,
+              "spawn from task ", msg.spawner,
+              " arrived outside its execution window");
+    const SpawnSet& set = msg.set;
+    const std::size_t base = states_.size();
+
+    const auto resolve = [&](std::int64_t ref) -> TaskId {
+        if (ref >= 0) {
+            TS_ASSERT(static_cast<std::size_t>(ref) < base,
+                      "spawn set references unknown task ", ref);
+            return static_cast<TaskId>(ref);
+        }
+        const std::size_t k = static_cast<std::size_t>(-ref) - 1;
+        TS_ASSERT(k < set.tasks.size(),
+                  "spawn set references unknown local task ", ref);
+        return static_cast<TaskId>(base + k);
+    };
+
+    // Capture the spawner's pending successors *before* new edges are
+    // wired: transfer covers the edges that predate this spawn.
+    std::vector<std::size_t> transferable;
+    if (set.transferTo != SpawnSet::kNoTransfer) {
+        for (std::size_t ei : states_[msg.spawner].outEdges) {
+            const EdgeState& es = edges_[ei];
+            if (es.activated || states_[es.e.consumer].dispatched)
+                continue;
+            transferable.push_back(ei);
+        }
+    }
+
+    for (const SpawnSet::Task& t : set.tasks) {
+        TaskState ns;
+        ns.inst.uid = static_cast<TaskId>(states_.size());
+        ns.inst.type = t.type;
+        ns.inst.inputs = t.inputs;
+        ns.inst.outputs = t.outputs;
+        ns.inst.inputGroup.assign(t.inputs.size(), kNoGroup);
+        ns.workEst = registry_.estimateWork(img_, ns.inst);
+        ns.readyAt = now;
+        states_.push_back(std::move(ns));
+    }
+    tasksSpawned_ += set.tasks.size();
+
+    for (const SpawnSet::Edge& e : set.edges) {
+        const TaskId p = resolve(e.producer);
+        const TaskId c = resolve(e.consumer);
+        TS_ASSERT(p != c, "spawned self-dependence on task ", p);
+        TaskState& cs = states_[c];
+        // The oneTBB dynamic-dependence contract: predecessors may
+        // only be added to tasks that have not started executing.
+        // Producers may be running or even complete.
+        TS_ASSERT(!cs.dispatched,
+                  "dynamic edge targets already-dispatched task ", c);
+        const std::size_t idx = edges_.size();
+        edges_.push_back(
+            EdgeState{DepEdge{p, c, e.kind, e.producerPort,
+                              e.consumerPort},
+                      false, false});
+        cs.inEdges.push_back(idx);
+        states_[p].outEdges.push_back(idx);
+        if (!states_[p].completed) {
+            ++cs.remDeps;
+        } else if (e.kind == DepKind::Pipeline) {
+            // Nothing left to forward; the consumer reads the memory
+            // fallback its descriptor names.
+            edges_[idx].resolved = true;
+            ++pipesDegraded_;
+        }
+    }
+
+    if (set.transferTo != SpawnSet::kNoTransfer) {
+        const TaskId heir = resolve(set.transferTo);
+        TS_ASSERT(heir != msg.spawner,
+                  "cannot transfer successors to the spawner itself");
+        TS_ASSERT(!states_[heir].completed);
+        for (const std::size_t ei : transferable) {
+            EdgeState& es = edges_[ei];
+            TS_ASSERT(es.e.consumer != heir,
+                      "successor transfer would make task ", heir,
+                      " depend on itself");
+            es.e.producer = heir;
+            // Forwarded stream identity does not survive a producer
+            // change; the consumer falls back to memory.
+            if (es.e.kind == DepKind::Pipeline) {
+                es.e.kind = DepKind::Barrier;
+                es.e.producerPort = 0;
+                es.e.consumerPort = 0;
+            }
+            states_[heir].outEdges.push_back(ei);
+        }
+        if (!transferable.empty()) {
+            auto& out = states_[msg.spawner].outEdges;
+            out.erase(std::remove_if(
+                          out.begin(), out.end(),
+                          [&](std::size_t ei) {
+                              return std::find(transferable.begin(),
+                                               transferable.end(),
+                                               ei) !=
+                                     transferable.end();
+                          }),
+                      out.end());
+        }
+    }
+
+    checkLiveAcyclic();
+
+    // Dependence levels of the new tasks (bulk-sync bookkeeping).
+    // Local producers may appear in any order, so iterate to a
+    // fixpoint (bounded by the set size; spawn sets are small).
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t k = 0; k < set.tasks.size(); ++k) {
+            TaskState& ns = states_[base + k];
+            std::uint32_t lvl = 0;
+            for (std::size_t ei : ns.inEdges) {
+                lvl = std::max(
+                    lvl, states_[edges_[ei].e.producer].level + 1);
+            }
+            if (lvl > ns.level) {
+                ns.level = lvl;
+                changed = true;
+            }
+        }
+    }
+    for (std::size_t k = 0; k < set.tasks.size(); ++k) {
+        TaskState& ns = states_[base + k];
+        if (ns.level >= levelRemaining_.size())
+            levelRemaining_.resize(ns.level + 1, 0);
+        ++levelRemaining_[ns.level];
+        if (ns.remDeps == 0)
+            readyQ_.push_back(static_cast<TaskId>(base + k));
+    }
+
+    if (trace::on()) {
+        auto* t = trace::active();
+        t->instant(t->track(name()), "taskSpawn",
+                   trace::args("spawner", msg.spawner, "tasks",
+                               set.tasks.size(), "edges",
+                               set.edges.size()));
+    }
+}
+
+void
+Dispatcher::applyStealMove(TaskId uid, std::uint32_t toLane)
+{
+    TaskState& ts = states_.at(uid);
+    TS_ASSERT(ts.dispatched && !ts.completed && ts.lane >= 0);
+    const auto from = static_cast<std::uint32_t>(ts.lane);
+    if (from == toLane)
+        return;
+    TS_ASSERT(laneQueued_[from] > 0);
+    --laneQueued_[from];
+    ++laneQueued_[toLane];
+    laneWork_[from] -= ts.workEst;
+    laneWork_[toLane] += ts.workEst;
+    ts.lane = static_cast<std::int32_t>(toLane);
+    ++tasksStolen_;
+    stealHops_ += noc_.hopDistance(cfg_.laneNodes[from],
+                                   cfg_.laneNodes[toLane]);
+    if (trace::on()) {
+        auto* t = trace::active();
+        t->instant(t->track(name()), "taskStolen",
+                   trace::args("uid", uid, "from", from, "to",
+                               toLane));
+    }
+}
+
+void
+Dispatcher::onStealNotify(const StealNotifyMsg& msg, Tick now)
+{
+    (void)now;
+    for (const TaskId uid : msg.uids) {
+        const TaskState& ts = states_.at(uid);
+        // The thief's CompleteMsg may have beaten this notify here
+        // (onComplete already applied the move), or the task may
+        // even be done; both are benign.
+        if (ts.completed ||
+            ts.lane == static_cast<std::int32_t>(msg.toLane)) {
+            continue;
+        }
+        applyStealMove(uid, msg.toLane);
+    }
+}
+
+void
+Dispatcher::checkLiveAcyclic() const
+{
+    // Kahn over the whole dependence state; completed tasks cannot
+    // sit on a cycle (their ancestors completed first), so one global
+    // count suffices and panics exactly when the live subgraph has a
+    // cycle.
+    std::vector<std::uint32_t> indeg(states_.size(), 0);
+    for (const EdgeState& es : edges_)
+        ++indeg[es.e.consumer];
+    std::deque<TaskId> frontier;
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+        if (indeg[i] == 0)
+            frontier.push_back(static_cast<TaskId>(i));
+    }
+    std::size_t seen = 0;
+    while (!frontier.empty()) {
+        const TaskId at = frontier.front();
+        frontier.pop_front();
+        ++seen;
+        for (const std::size_t ei : states_[at].outEdges) {
+            const TaskId next = edges_[ei].e.consumer;
+            if (--indeg[next] == 0)
+                frontier.push_back(next);
+        }
+    }
+    TS_ASSERT(seen == states_.size(),
+              "dynamic spawn closed a dependence cycle (",
+              states_.size() - seen, " tasks on cycles)");
+}
+
 std::optional<std::vector<TaskId>>
 Dispatcher::tryJoinClosure(TaskId c, std::vector<TaskId> set,
                            unsigned depth) const
@@ -217,7 +458,7 @@ Dispatcher::tryJoinClosure(TaskId c, std::vector<TaskId> set,
         // producer itself to join this batch (recursively) and to be
         // able to forward (builtin bodies cannot).
         if (es.e.kind == DepKind::Pipeline &&
-            !registry_.type(ps.inst->type).isBuiltin()) {
+            !registry_.type(ps.inst.type).isBuiltin()) {
             if (auto joined = tryJoinClosure(es.e.producer,
                                              std::move(set),
                                              depth + 1)) {
@@ -249,7 +490,7 @@ Dispatcher::soonJoinable(TaskId c, unsigned depth) const
         if (ps.completed || ps.dispatched)
             continue;
         if (es.e.kind == DepKind::Pipeline &&
-            !registry_.type(ps.inst->type).isBuiltin() &&
+            !registry_.type(ps.inst.type).isBuiltin() &&
             soonJoinable(es.e.producer, depth + 1)) {
             continue;
         }
@@ -344,6 +585,7 @@ Dispatcher::enqueueDispatch(TaskId id, DispatchMsg msg)
     TaskState& ts = states_[id];
     TS_ASSERT(ts.lane >= 0);
     ts.dispatched = true;
+    ts.origLane = ts.lane;
     ++laneQueued_[ts.lane];
     laneWork_[ts.lane] += ts.workEst;
     ++laneDispatched_[ts.lane];
@@ -432,6 +674,13 @@ Dispatcher::tryDispatchHead(Tick now)
     const TaskId root = readyQ_.front();
     TaskState& rs = states_[root];
     if (rs.dispatched || rs.completed) {
+        readyQ_.pop_front();
+        return true;
+    }
+    // A dynamic edge may have targeted this task after it became
+    // ready; drop the stale entry — it re-enters the queue when the
+    // new dependence resolves.
+    if (rs.remDeps > 0) {
         readyQ_.pop_front();
         return true;
     }
@@ -531,11 +780,15 @@ Dispatcher::tryDispatchHead(Tick now)
     for (TaskId id : placed) {
         DispatchMsg m;
         m.uid = id;
-        m.type = states_[id].inst->type;
-        m.inputs = states_[id].inst->inputs;
-        m.outputs = states_[id].inst->outputs;
+        m.type = states_[id].inst.type;
+        m.inputs = states_[id].inst.inputs;
+        m.outputs = states_[id].inst.outputs;
         m.workEst = states_[id].workEst;
         m.dispatchedAt = now;
+        // Solo dispatches are migratable between lanes: no pipeline
+        // co-dispatch batch whose intra-lane uid order must survive.
+        m.stealable = cfg_.steal != StealPolicy::None &&
+                      placed.size() == 1;
         msgs.emplace(id, std::move(m));
     }
 
@@ -558,7 +811,7 @@ Dispatcher::tryDispatchHead(Tick now)
             es.resolved = true;
             const TaskId c = es.e.consumer;
             bool canForward =
-                !registry_.type(states_[id].inst->type).isBuiltin();
+                !registry_.type(states_[id].inst.type).isBuiltin();
             if (canForward && inBatch(c)) {
                 const std::uint64_t key =
                     pipeIdOf(id, es.e.producerPort);
@@ -604,7 +857,7 @@ Dispatcher::tryDispatchHead(Tick now)
     // point the member's input at the scratchpad landing.
     if (cfg_.enableMulticast) {
         for (TaskId id : placed) {
-            const TaskInstance& inst = *states_[id].inst;
+            const TaskInstance& inst = states_[id].inst;
             DispatchMsg& mm = msgs.at(id);
             for (std::size_t port = 0; port < inst.inputs.size();
                  ++port) {
@@ -709,6 +962,22 @@ Dispatcher::imbalanceCyclesAvoided() const
                              actualMaxServiceCycles());
 }
 
+double
+Dispatcher::stealShadowMaxServiceCycles() const
+{
+    double m = 0;
+    for (const double v : stealShadowService_)
+        m = std::max(m, v);
+    return m;
+}
+
+double
+Dispatcher::stealImbalanceCyclesRecovered() const
+{
+    return std::max(0.0, stealShadowMaxServiceCycles() -
+                             actualMaxServiceCycles());
+}
+
 std::vector<TaskSpan>
 Dispatcher::taskSpans() const
 {
@@ -759,15 +1028,25 @@ Dispatcher::reportStats(StatSet& stats) const
               pipeOverlapCycles_);
     stats.set("dispatcher.attrib.mcastUnicastLinesEquiv",
               static_cast<double>(mcastUnicastLinesEquiv_));
+    stats.set("dispatcher.tasksSpawned",
+              static_cast<double>(tasksSpawned_));
+    stats.set("dispatcher.attrib.steal.tasksStolen",
+              static_cast<double>(tasksStolen_));
+    stats.set("dispatcher.attrib.steal.hopsTraveled",
+              static_cast<double>(stealHops_));
+    stats.set("dispatcher.attrib.steal.shadowMaxService",
+              stealShadowMaxServiceCycles());
+    stats.set("dispatcher.attrib.steal.imbalanceCyclesRecovered",
+              stealImbalanceCyclesRecovered());
     for (std::size_t l = 0; l < laneDispatched_.size(); ++l) {
         stats.set("dispatcher.lane" + std::to_string(l) + ".dispatched",
                   static_cast<double>(laneDispatched_[l]));
     }
 }
 
-/** TaskState::inst points into the caller-owned TaskGraph; snapshots
- *  are taken before loadGraph (states empty), so no graph outlives
- *  the restore through these pointers. */
+/** TaskState owns its TaskInstance by value (spawned tasks have no
+ *  host TaskGraph backing), so the snapshot deep-copies the full
+ *  dynamic dependence state. */
 struct Dispatcher::Snap final : ComponentSnap
 {
     std::vector<TaskState> states;
@@ -790,8 +1069,12 @@ struct Dispatcher::Snap final : ComponentSnap
     std::uint64_t fillLinesRequested = 0;
     std::vector<double> actualService;
     std::vector<double> shadowService;
+    std::vector<double> stealShadowService;
     double pipeOverlapCycles = 0;
     std::uint64_t mcastUnicastLinesEquiv = 0;
+    std::uint64_t tasksSpawned = 0;
+    std::uint64_t tasksStolen = 0;
+    std::uint64_t stealHops = 0;
 };
 
 std::unique_ptr<ComponentSnap>
@@ -818,8 +1101,12 @@ Dispatcher::saveState() const
     s->fillLinesRequested = fillLinesRequested_;
     s->actualService = actualService_;
     s->shadowService = shadowService_;
+    s->stealShadowService = stealShadowService_;
     s->pipeOverlapCycles = pipeOverlapCycles_;
     s->mcastUnicastLinesEquiv = mcastUnicastLinesEquiv_;
+    s->tasksSpawned = tasksSpawned_;
+    s->tasksStolen = tasksStolen_;
+    s->stealHops = stealHops_;
     return s;
 }
 
@@ -847,8 +1134,12 @@ Dispatcher::restoreState(const ComponentSnap& snap)
     fillLinesRequested_ = s.fillLinesRequested;
     actualService_ = s.actualService;
     shadowService_ = s.shadowService;
+    stealShadowService_ = s.stealShadowService;
     pipeOverlapCycles_ = s.pipeOverlapCycles;
     mcastUnicastLinesEquiv_ = s.mcastUnicastLinesEquiv;
+    tasksSpawned_ = s.tasksSpawned;
+    tasksStolen_ = s.tasksStolen;
+    stealHops_ = s.stealHops;
 }
 
 } // namespace ts

@@ -50,6 +50,7 @@ const char* schedPolicyName(SchedPolicy p);
 struct DispatcherConfig
 {
     SchedPolicy policy = SchedPolicy::WorkAware;
+    StealPolicy steal = StealPolicy::None;
     bool enablePipeline = true;
     bool enableMulticast = true;
     /** Bulk-synchronous execution: a barrier between dependence
@@ -85,7 +86,7 @@ class Dispatcher : public Ticked
     /** Load a whole task graph (host enqueue). */
     void loadGraph(const TaskGraph& graph);
 
-    /** All loaded tasks have completed. */
+    /** All loaded *and dynamically spawned* tasks have completed. */
     bool allComplete() const
     {
         return completed_ == states_.size();
@@ -146,6 +147,29 @@ class Dispatcher : public Ticked
      *  probe). */
     std::size_t readyQueueDepth() const { return readyQ_.size(); }
 
+    // -- Dynamic-spawn and steal attribution --
+
+    /** Tasks submitted by running tasks (SpawnMsg). */
+    std::uint64_t tasksSpawned() const { return tasksSpawned_; }
+
+    /** Tasks that migrated lanes via the steal protocol. */
+    std::uint64_t tasksStolen() const { return tasksStolen_; }
+
+    /** NoC hops the stolen tasks traveled victim -> thief. */
+    std::uint64_t stealHopsTraveled() const { return stealHops_; }
+
+    /** Max per-lane service cycles charged to the *dispatch-time*
+     *  lane assignment (what the run would have cost had nothing
+     *  been stolen), analogous to shadowStaticMaxServiceCycles. */
+    double stealShadowMaxServiceCycles() const;
+
+    /**
+     * Imbalance cycles the steal protocol recovered: the gap between
+     * the dispatch-time shadow max-service and the post-steal actual
+     * max-service (clamped at zero).
+     */
+    double stealImbalanceCyclesRecovered() const;
+
     std::unique_ptr<ComponentSnap> saveState() const override;
     void restoreState(const ComponentSnap& snap) override;
 
@@ -161,11 +185,14 @@ class Dispatcher : public Ticked
 
     struct TaskState
     {
-        const TaskInstance* inst = nullptr;
+        /** Owned by value: spawned tasks have no host TaskGraph
+         *  backing, so the dispatcher keeps its own copy. */
+        TaskInstance inst;
         std::uint32_t remDeps = 0;
         bool dispatched = false;
         bool completed = false;
         std::int32_t lane = -1;
+        std::int32_t origLane = -1; ///< dispatch-time lane (pre-steal)
         Tick readyAt = 0;
         bool started = false; ///< TaskStart seen
         Tick startAt = 0;     ///< cycle the lane began executing
@@ -185,6 +212,13 @@ class Dispatcher : public Ticked
 
     void processInbox(Tick now);
     void onComplete(const CompleteMsg& msg, Tick now);
+    void onSpawn(const SpawnMsg& msg, Tick now);
+    void onStealNotify(const StealNotifyMsg& msg, Tick now);
+    /** Transfer queue/work bookkeeping of a stolen, not-yet-complete
+     *  task from its current lane to @p toLane. */
+    void applyStealMove(TaskId uid, std::uint32_t toLane);
+    /** Panic if the not-yet-completed subgraph has a cycle. */
+    void checkLiveAcyclic() const;
     bool tryDispatchHead(Tick now);
     std::vector<TaskId> pipelineClosure(TaskId root) const;
     std::optional<std::vector<TaskId>>
@@ -229,8 +263,15 @@ class Dispatcher : public Ticked
      *  shadow static owner-compute assignment (attribution). */
     std::vector<double> actualService_;
     std::vector<double> shadowService_;
+    /** Service charged to the dispatch-time lane (pre-steal shadow):
+     *  what each lane would have served had nothing migrated. */
+    std::vector<double> stealShadowService_;
     double pipeOverlapCycles_ = 0;
     std::uint64_t mcastUnicastLinesEquiv_ = 0;
+
+    std::uint64_t tasksSpawned_ = 0;
+    std::uint64_t tasksStolen_ = 0;
+    std::uint64_t stealHops_ = 0;
 };
 
 } // namespace ts

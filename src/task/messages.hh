@@ -1,20 +1,57 @@
 /**
  * @file
  * NoC message payloads exchanged between the dispatcher, lane task
- * units, and the memory controller.
+ * units, and the memory controller — including the dynamic-spawn and
+ * work-stealing protocols (DESIGN.md §9).
  */
 
 #ifndef TS_TASK_MESSAGES_HH
 #define TS_TASK_MESSAGES_HH
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "cgra/token.hh"
+#include "task/task_graph.hh"
 #include "task/task_types.hh"
 
 namespace ts
 {
+
+/**
+ * Work-stealing policy of the lane task units.  Idle units probe
+ * peers over the NoC (nearest first, by hop distance); overloaded
+ * units answer with queued tasks the dispatcher marked migratable.
+ */
+enum class StealPolicy : std::uint8_t
+{
+    None,      ///< never steal (seed behaviour)
+    StealOne,  ///< take one task from the back of the victim's queue
+    StealHalf, ///< take half of the victim's stealable backlog
+};
+
+/** Policy name for stats, sweeps, and cache keys. */
+inline const char*
+stealPolicyName(StealPolicy p)
+{
+    switch (p) {
+      case StealPolicy::None: return "none";
+      case StealPolicy::StealOne: return "steal-one";
+      case StealPolicy::StealHalf: return "steal-half";
+    }
+    return "?";
+}
+
+/** Parse a steal-policy name; returns false on unknown input. */
+inline bool
+stealPolicyFromName(const std::string& s, StealPolicy& out)
+{
+    if (s == "none") { out = StealPolicy::None; return true; }
+    if (s == "steal-one") { out = StealPolicy::StealOne; return true; }
+    if (s == "steal-half") { out = StealPolicy::StealHalf; return true; }
+    return false;
+}
 
 /** Registration of a shared-read group at a member lane. */
 struct GroupSetupMsg
@@ -43,6 +80,11 @@ struct DispatchMsg
 
     /** Pipe buffers to release when the task completes. */
     std::vector<std::uint64_t> releasePipes;
+
+    /** Whether a peer lane may steal this task while it queues.  Set
+     *  by the dispatcher only for solo dispatches (no pipeline
+     *  co-dispatch batch to keep in lane order). */
+    bool stealable = false;
 };
 
 /** Lane -> dispatcher: task began execution. */
@@ -64,6 +106,47 @@ struct PipeChunkMsg
 {
     std::uint64_t pipeId = 0;
     std::vector<Token> toks;
+};
+
+/**
+ * Lane -> dispatcher: a running task submits successors.  Travels the
+ * same src->dst path as the spawner's CompleteMsg, and per-path FIFO
+ * ordering guarantees the dispatcher integrates the spawn before it
+ * sees the completion.
+ */
+struct SpawnMsg
+{
+    TaskId spawner = 0;
+    std::uint32_t lane = 0;
+    SpawnSet set;
+};
+
+/** Idle lane -> peer lane: probe for queued stealable work. */
+struct StealRequestMsg
+{
+    std::uint32_t thiefLane = 0;
+    std::uint32_t thiefNode = 0;
+};
+
+/** Victim lane -> thief lane: migrated tasks (back of the queue). */
+struct StealGrantMsg
+{
+    std::uint32_t victimLane = 0;
+    std::vector<DispatchMsg> tasks;
+};
+
+/** Victim lane -> thief lane: nothing stealable right now. */
+struct StealDenyMsg
+{
+    std::uint32_t victimLane = 0;
+};
+
+/** Victim lane -> dispatcher: ownership of these uids moved. */
+struct StealNotifyMsg
+{
+    std::uint32_t fromLane = 0;
+    std::uint32_t toLane = 0;
+    std::vector<TaskId> uids;
 };
 
 /** Tag bit marking a memory request as a shared-group fill. */

@@ -1,11 +1,13 @@
 #include "task/task_graph.hh"
 
+#include <deque>
+
 #include "sim/logging.hh"
 
 namespace ts
 {
 
-TaskId
+TaskHandle
 TaskGraph::addTask(TaskTypeId type, std::vector<StreamDesc> inputs,
                    std::vector<WriteDesc> outputs)
 {
@@ -16,31 +18,119 @@ TaskGraph::addTask(TaskTypeId type, std::vector<StreamDesc> inputs,
     inst.outputs = std::move(outputs);
     inst.inputGroup.assign(inst.inputs.size(), kNoGroup);
     tasks_.push_back(std::move(inst));
-    return tasks_.back().uid;
+    outEdges_.emplace_back();
+    return TaskHandle{tasks_.back().uid};
+}
+
+CompletionHandle
+TaskGraph::completion(TaskId task) const
+{
+    TS_ASSERT(task < tasks_.size());
+    return CompletionHandle{task};
+}
+
+bool
+TaskGraph::reaches(TaskId from, TaskId to) const
+{
+    if (from == to)
+        return true;
+    std::vector<bool> seen(tasks_.size(), false);
+    std::vector<TaskId> stack{from};
+    seen[from] = true;
+    while (!stack.empty()) {
+        const TaskId at = stack.back();
+        stack.pop_back();
+        for (const std::uint32_t ei : outEdges_[at]) {
+            const TaskId next = edges_[ei].consumer;
+            if (next == to)
+                return true;
+            if (!seen[next]) {
+                seen[next] = true;
+                stack.push_back(next);
+            }
+        }
+    }
+    return false;
+}
+
+void
+TaskGraph::checkAcyclicEdge(TaskId producer, TaskId consumer) const
+{
+    TS_ASSERT(producer != consumer, "self-dependence on task ",
+              producer, " rejected");
+    // While every edge so far follows creation order, ascending uid
+    // is a topological order and a forward edge cannot close a cycle.
+    if (creationOrdered_ && producer < consumer)
+        return;
+    TS_ASSERT(!reaches(consumer, producer),
+              "dependence ", producer, " -> ", consumer,
+              " would close a cycle");
 }
 
 void
 TaskGraph::addBarrier(TaskId producer, TaskId consumer)
 {
-    TS_ASSERT(producer < consumer,
-              "dependences must follow task creation order (",
-              producer, " -> ", consumer, ")");
+    TS_ASSERT(producer < tasks_.size());
     TS_ASSERT(consumer < tasks_.size());
+    checkAcyclicEdge(producer, consumer);
     edges_.push_back(DepEdge{producer, consumer, DepKind::Barrier, 0, 0});
+    outEdges_[producer].push_back(
+        static_cast<std::uint32_t>(edges_.size() - 1));
+    if (producer >= consumer)
+        creationOrdered_ = false;
+}
+
+void
+TaskGraph::addBarrier(const CompletionHandle& producer, TaskId consumer)
+{
+    addBarrier(producer.task(), consumer);
 }
 
 void
 TaskGraph::addPipeline(TaskId producer, std::uint8_t producerPort,
                        TaskId consumer, std::uint8_t consumerPort)
 {
-    TS_ASSERT(producer < consumer,
-              "dependences must follow task creation order (",
-              producer, " -> ", consumer, ")");
+    TS_ASSERT(producer < tasks_.size());
     TS_ASSERT(consumer < tasks_.size());
     TS_ASSERT(producerPort < tasks_[producer].outputs.size());
     TS_ASSERT(consumerPort < tasks_[consumer].inputs.size());
+    checkAcyclicEdge(producer, consumer);
     edges_.push_back(DepEdge{producer, consumer, DepKind::Pipeline,
                              producerPort, consumerPort});
+    outEdges_[producer].push_back(
+        static_cast<std::uint32_t>(edges_.size() - 1));
+    if (producer >= consumer)
+        creationOrdered_ = false;
+}
+
+void
+TaskGraph::transferSuccessors(TaskId from, TaskId to)
+{
+    TS_ASSERT(from < tasks_.size());
+    TS_ASSERT(to < tasks_.size());
+    TS_ASSERT(from != to, "cannot transfer successors to self");
+    for (const std::uint32_t ei : outEdges_[from]) {
+        DepEdge& e = edges_[ei];
+        TS_ASSERT(e.consumer != to,
+                  "successor transfer ", from, " -> ", to,
+                  " would make task ", to, " depend on itself");
+        checkAcyclicEdge(to, e.consumer);
+    }
+    for (const std::uint32_t ei : outEdges_[from]) {
+        DepEdge& e = edges_[ei];
+        e.producer = to;
+        // The forwarded stream identity does not survive a producer
+        // change; the consumer falls back to its memory descriptor.
+        if (e.kind == DepKind::Pipeline) {
+            e.kind = DepKind::Barrier;
+            e.producerPort = 0;
+            e.consumerPort = 0;
+        }
+        outEdges_[to].push_back(ei);
+        if (to >= e.consumer)
+            creationOrdered_ = false;
+    }
+    outEdges_[from].clear();
 }
 
 std::uint32_t
@@ -76,16 +166,51 @@ TaskGraph::setSharedInput(TaskId task, std::uint32_t port,
     groups_[group].members.push_back(task);
 }
 
+std::vector<TaskId>
+TaskGraph::topoOrder() const
+{
+    std::vector<std::uint32_t> indeg(tasks_.size(), 0);
+    for (const DepEdge& e : edges_)
+        ++indeg[e.consumer];
+
+    // Kahn with a FIFO frontier: uids enter in ascending order and
+    // successors are released in edge-creation order, so the result
+    // is a deterministic function of the graph alone.
+    std::deque<TaskId> frontier;
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+        if (indeg[i] == 0)
+            frontier.push_back(static_cast<TaskId>(i));
+    }
+
+    std::vector<TaskId> order;
+    order.reserve(tasks_.size());
+    while (!frontier.empty()) {
+        const TaskId at = frontier.front();
+        frontier.pop_front();
+        order.push_back(at);
+        for (const std::uint32_t ei : outEdges_[at]) {
+            const TaskId next = edges_[ei].consumer;
+            if (--indeg[next] == 0)
+                frontier.push_back(next);
+        }
+    }
+    TS_ASSERT(order.size() == tasks_.size(),
+              "task graph has a cycle (", tasks_.size() - order.size(),
+              " tasks unreachable from the acyclic frontier)");
+    return order;
+}
+
 void
 TaskGraph::validate() const
 {
     for (const DepEdge& e : edges_) {
         TS_ASSERT(e.producer < tasks_.size() &&
                   e.consumer < tasks_.size());
-        TS_ASSERT(e.producer < e.consumer);
+        TS_ASSERT(e.producer != e.consumer);
     }
     for (const SharedGroup& g : groups_)
         TS_ASSERT(!g.members.empty(), "shared group with no members");
+    topoOrder(); // panics on a cycle
 }
 
 CritPathResult
@@ -104,16 +229,15 @@ TaskGraph::criticalPath(const std::vector<TaskSpan>& spans) const
     for (const Tick s : service)
         r.serialCycles += s;
 
-    // Longest path ending at each task.  Edges satisfy
-    // producer < consumer, so ascending uid is a topological order;
-    // finalize each consumer only after every smaller uid.
+    // Longest path ending at each task, finalized in topological
+    // order (edges may point in either uid direction now).
     std::vector<std::vector<TaskId>> preds(tasks_.size());
     for (const DepEdge& e : edges_)
         preds[e.consumer].push_back(e.producer);
 
     std::vector<Tick> dist(tasks_.size(), 0);
     std::vector<std::int64_t> pred(tasks_.size(), -1);
-    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    for (const TaskId i : topoOrder()) {
         dist[i] = service[i];
         for (const TaskId p : preds[i]) {
             const Tick through = dist[p] + service[i];

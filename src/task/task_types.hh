@@ -33,6 +33,7 @@ using TaskTypeId = std::uint16_t;
 constexpr std::uint32_t kNoGroup = ~std::uint32_t(0);
 
 class TaskInstance;
+struct SpawnSet;
 
 /** A coarse-grained builtin kernel body (e.g. a tile factorization)
  *  used where a fine-grained dataflow body would add nothing. */
@@ -48,6 +49,14 @@ struct BuiltinBody
     /** Words of output traffic to model after compute. */
     std::function<std::uint64_t(const MemImage&, const TaskInstance&)>
         outputWords;
+
+    /**
+     * Dynamic-spawn hook (optional).  Invoked by the task unit right
+     * after `apply`; tasks and edges appended to the SpawnSet are
+     * shipped to the dispatcher in one TaskSpawn NoC message and join
+     * the live dependence graph (see task_graph.hh / DESIGN.md §9).
+     */
+    std::function<void(MemImage&, const TaskInstance&, SpawnSet&)> spawn;
 };
 
 /** A task type: the unit of fabric configuration. */

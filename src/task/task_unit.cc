@@ -1,5 +1,7 @@
 #include "task/task_unit.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 #include "sim/stats.hh"
 #include "trace/trace.hh"
@@ -21,6 +23,7 @@ void
 TaskUnit::deliver(DispatchMsg msg)
 {
     inbox_.push_back(std::move(msg));
+    rearmSteal();
     requestWake();
 }
 
@@ -28,13 +31,127 @@ void
 TaskUnit::queueMsg(PktKind kind, std::any payload,
                    std::uint32_t sizeWords)
 {
+    queueMsgTo(ports_.dispatcherNode, kind, std::move(payload),
+               sizeWords);
+}
+
+void
+TaskUnit::queueMsgTo(std::uint32_t dstNode, PktKind kind,
+                     std::any payload, std::uint32_t sizeWords)
+{
     Packet pkt;
     pkt.src = ports_.selfNode;
-    pkt.dstMask = Packet::unicast(ports_.dispatcherNode);
+    pkt.dstMask = Packet::unicast(dstNode);
     pkt.kind = kind;
     pkt.sizeWords = sizeWords;
     pkt.payload = std::move(payload);
     sendQ_.push_back(std::move(pkt));
+}
+
+void
+TaskUnit::rearmSteal()
+{
+    stealExhausted_ = false;
+    stealProbeIdx_ = 0;
+}
+
+void
+TaskUnit::maybeProbeSteal()
+{
+    if (ports_.steal == StealPolicy::None || ports_.victims.empty())
+        return;
+    if (stealWaiting_ || stealExhausted_ || !sendQ_.empty())
+        return;
+    const auto& [lane, node] = ports_.victims[stealProbeIdx_];
+    (void)lane;
+    ++stealReqSent_;
+    queueMsgTo(node, PktKind::StealRequest,
+               StealRequestMsg{ports_.laneIndex, ports_.selfNode}, 1);
+    stealWaiting_ = true;
+}
+
+void
+TaskUnit::onStealRequest(const StealRequestMsg& req)
+{
+    ++stealReqRecv_;
+    std::vector<DispatchMsg> loot;
+    if (ports_.steal != StealPolicy::None) {
+        std::size_t stealable = 0;
+        for (const DispatchMsg& m : inbox_)
+            stealable += m.stealable ? 1 : 0;
+        std::size_t want = 0;
+        if (stealable > 0) {
+            want = ports_.steal == StealPolicy::StealOne
+                       ? 1
+                       : (stealable + 1) / 2;
+        }
+        // Take from the back of the queue: the work that would have
+        // waited longest here, and the least likely to be adjacent to
+        // what this lane is already running.
+        for (std::size_t i = inbox_.size();
+             i-- > 0 && loot.size() < want;) {
+            if (!inbox_[i].stealable)
+                continue;
+            loot.push_back(std::move(inbox_[i]));
+            inbox_.erase(inbox_.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+        }
+        std::reverse(loot.begin(), loot.end()); // keep queue order
+    }
+    if (loot.empty()) {
+        queueMsgTo(req.thiefNode, PktKind::StealDeny,
+                   StealDenyMsg{ports_.laneIndex}, 1);
+    } else {
+        tasksGivenOut_ += loot.size();
+        std::uint32_t words = 1;
+        std::vector<TaskId> uids;
+        uids.reserve(loot.size());
+        for (const DispatchMsg& m : loot) {
+            words += 4 + 2 * static_cast<std::uint32_t>(
+                                 m.inputs.size() + m.outputs.size());
+            uids.push_back(m.uid);
+        }
+        // Inform the dispatcher first, then hand over the tasks; the
+        // two travel different paths, so the dispatcher also tolerates
+        // a thief's CompleteMsg overtaking the notify.
+        queueMsgTo(ports_.dispatcherNode, PktKind::StealNotify,
+                   StealNotifyMsg{ports_.laneIndex, req.thiefLane,
+                                  uids},
+                   1 + static_cast<std::uint32_t>(uids.size()));
+        queueMsgTo(req.thiefNode, PktKind::StealGrant,
+                   StealGrantMsg{ports_.laneIndex, std::move(loot)},
+                   words);
+    }
+    requestWake();
+}
+
+void
+TaskUnit::onStealGrant(StealGrantMsg msg)
+{
+    ++stealGrants_;
+    stealWaiting_ = false;
+    tasksStolenIn_ += msg.tasks.size();
+    for (DispatchMsg& m : msg.tasks)
+        inbox_.push_back(std::move(m));
+    rearmSteal();
+    requestWake();
+}
+
+void
+TaskUnit::onStealDeny(const StealDenyMsg& msg)
+{
+    (void)msg;
+    ++stealDenies_;
+    stealWaiting_ = false;
+    ++stealProbeIdx_;
+    if (stealProbeIdx_ >= ports_.victims.size()) {
+        // A full round of denies: stop probing until new activity
+        // (a deliver or grant) re-arms the round, so an idle tail
+        // does not spin the NoC forever.
+        stealProbeIdx_ = 0;
+        stealExhausted_ = true;
+    }
+    requestWake();
 }
 
 void
@@ -198,8 +315,10 @@ TaskUnit::step(Tick now)
 
     switch (phase_) {
       case Phase::Idle:
-        if (inbox_.empty())
+        if (inbox_.empty()) {
+            maybeProbeSteal();
             return;
+        }
         cur_ = std::move(inbox_.front());
         inbox_.pop_front();
         startedAt_ = now;
@@ -279,6 +398,28 @@ TaskUnit::step(Tick now)
         view.inputs = cur_.inputs;
         view.outputs = cur_.outputs;
         type.builtin->apply(*ports_.image, view);
+        if (type.builtin->spawn) {
+            // Dynamic spawn: the body submits successors from the
+            // lane.  The SpawnMsg shares the src->dst path with this
+            // task's later CompleteMsg, so per-path FIFO ordering
+            // guarantees the dispatcher integrates the spawn first.
+            SpawnSet set;
+            type.builtin->spawn(*ports_.image, view, set);
+            if (!set.empty()) {
+                std::uint32_t words = 2;
+                for (const SpawnSet::Task& st : set.tasks) {
+                    words += 2 + 2 * static_cast<std::uint32_t>(
+                                         st.inputs.size() +
+                                         st.outputs.size());
+                }
+                words += 2 * static_cast<std::uint32_t>(
+                                 set.edges.size());
+                queueMsg(PktKind::TaskSpawn,
+                         SpawnMsg{cur_.uid, ports_.laneIndex,
+                                  std::move(set)},
+                         words);
+            }
+        }
         computeUntil_ = now + type.builtin->cycles(*ports_.image, view);
         builtinLinesLeft_ = divCeil<std::uint64_t>(
             type.builtin->outputWords(*ports_.image, view), lineWords);
@@ -333,6 +474,7 @@ TaskUnit::step(Tick now)
                        static_cast<double>(inbox_.size()));
         }
         phase_ = Phase::Idle;
+        rearmSteal();
         return;
     }
 }
@@ -353,6 +495,20 @@ TaskUnit::reportStats(StatSet& stats) const
               static_cast<double>(waitFillCycles_));
     stats.set(name() + ".configWaitCycles",
               static_cast<double>(configWaitCycles_));
+    if (ports_.steal != StealPolicy::None) {
+        stats.set(name() + ".steal.requestsSent",
+                  static_cast<double>(stealReqSent_));
+        stats.set(name() + ".steal.requestsReceived",
+                  static_cast<double>(stealReqRecv_));
+        stats.set(name() + ".steal.grantsReceived",
+                  static_cast<double>(stealGrants_));
+        stats.set(name() + ".steal.deniesReceived",
+                  static_cast<double>(stealDenies_));
+        stats.set(name() + ".steal.tasksStolenIn",
+                  static_cast<double>(tasksStolenIn_));
+        stats.set(name() + ".steal.tasksGivenOut",
+                  static_cast<double>(tasksGivenOut_));
+    }
     buckets_.report(stats, name());
 }
 
@@ -370,6 +526,15 @@ struct TaskUnit::Snap final : ComponentSnap
     std::uint64_t busyCycles = 0;
     std::uint64_t waitFillCycles = 0;
     std::uint64_t configWaitCycles = 0;
+    std::uint32_t stealProbeIdx = 0;
+    bool stealWaiting = false;
+    bool stealExhausted = false;
+    std::uint64_t stealReqSent = 0;
+    std::uint64_t stealReqRecv = 0;
+    std::uint64_t stealGrants = 0;
+    std::uint64_t stealDenies = 0;
+    std::uint64_t tasksStolenIn = 0;
+    std::uint64_t tasksGivenOut = 0;
     CycleBuckets buckets;
     std::uint64_t lastFirings = 0;
     CycleClass lastClass = CycleClass::Idle;
@@ -396,6 +561,15 @@ TaskUnit::saveState() const
     s->busyCycles = busyCycles_;
     s->waitFillCycles = waitFillCycles_;
     s->configWaitCycles = configWaitCycles_;
+    s->stealProbeIdx = stealProbeIdx_;
+    s->stealWaiting = stealWaiting_;
+    s->stealExhausted = stealExhausted_;
+    s->stealReqSent = stealReqSent_;
+    s->stealReqRecv = stealReqRecv_;
+    s->stealGrants = stealGrants_;
+    s->stealDenies = stealDenies_;
+    s->tasksStolenIn = tasksStolenIn_;
+    s->tasksGivenOut = tasksGivenOut_;
     s->buckets = buckets_;
     s->lastFirings = lastFirings_;
     s->lastClass = lastClass_;
@@ -423,6 +597,15 @@ TaskUnit::restoreState(const ComponentSnap& snap)
     busyCycles_ = s.busyCycles;
     waitFillCycles_ = s.waitFillCycles;
     configWaitCycles_ = s.configWaitCycles;
+    stealProbeIdx_ = s.stealProbeIdx;
+    stealWaiting_ = s.stealWaiting;
+    stealExhausted_ = s.stealExhausted;
+    stealReqSent_ = s.stealReqSent;
+    stealReqRecv_ = s.stealReqRecv;
+    stealGrants_ = s.stealGrants;
+    stealDenies_ = s.stealDenies;
+    tasksStolenIn_ = s.tasksStolenIn;
+    tasksGivenOut_ = s.tasksGivenOut;
     buckets_ = s.buckets;
     lastFirings_ = s.lastFirings;
     lastClass_ = s.lastClass;

@@ -42,6 +42,13 @@ struct TaskUnitPorts
     std::uint32_t selfNode = 0;
     std::uint32_t dispatcherNode = 0;
     std::uint32_t laneIndex = 0;
+
+    /** Work-stealing policy (None: the probe machinery is inert). */
+    StealPolicy steal = StealPolicy::None;
+
+    /** Peer lanes as (laneIndex, node), nearest first by NoC hop
+     *  distance (ties by lane index) — the probe order. */
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> victims;
 };
 
 /** One lane's task queue and execution controller. */
@@ -54,6 +61,17 @@ class TaskUnit : public Ticked
     /** Enqueue a dispatched task (called by the lane NoC adapter). */
     void deliver(DispatchMsg msg);
 
+    // Steal protocol (called by the lane NoC adapter on arrival).
+
+    /** A peer probes this unit for queued stealable work. */
+    void onStealRequest(const StealRequestMsg& req);
+
+    /** A victim granted tasks to this (thief) unit. */
+    void onStealGrant(StealGrantMsg msg);
+
+    /** A probed victim had nothing stealable. */
+    void onStealDeny(const StealDenyMsg& msg);
+
     void tick(Tick now) override;
     void catchUp(Tick now) override;
     bool busy() const override;
@@ -61,6 +79,14 @@ class TaskUnit : public Ticked
 
     /** Tasks executed to completion. */
     std::uint64_t tasksRun() const { return tasksRun_; }
+
+    // Steal counters (thief and victim roles of this unit).
+    std::uint64_t stealRequestsSent() const { return stealReqSent_; }
+    std::uint64_t stealRequestsReceived() const { return stealReqRecv_; }
+    std::uint64_t stealGrantsReceived() const { return stealGrants_; }
+    std::uint64_t stealDeniesReceived() const { return stealDenies_; }
+    std::uint64_t tasksStolenIn() const { return tasksStolenIn_; }
+    std::uint64_t tasksGivenOut() const { return tasksGivenOut_; }
 
     /** Cycles this lane spent with a task in flight. */
     std::uint64_t busyCycles() const { return busyCycles_; }
@@ -97,6 +123,12 @@ class TaskUnit : public Ticked
     void sendPending();
     void queueMsg(PktKind kind, std::any payload,
                   std::uint32_t sizeWords);
+    void queueMsgTo(std::uint32_t dstNode, PktKind kind,
+                    std::any payload, std::uint32_t sizeWords);
+    /** Idle with an empty inbox: probe the next victim, if any. */
+    void maybeProbeSteal();
+    /** Re-arm the probe round (on deliver/grant/task finish). */
+    void rearmSteal();
     bool dfgExecutionDone() const;
     CycleClass classify(bool fabricProgressed) const;
     void accountCycle();
@@ -118,6 +150,20 @@ class TaskUnit : public Ticked
     std::uint64_t busyCycles_ = 0;
     std::uint64_t waitFillCycles_ = 0;
     std::uint64_t configWaitCycles_ = 0;
+
+    /** Steal probe state machine: which victim to ask next, whether a
+     *  reply is outstanding, and whether a whole round came back
+     *  empty (probing pauses until re-armed by new local activity). */
+    std::uint32_t stealProbeIdx_ = 0;
+    bool stealWaiting_ = false;
+    bool stealExhausted_ = false;
+
+    std::uint64_t stealReqSent_ = 0;
+    std::uint64_t stealReqRecv_ = 0;
+    std::uint64_t stealGrants_ = 0;
+    std::uint64_t stealDenies_ = 0;
+    std::uint64_t tasksStolenIn_ = 0;
+    std::uint64_t tasksGivenOut_ = 0;
 
     CycleBuckets buckets_;
     std::uint64_t lastFirings_ = 0;

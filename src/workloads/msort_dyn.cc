@@ -1,0 +1,145 @@
+#include "workloads/msort_dyn.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "task/task_graph.hh"
+
+namespace ts
+{
+
+void
+MsortDynWorkload::build(Delta& delta, TaskGraph& graph)
+{
+    MemImage& img = delta.image();
+    Rng rng(p_.seed);
+
+    TS_ASSERT((p_.n & (p_.n - 1)) == 0,
+              "msort-dyn n must be a power of 2");
+    TS_ASSERT(p_.n % p_.leafSize == 0);
+    TS_ASSERT(((p_.n / p_.leafSize) & (p_.n / p_.leafSize - 1)) == 0);
+
+    // Two ping-pong buffers.  Both start holding the same unsorted
+    // data: internal sort tasks are no-ops (their leaves do the
+    // reading), so a leaf at any recursion depth must find the
+    // original data in whichever buffer parity its depth lands on.
+    const Addr src = img.allocWords(p_.n);
+    const Addr dst = img.allocWords(p_.n);
+    for (std::uint64_t i = 0; i < p_.n; ++i) {
+        const std::int64_t v = rng.uniformInt(0, 1 << 30);
+        img.writeInt(src + i * wordBytes, v);
+        img.writeInt(dst + i * wordBytes, v);
+    }
+    finalAddr_ = dst;
+
+    expected_.resize(p_.n);
+    for (std::uint64_t i = 0; i < p_.n; ++i)
+        expected_[i] = img.readInt(src + i * wordBytes);
+    std::sort(expected_.begin(), expected_.end());
+
+    // --- merge task type (same fabric body as static msort) ----------
+    auto dfg = std::make_unique<Dfg>("merge2");
+    const auto aIn = dfg->addInput();
+    const auto bIn = dfg->addInput();
+    const auto m =
+        dfg->add(Op::Merge2, Operand::ref(aIn), Operand::ref(bIn));
+    dfg->addOutput(m);
+    mergeTy_ = delta.registry().addDfgType("merge2", std::move(dfg));
+
+    // --- recursive sorter: sortInto(src = inputs[0], dst = outputs[0])
+    const std::uint64_t leaf = p_.leafSize;
+    BuiltinBody sorter;
+    sorter.apply = [leaf](MemImage& mem, const TaskInstance& inst) {
+        const StreamDesc& in = inst.inputs.at(0);
+        const std::uint64_t n = in.count;
+        if (n > leaf)
+            return; // internal: children + merge do the work
+        std::vector<std::int64_t> v(n);
+        for (std::uint64_t i = 0; i < n; ++i)
+            v[i] = mem.readInt(in.dataBase + i * wordBytes);
+        std::sort(v.begin(), v.end());
+        for (std::uint64_t i = 0; i < n; ++i)
+            mem.writeInt(inst.outputs.at(0).base + i * wordBytes,
+                         v[i]);
+    };
+    sorter.cycles = [leaf](const MemImage&, const TaskInstance& inst) {
+        const std::uint64_t n = inst.inputs.at(0).count;
+        if (n > leaf)
+            return std::uint64_t(24); // split bookkeeping only
+        const double d = static_cast<double>(n);
+        return static_cast<std::uint64_t>(d * std::log2(d));
+    };
+    sorter.outputWords =
+        [leaf](const MemImage&, const TaskInstance& inst) {
+            const std::uint64_t n = inst.inputs.at(0).count;
+            return n > leaf ? 0 : n;
+        };
+    sorter.spawn = [this, leaf](MemImage&, const TaskInstance& inst,
+                                SpawnSet& set) {
+        const StreamDesc& in = inst.inputs.at(0);
+        const std::uint64_t n = in.count;
+        if (n <= leaf)
+            return;
+        const std::uint64_t h = n / 2;
+        const Addr s = in.dataBase;
+        const Addr d = inst.outputs.at(0).base;
+        const Addr sHi = s + h * wordBytes;
+        const Addr dHi = d + h * wordBytes;
+        // Children sort the *other* buffer's halves back into ours,
+        // then the merge combines them into our destination range.
+        WriteDesc outLo, outHi, outMerge;
+        outLo.base = s;
+        outHi.base = sHi;
+        outMerge.base = d;
+        const auto l = set.add(
+            sortTy_, {StreamDesc::linear(Space::Dram, d, h)}, {outLo});
+        const auto r = set.add(
+            sortTy_, {StreamDesc::linear(Space::Dram, dHi, h)},
+            {outHi});
+        const auto mg = set.add(
+            mergeTy_,
+            {StreamDesc::linear(Space::Dram, s, h),
+             StreamDesc::linear(Space::Dram, sHi, h)},
+            {outMerge});
+        set.barrier(l, mg);
+        set.barrier(r, mg);
+        // Whoever waited on this range being sorted now waits on the
+        // subtree's merge instead (successor transfer on early
+        // finish): the recursion's correctness linchpin.
+        set.transferTo = mg;
+    };
+    sortTy_ =
+        delta.registry().addBuiltinType("msd_sort", std::move(sorter));
+    delta.registry().setWorkFn(
+        sortTy_, [leaf](const MemImage&, const TaskInstance& inst) {
+            const std::uint64_t n = inst.inputs.at(0).count;
+            if (n > leaf)
+                return 16.0;
+            const double d = static_cast<double>(n);
+            return d * std::log2(d);
+        });
+
+    // The host submits exactly one task; the tree unfolds on-device.
+    WriteDesc rootOut;
+    rootOut.base = dst;
+    graph.addTask(sortTy_,
+                  {StreamDesc::linear(Space::Dram, src, p_.n)},
+                  {rootOut});
+}
+
+bool
+MsortDynWorkload::check(const MemImage& img) const
+{
+    for (std::uint64_t i = 0; i < p_.n; ++i) {
+        const std::int64_t got =
+            img.readInt(finalAddr_ + i * wordBytes);
+        if (got != expected_[i]) {
+            warn("msort-dyn mismatch at ", i, ": got ", got, " want ",
+                 expected_[i]);
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace ts

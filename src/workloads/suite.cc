@@ -6,6 +6,7 @@
 #include "workloads/join.hh"
 #include "workloads/lu.hh"
 #include "workloads/msort.hh"
+#include "workloads/msort_dyn.hh"
 #include "workloads/spmv.hh"
 #include "workloads/tricount.hh"
 
@@ -16,8 +17,8 @@ const std::vector<Wk>&
 allWorkloads()
 {
     static const std::vector<Wk> all = {
-        Wk::Spmv, Wk::Join,     Wk::Msort,    Wk::Cholesky,
-        Wk::Lu,   Wk::Tricount, Wk::Centroid,
+        Wk::Spmv,     Wk::Join, Wk::Msort,    Wk::MsortDyn,
+        Wk::Cholesky, Wk::Lu,   Wk::Tricount, Wk::Centroid,
     };
     return all;
 }
@@ -29,12 +30,24 @@ wkName(Wk w)
       case Wk::Spmv: return "spmv";
       case Wk::Join: return "join";
       case Wk::Msort: return "msort";
+      case Wk::MsortDyn: return "msort-dyn";
       case Wk::Cholesky: return "cholesky";
       case Wk::Lu: return "lu";
       case Wk::Tricount: return "tricount";
       case Wk::Centroid: return "centroid";
     }
     return "?";
+}
+
+std::string
+wkIdent(Wk w)
+{
+    std::string s = wkName(w);
+    for (char& c : s) {
+        if (c == '-')
+            c = '_';
+    }
+    return s;
 }
 
 namespace
@@ -130,6 +143,12 @@ makeWorkload(Wk w, const SuiteParams& sp)
         p.seed = sp.seed;
         p.n = pow2Ceil(8192 * s);
         return std::make_unique<MsortWorkload>(p);
+      }
+      case Wk::MsortDyn: {
+        MsortDynParams p;
+        p.seed = sp.seed;
+        p.n = pow2Ceil(8192 * s);
+        return std::make_unique<MsortDynWorkload>(p);
       }
       case Wk::Cholesky: {
         CholeskyParams p;

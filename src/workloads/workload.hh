@@ -49,6 +49,7 @@ enum class Wk
     Spmv,
     Join,
     Msort,
+    MsortDyn,
     Cholesky,
     Lu,
     Tricount,
@@ -60,6 +61,10 @@ const std::vector<Wk>& allWorkloads();
 
 /** Canonical short name. */
 const char* wkName(Wk w);
+
+/** Canonical name with '-' replaced by '_': identifier-safe (gtest
+ *  parameterized-test names, symbol-like contexts). */
+std::string wkIdent(Wk w);
 
 /** Parse a canonical short name; fatal() on an unknown name with a
  *  message listing every valid workload name. */

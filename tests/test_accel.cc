@@ -179,7 +179,7 @@ TEST(Workloads, FactoryCoversTheWholeSuite)
         ASSERT_NE(wl, nullptr);
         EXPECT_EQ(wl->name(), wkName(w));
     }
-    EXPECT_EQ(allWorkloads().size(), 7u);
+    EXPECT_EQ(allWorkloads().size(), 8u);
 }
 
 /** Random-hardware-configuration property sweep: functional results

@@ -456,3 +456,116 @@ TEST(SweepTest, ParallelForCoversEveryIndexOnce)
     for (std::size_t i = 0; i < hits.size(); ++i)
         EXPECT_EQ(hits[i].load(), 1) << "index " << i;
 }
+
+// ---------------------------------------------------------------------
+// Canonical-config completeness: the run cache is only sound if every
+// behaviour-relevant DeltaConfig field lands in canonicalConfig().
+// Perturb each field one at a time and insist the canonical string
+// moves; anyone adding a field without extending canonicalConfig()
+// (and this list) trips the check the moment the field matters.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+template <typename Fn>
+::testing::AssertionResult
+canonicalChangesWhen(const char* field, Fn mutate)
+{
+    const std::string base = canonicalConfig(DeltaConfig{});
+    DeltaConfig cfg;
+    mutate(cfg);
+    if (canonicalConfig(cfg) != base)
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << "perturbing DeltaConfig::" << field
+           << " left canonicalConfig() unchanged — stale cache hits "
+              "would alias distinct runs";
+}
+
+} // namespace
+
+#define TS_EXPECT_CANONICAL(field, expr)                                \
+    EXPECT_TRUE(canonicalChangesWhen(                                   \
+        #field, [](DeltaConfig& c) { expr; }))
+
+TEST(CanonicalConfigTest, EveryBehaviourFieldParticipates)
+{
+    TS_EXPECT_CANONICAL(lanes, c.lanes = 3);
+    TS_EXPECT_CANONICAL(policy, c.policy = SchedPolicy::Static);
+    TS_EXPECT_CANONICAL(steal, c.steal = StealPolicy::StealHalf);
+    TS_EXPECT_CANONICAL(enablePipeline, c.enablePipeline = false);
+    TS_EXPECT_CANONICAL(enableMulticast, c.enableMulticast = false);
+    TS_EXPECT_CANONICAL(bulkSynchronous, c.bulkSynchronous = true);
+    TS_EXPECT_CANONICAL(laneQueueCap, c.laneQueueCap = 9);
+    TS_EXPECT_CANONICAL(lane.numReadEngines,
+                        c.lane.numReadEngines = 7);
+    TS_EXPECT_CANONICAL(lane.numWriteEngines,
+                        c.lane.numWriteEngines = 7);
+    TS_EXPECT_CANONICAL(lane.maxOutstandingLines,
+                        c.lane.maxOutstandingLines = 99);
+    TS_EXPECT_CANONICAL(lane.fabric.geom.rows,
+                        c.lane.fabric.geom.rows = 9);
+    TS_EXPECT_CANONICAL(lane.fabric.geom.cols,
+                        c.lane.fabric.geom.cols = 9);
+    TS_EXPECT_CANONICAL(lane.fabric.geom.linkMultiplicity,
+                        c.lane.fabric.geom.linkMultiplicity = 9);
+    TS_EXPECT_CANONICAL(lane.fabric.portFifoDepth,
+                        c.lane.fabric.portFifoDepth = 99);
+    TS_EXPECT_CANONICAL(lane.fabric.operandFifoDepth,
+                        c.lane.fabric.operandFifoDepth = 99);
+    TS_EXPECT_CANONICAL(lane.fabric.configBaseCycles,
+                        c.lane.fabric.configBaseCycles = 999);
+    TS_EXPECT_CANONICAL(lane.fabric.configPerNodeCycles,
+                        c.lane.fabric.configPerNodeCycles = 999);
+    TS_EXPECT_CANONICAL(lane.spm.sizeWords,
+                        c.lane.spm.sizeWords = 12345);
+    TS_EXPECT_CANONICAL(lane.spm.portsPerCycle,
+                        c.lane.spm.portsPerCycle = 9);
+    TS_EXPECT_CANONICAL(lane.read.deliverWidth,
+                        c.lane.read.deliverWidth = 9);
+    TS_EXPECT_CANONICAL(lane.read.genPerCycle,
+                        c.lane.read.genPerCycle = 9);
+    TS_EXPECT_CANONICAL(lane.read.fetcher.maxOutstanding,
+                        c.lane.read.fetcher.maxOutstanding = 99);
+    TS_EXPECT_CANONICAL(lane.read.fetcher.maxWindow,
+                        c.lane.read.fetcher.maxWindow = 99);
+    TS_EXPECT_CANONICAL(lane.read.fetcher.issuesPerCycle,
+                        c.lane.read.fetcher.issuesPerCycle = 9);
+    TS_EXPECT_CANONICAL(lane.write.width, c.lane.write.width = 9);
+    TS_EXPECT_CANONICAL(lane.write.writeQueueDepth,
+                        c.lane.write.writeQueueDepth = 99);
+    TS_EXPECT_CANONICAL(mem.numBanks, c.mem.numBanks = 3);
+    TS_EXPECT_CANONICAL(mem.serviceLatency, c.mem.serviceLatency = 99);
+    TS_EXPECT_CANONICAL(mem.bankOccupancy, c.mem.bankOccupancy = 99);
+    TS_EXPECT_CANONICAL(mem.issueWidth, c.mem.issueWidth = 9);
+    TS_EXPECT_CANONICAL(mem.queueCapacity, c.mem.queueCapacity = 99);
+    TS_EXPECT_CANONICAL(nocLinks.channelCapacity,
+                        c.nocLinks.channelCapacity = 99);
+    TS_EXPECT_CANONICAL(nocLinks.linkWords, c.nocLinks.linkWords = 9);
+    TS_EXPECT_CANONICAL(maxCycles, c.maxCycles = 1234);
+    TS_EXPECT_CANONICAL(noFastForward, c.noFastForward = true);
+    TS_EXPECT_CANONICAL(timelineInterval, c.timelineInterval = 100);
+    TS_EXPECT_CANONICAL(timelineMaxSamples,
+                        c.timelineMaxSamples = 9);
+    TS_EXPECT_CANONICAL(timelineSeries, c.timelineSeries = "lanes");
+}
+
+TEST(CanonicalConfigTest, ResultsNeutralFieldsAreExcluded)
+{
+    const std::string base = canonicalConfig(DeltaConfig{});
+
+    // Bit-identity across these is CI-gated, which is exactly what
+    // lets a cached result answer for any value of them.
+    DeltaConfig shards;
+    shards.shards = 4;
+    EXPECT_EQ(canonicalConfig(shards), base);
+
+    DeltaConfig prof;
+    prof.hostProfile = true;
+    EXPECT_EQ(canonicalConfig(prof), base);
+
+    DeltaConfig rec;
+    rec.flightRecorder = 1024;
+    EXPECT_EQ(canonicalConfig(rec), base);
+}

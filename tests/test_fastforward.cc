@@ -91,7 +91,7 @@ TEST_P(FastForwardDifferential, BitIdenticalToNaiveTicking)
 std::string
 diffName(const ::testing::TestParamInfo<std::tuple<Wk, bool>>& info)
 {
-    return std::string(wkName(std::get<0>(info.param))) +
+    return wkIdent(std::get<0>(info.param)) +
            (std::get<1>(info.param) ? "_static" : "_delta");
 }
 

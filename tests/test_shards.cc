@@ -117,7 +117,7 @@ TEST_P(ShardDifferential, BitIdenticalAtEveryShardCount)
 std::string
 diffName(const ::testing::TestParamInfo<std::tuple<Wk, bool>>& info)
 {
-    return std::string(wkName(std::get<0>(info.param))) +
+    return wkIdent(std::get<0>(info.param)) +
            (std::get<1>(info.param) ? "_static" : "_delta");
 }
 
@@ -216,7 +216,7 @@ TEST_P(SnapshotShardDifferential, ForkedShardedRunsBitIdentical)
 INSTANTIATE_TEST_SUITE_P(AllWorkloads, SnapshotShardDifferential,
                          ::testing::ValuesIn(allWorkloads()),
                          [](const ::testing::TestParamInfo<Wk>& info) {
-                             return std::string(wkName(info.param));
+                             return wkIdent(info.param);
                          });
 
 // ---------------------------------------------------------------------

@@ -105,7 +105,7 @@ namespace
 std::string
 snapName(const ::testing::TestParamInfo<std::tuple<Wk, bool>>& info)
 {
-    return std::string(wkName(std::get<0>(info.param))) +
+    return wkIdent(std::get<0>(info.param)) +
            (std::get<1>(info.param) ? "_static" : "_delta");
 }
 

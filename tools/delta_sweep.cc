@@ -59,7 +59,7 @@ usage(int code)
         "grid options:\n"
         "  --configs LIST    comma-separated presets (default\n"
         "                    'static,delta'; valid: static, dyn,\n"
-        "                    work, pipe, delta)\n"
+        "                    work, work-steal, pipe, delta)\n"
         "  --seeds LIST      comma-separated seeds (default: --seed)\n"
         "  --scales LIST     comma-separated scales (default: --scale)\n"
         "  --lanes N         lanes for every config (default 8)\n"
@@ -67,6 +67,9 @@ usage(int code)
         "  --out PATH        aggregate JSON report\n"
         "  --grid FILE       `key = value` grid file\n"
         "  --set KEY=VALUE   one grid-file setting inline\n"
+        "  --list-grid-keys  print the full `key = value` vocabulary\n"
+        "                    (every key with its accepted values)\n"
+        "                    and exit\n"
         "  --quiet           no per-run progress on stderr\n"
         "cache options:\n"
         "  --cache DIR       content-addressed run cache: consult\n"
@@ -380,6 +383,9 @@ main(int argc, char** argv)
             } else if (arg == "--set") {
                 const auto [k, v] = splitSetting(value());
                 driver::applyGridKey(k, v, opt, grid);
+            } else if (arg == "--list-grid-keys") {
+                driver::printGridKeys(std::cout);
+                return 0;
             } else if (arg == "--cache") {
                 grid.cacheDir = value();
             } else if (arg == "--cache-cap") {
