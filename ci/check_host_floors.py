@@ -1,10 +1,13 @@
 #!/usr/bin/env python3
 """Gate simulator host throughput against the host-* perf floors,
-and NoC work stealing against the steal-* floors.
+NoC work stealing against the steal-* floors, and the spatial mapper
+against the spatial-* floors.
 
 Usage: check_host_floors.py <bench_host.json> <perf-floors.txt>
        check_host_floors.py --steal <baseline.json> <steal.json> \\
                             <perf-floors.txt>
+       check_host_floors.py --spatial <perf-floors.txt> \\
+                            <static.json> <spatial.json> [...pairs]
 
 In --steal mode the two JSON files are per-run bench dumps written by
 delta-sweep --bench-json (same workload/seed/scale, configs `work`
@@ -13,6 +16,14 @@ baseline/steal — stealing on top of work-aware placement must beat
 work-aware placement alone — gated against the `steal-imbalance`
 floor.  Simulated cycles are deterministic, so unlike the host
 throughput floors this one carries no machine-noise slack.
+
+In --spatial mode the remaining arguments are (static, spatial)
+pairs of per-run bench dumps for pipeline-shaped workloads.  Each
+spatial run must be correct and must report
+delta.attrib.spatial.dramLinesSaved > 0 (an inert forwarder scores
+no speedup); the geomean static/spatial simulated-cycle speedup over
+all pairs is gated against the `spatial-stream-geomean` floor.
+Deterministic like --steal: no machine-noise slack.
 
 In the default mode:
 
@@ -62,7 +73,7 @@ def load_floors(path):
             parts = line.split()
             if len(parts) != 2 or parts[0].startswith("#"):
                 continue
-            if parts[0].startswith(("host-", "steal-")):
+            if parts[0].startswith(("host-", "steal-", "spatial-")):
                 floors[parts[0]] = float(parts[1])
     return floors
 
@@ -129,9 +140,92 @@ def check_steal(baseline_path, steal_path, floors_path):
     sys.exit(1 if failed else 0)
 
 
+def check_spatial(floors_path, paths):
+    """Gate the spatial-vs-static geomean speedup and per-workload
+    DRAM-traffic savings against spatial-stream-geomean."""
+    if not paths or len(paths) % 2 != 0:
+        sys.exit("--spatial needs (static, spatial) file pairs")
+
+    floor = load_floors(floors_path).get("spatial-stream-geomean")
+    if floor is None:
+        print(
+            f"- `spatial-stream-geomean`: no floor configured in "
+            f"{floors_path}, skipped",
+            file=sys.stderr,
+        )
+        sys.exit(0)
+
+    print("### Spatial mapping (spatial vs static, simulated cycles)")
+    print()
+    print(
+        "| workload | static | spatial | speedup | DRAM lines saved "
+        "| spills |"
+    )
+    print("| --- | --- | --- | --- | --- | --- |")
+
+    failed = False
+    ratios = []
+    for static_path, spatial_path in zip(paths[::2], paths[1::2]):
+        with open(static_path) as f:
+            base = json.load(f)
+        with open(spatial_path) as f:
+            spat = json.load(f)
+        wk = spat.get("workload", "?")
+        for tag, run in (("static", base), ("spatial", spat)):
+            if not run.get("correct", False):
+                annotate(
+                    "SPATIAL RUN INCORRECT",
+                    f"{wk} {tag} run reports correct=false",
+                )
+                failed = True
+        stats = spat.get("stats", {})
+        saved = stats.get("delta.attrib.spatial.dramLinesSaved", 0)
+        spills = stats.get("delta.spatial.spills", 0)
+        ratio = (
+            base["cycles"] / spat["cycles"]
+            if spat["cycles"] > 0
+            else 0.0
+        )
+        ratios.append(ratio)
+        print(
+            f"| {wk} | {base['cycles']:,.0f} | {spat['cycles']:,.0f} "
+            f"| {ratio:.3f}x | {saved:,.0f} | {spills:.0f} |"
+        )
+        if saved <= 0:
+            failed = True
+            annotate(
+                "FLOOR VIOLATED",
+                f"spatial-stream-geomean: {wk} saved no DRAM lines "
+                f"(an inert forwarder scores no speedup)",
+            )
+    print()
+
+    geomean = (
+        math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+        if all(r > 0 for r in ratios)
+        else 0.0
+    )
+    ok = geomean >= floor
+    verdict = "ok" if ok else "**FLOOR VIOLATED**"
+    print(
+        f"- `spatial-stream-geomean`: {geomean:.3f}x vs floor "
+        f"{floor:.2f}x — {verdict}"
+    )
+    if not ok:
+        failed = True
+        annotate(
+            "FLOOR VIOLATED",
+            f"spatial-stream-geomean observed {geomean:.3f}x < floor "
+            f"{floor:.2f}x",
+        )
+    sys.exit(1 if failed else 0)
+
+
 def main():
     if len(sys.argv) == 5 and sys.argv[1] == "--steal":
         check_steal(sys.argv[2], sys.argv[3], sys.argv[4])
+    if len(sys.argv) >= 3 and sys.argv[1] == "--spatial":
+        check_spatial(sys.argv[2], sys.argv[3:])
     if len(sys.argv) != 3:
         sys.exit(__doc__)
     with open(sys.argv[1]) as f:

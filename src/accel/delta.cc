@@ -6,6 +6,7 @@
 
 #include "obs/timeline.hh"
 #include "sim/logging.hh"
+#include "spatial/mapper.hh"
 #include "trace/accounting.hh"
 
 namespace ts
@@ -31,6 +32,25 @@ DeltaConfig::staticBaseline(std::uint32_t lanes)
     cfg.enablePipeline = false;
     cfg.enableMulticast = false;
     cfg.bulkSynchronous = true;
+    return cfg;
+}
+
+DeltaConfig
+DeltaConfig::spatial(std::uint32_t lanes)
+{
+    // The AOT mapper replaces both runtime recovery mechanisms that
+    // move tasks (pipeline holds, stealing): placement is decided
+    // before the first dispatch and producers stream to their mapped
+    // consumers directly.  Multicast stays on — shared read-only
+    // inputs are orthogonal to the producer/consumer edges the mapper
+    // forwards.
+    DeltaConfig cfg;
+    cfg.lanes = lanes;
+    cfg.policy = SchedPolicy::Spatial;
+    cfg.enablePipeline = false;
+    cfg.enableMulticast = true;
+    cfg.bulkSynchronous = false;
+    cfg.steal = StealPolicy::None;
     return cfg;
 }
 
@@ -109,6 +129,8 @@ Delta::Delta(const DeltaConfig& cfg)
     dcfg.bulkSynchronous = cfg_.bulkSynchronous;
     dcfg.laneQueueCap = cfg_.laneQueueCap;
     dcfg.spmLandingWords = cfg_.lane.spm.sizeWords;
+    dcfg.spatialBufferWords = cfg_.spatialBufferWords;
+    dcfg.spatialRemapFactor = cfg_.spatialRemapFactor;
     dcfg.selfNode = dispatcherNode;
     dcfg.memNode = memNodeId;
     for (std::uint32_t i = 0; i < cfg_.lanes; ++i)
@@ -193,6 +215,22 @@ Delta::run(const TaskGraph& graph)
     StatSet stats;
     TraceActivation activation(tracer_.get());
     StatsActivation statsActivation(&stats);
+
+    // Ahead-of-time spatial mapping: plan lane placement from the
+    // fully-known graph before the first dispatch.  The plan is a
+    // pure function of (graph, image, registry, mesh), so it is
+    // bit-identical across shard counts and snapshot forks.
+    spatial::SpatialPlan plan;
+    if (cfg_.policy == SchedPolicy::Spatial) {
+        std::vector<std::uint32_t> laneNodes;
+        for (std::uint32_t i = 0; i < cfg_.lanes; ++i)
+            laneNodes.push_back(laneNode(i));
+        plan = spatial::mapTaskGraph(graph, img_, registry_, *noc_,
+                                     laneNodes,
+                                     cfg_.nocLinks.linkWords);
+        dispatcher_->setSpatialPlan(plan.lane);
+    }
+
     dispatcher_->loadGraph(graph);
 
     // Time-series sampler: weak events at exact simulated ticks, so
@@ -346,6 +384,55 @@ Delta::run(const TaskGraph& graph)
               std::max(0.0, mcastEquivHops - mcastHops));
     stats.set("delta.attrib.multicast.packets",
               static_cast<double>(noc_->mcastPackets()));
+
+    // Spatial-mapping attribution: DRAM traffic the lane-to-lane
+    // forwarding suppressed (producer write-backs) and avoided
+    // (consumer landing-zone reads), plus the NoC cost it paid.
+    if (cfg_.policy == SchedPolicy::Spatial) {
+        std::uint64_t suppressed = 0, landingLines = 0, hopWords = 0;
+        std::uint64_t fwdWords = 0, chunks = 0;
+        for (const auto& lane : lanes_) {
+            suppressed += lane->spatialLinesSuppressed();
+            landingLines += lane->spatialLandingLines();
+            hopWords += lane->spatialHopWords();
+            fwdWords += lane->spatialLanding().wordsReceived();
+            chunks += lane->spatialChunksSent();
+        }
+        stats.set("delta.spatial.forwards",
+                  static_cast<double>(dispatcher_->spatialForwards()));
+        stats.set("delta.spatial.spills",
+                  static_cast<double>(dispatcher_->spatialSpills()));
+        stats.set("delta.spatial.remaps",
+                  static_cast<double>(dispatcher_->spatialRemaps()));
+        stats.set("delta.spatial.groups",
+                  static_cast<double>(dispatcher_->spatialGroups()));
+        const double saved =
+            static_cast<double>(suppressed + landingLines);
+        stats.set("delta.attrib.spatial.dramLinesSaved", saved);
+        stats.set("delta.attrib.spatial.dramBytesSaved",
+                  saved * lineBytes);
+        stats.set("delta.attrib.spatial.linesSuppressed",
+                  static_cast<double>(suppressed));
+        stats.set("delta.attrib.spatial.landingLines",
+                  static_cast<double>(landingLines));
+        stats.set("delta.attrib.spatial.forwardHops",
+                  static_cast<double>(hopWords));
+        stats.set("delta.attrib.spatial.forwardWords",
+                  static_cast<double>(fwdWords));
+        stats.set("delta.attrib.spatial.chunks",
+                  static_cast<double>(chunks));
+        stats.set("delta.attrib.spatial.bufPeakWords",
+                  static_cast<double>(
+                      dispatcher_->spatialBufPeakWords()));
+        stats.set("delta.attrib.spatial.plannedMakespan",
+                  static_cast<double>(plan.predictedMakespan));
+        stats.set("delta.attrib.spatial.plannedCritPath",
+                  static_cast<double>(plan.predictedCritPath));
+        stats.set("delta.attrib.spatial.balanceWeight",
+                  plan.balanceWeight);
+        stats.set("delta.attrib.spatial.forwardableEdges",
+                  static_cast<double>(plan.forwardableEdges));
+    }
 
     // -- Critical-path bound from the measured task spans --
     const CritPathResult cp =

@@ -39,6 +39,16 @@ struct DeltaConfig
     bool bulkSynchronous = false;
     std::uint32_t laneQueueCap = 2;
 
+    /** Per-lane scratchpad budget (words) for spatial landing zones;
+     *  groups that do not fit spill to the DRAM round-trip
+     *  (SchedPolicy::Spatial only, DESIGN.md §10). */
+    std::uint64_t spatialBufferWords = 1u << 15;
+
+    /** Spawned tasks inherit their spawner's mapped lane unless that
+     *  lane's planned work exceeds this factor times the mean, in
+     *  which case they remap to the least-loaded lane. */
+    double spatialRemapFactor = 1.5;
+
     LaneConfig lane;
     MainMemoryConfig mem;
     NocConfig nocLinks; ///< width/height are derived from lanes
@@ -124,6 +134,10 @@ struct DeltaConfig
 
     /** Equivalent static-parallel baseline. */
     static DeltaConfig staticBaseline(std::uint32_t lanes = 8);
+
+    /** Ahead-of-time spatial mapping: producer/consumer co-location
+     *  with lane-to-lane forwarding (DESIGN.md §10). */
+    static DeltaConfig spatial(std::uint32_t lanes = 8);
 };
 
 class DeltaSnapshot;

@@ -42,6 +42,7 @@ Lane::Lane(Simulator& sim, Noc& noc, MemImage& img,
         ports.writeEngines.push_back(we.get());
     ports.pipes = &pipes_;
     ports.landing = landing_.get();
+    ports.spatialLanding = &spatialLanding_;
     ports.memPort = this;
     ports.image = &img;
     ports.send = [this](Packet pkt) { return noc_.inject(pkt); };
@@ -149,6 +150,22 @@ Lane::sendChunk(std::uint64_t dstMask, std::uint64_t pipeId,
     return true;
 }
 
+bool
+Lane::sendSpatial(std::uint32_t dstNode, std::uint64_t group,
+                  std::uint32_t words, bool done)
+{
+    // Timing-only: the functional words already hit the global image.
+    // One header word plus the payload words crosses the mesh; the
+    // receiving lane does the attribution accounting.
+    Packet pkt;
+    pkt.src = selfNode_;
+    pkt.dstMask = Packet::unicast(dstNode);
+    pkt.kind = PktKind::SpatialChunk;
+    pkt.sizeWords = words + 1;
+    pkt.payload = SpatialChunkMsg{group, words, done};
+    return noc_.inject(std::move(pkt));
+}
+
 void
 Lane::tick(Tick)
 {
@@ -191,6 +208,17 @@ Lane::tick(Tick)
             pipes_.deliver(msg.pipeId, msg.toks);
             break;
           }
+          case PktKind::SpatialChunk: {
+            const auto msg =
+                std::any_cast<SpatialChunkMsg>(pkt.payload);
+            spatialLanding_.deliver(msg.group, msg.words, msg.done);
+            spatialHopWords_ +=
+                static_cast<std::uint64_t>(
+                    noc_.hopDistance(pkt.src, selfNode_)) *
+                pkt.sizeWords;
+            taskUnit_->requestWake(); // a WaitFill gate may clear
+            break;
+          }
           case PktKind::StealRequest:
             taskUnit_->onStealRequest(
                 std::any_cast<StealRequestMsg>(pkt.payload));
@@ -213,6 +241,33 @@ Lane::tick(Tick)
         sleepOnWake();
 }
 
+std::uint64_t
+Lane::spatialLinesSuppressed() const
+{
+    std::uint64_t n = taskUnit_->spatialLinesSuppressed();
+    for (const auto& we : writeEngines_)
+        n += we->linesSuppressed();
+    return n;
+}
+
+std::uint64_t
+Lane::spatialLandingLines() const
+{
+    std::uint64_t n = 0;
+    for (const auto& re : readEngines_)
+        n += re->landingLinesAvoided();
+    return n;
+}
+
+std::uint64_t
+Lane::spatialChunksSent() const
+{
+    std::uint64_t n = taskUnit_->spatialChunksSent();
+    for (const auto& we : writeEngines_)
+        n += we->spatialChunksSent();
+    return n;
+}
+
 bool
 Lane::busy() const
 {
@@ -230,6 +285,12 @@ Lane::reportStats(StatSet& stats) const
     pipes_.reportStats(stats, name());
     stats.set(name() + ".fillLinesLanded",
               static_cast<double>(landing_->linesLanded()));
+    if (spatialLanding_.chunksReceived() > 0) {
+        stats.set(name() + ".spatialChunksRecv",
+                  static_cast<double>(spatialLanding_.chunksReceived()));
+        stats.set(name() + ".spatialWordsRecv",
+                  static_cast<double>(spatialLanding_.wordsReceived()));
+    }
 }
 
 std::unique_ptr<ComponentSnap>
@@ -238,6 +299,8 @@ Lane::saveState() const
     auto s = std::make_unique<Snap>();
     s->pipes = pipes_;
     s->landing = landing_->saveLandingState();
+    s->spatialLanding = spatialLanding_;
+    s->spatialHopWords = spatialHopWords_;
     s->nextTag = nextTag_;
     s->inflight = inflight_;
     s->lineReads = lineReads_;
@@ -252,6 +315,8 @@ Lane::restoreState(const ComponentSnap& snap)
     const Snap& s = snapCast<Snap>(snap);
     pipes_ = s.pipes;
     landing_->restoreLandingState(s.landing);
+    spatialLanding_ = s.spatialLanding;
+    spatialHopWords_ = s.spatialHopWords;
     nextTag_ = s.nextTag;
     inflight_ = s.inflight;
     lineReads_ = s.lineReads;

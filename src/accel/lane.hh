@@ -55,6 +55,8 @@ class Lane : public Ticked, public MemPortIf, public PipeTxIf
     // PipeTxIf
     bool sendChunk(std::uint64_t dstMask, std::uint64_t pipeId,
                    const std::vector<Token>& toks) override;
+    bool sendSpatial(std::uint32_t dstNode, std::uint64_t group,
+                     std::uint32_t words, bool done) override;
 
     void tick(Tick now) override;
     bool busy() const override;
@@ -66,6 +68,28 @@ class Lane : public Ticked, public MemPortIf, public PipeTxIf
     Scratchpad& scratchpad() { return *spm_; }
     PipeSet& pipes() { return pipes_; }
     const PipeSet& pipes() const { return pipes_; }
+
+    // -- Spatial-mapping attribution (receiver-side accounting, so
+    //    write-engine and builtin senders are covered uniformly) --
+
+    /** The landing tracker (chunks/words received here). */
+    const spatial::LandingTracker& spatialLanding() const
+    {
+        return spatialLanding_;
+    }
+
+    /** Σ hops × packet words over spatial chunks ejected here. */
+    std::uint64_t spatialHopWords() const { return spatialHopWords_; }
+
+    /** DRAM write-back lines this lane suppressed (write engines +
+     *  builtin path). */
+    std::uint64_t spatialLinesSuppressed() const;
+
+    /** DRAM line fetches avoided by landing-zone reads here. */
+    std::uint64_t spatialLandingLines() const;
+
+    /** Spatial chunks this lane's producers sent. */
+    std::uint64_t spatialChunksSent() const;
 
     std::unique_ptr<ComponentSnap> saveState() const override;
     void restoreState(const ComponentSnap& snap) override;
@@ -80,6 +104,8 @@ class Lane : public Ticked, public MemPortIf, public PipeTxIf
     {
         PipeSet pipes;
         SharedLanding::State landing;
+        spatial::LandingTracker spatialLanding;
+        std::uint64_t spatialHopWords = 0;
         std::uint64_t nextTag = 1;
         std::map<std::uint64_t, std::function<void()>> inflight;
         std::uint64_t lineReads = 0;
@@ -106,6 +132,9 @@ class Lane : public Ticked, public MemPortIf, public PipeTxIf
     std::uint64_t lineReads_ = 0;
     std::uint64_t lineWrites_ = 0;
     std::uint64_t chunksSent_ = 0;
+
+    spatial::LandingTracker spatialLanding_;
+    std::uint64_t spatialHopWords_ = 0;
 };
 
 } // namespace ts

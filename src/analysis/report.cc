@@ -76,6 +76,9 @@ statsFromJson(const Json& doc)
             out.workload = doc.at("workload").str;
         if (doc.has("policy"))
             out.policy = doc.at("policy").str;
+        // The sweep's bench dumps label the grid point "config".
+        if (out.policy.empty() && doc.has("config"))
+            out.policy = doc.at("config").str;
     }
     for (const auto& [name, v] : flat->obj) {
         if (v.isNum())
@@ -141,6 +144,91 @@ speedupVs(const RunStats& run, const RunStats& baseline)
     const double mine = run.getOr("delta.cycles");
     const double theirs = baseline.getOr("delta.cycles");
     return mine > 0 && theirs > 0 ? theirs / mine : 0.0;
+}
+
+double
+seriesSpeedup(const RunStats& run, const RunStats& baseline,
+              const std::string& name, std::ostream& warn)
+{
+    const bool haveRun = run.getOr(name) > 0;
+    const bool haveBase = baseline.getOr(name) > 0;
+    if (!haveRun || !haveBase) {
+        warn << "warn: speedup skipped: series '" << name
+             << "' absent or zero in "
+             << (!haveRun && !haveBase ? "both runs"
+                 : !haveBase          ? "the baseline"
+                                      : "the run")
+             << "\n";
+        return 0.0;
+    }
+    return baseline.getOr(name) / run.getOr(name);
+}
+
+void
+printComparison(std::ostream& os,
+                const std::vector<const RunStats*>& runs,
+                const std::vector<std::string>& labels,
+                std::ostream& warn)
+{
+    if (runs.size() < 2 || runs.size() != labels.size())
+        return;
+    // The headline series worth lining up side by side; rows whose
+    // series no run carries are dropped (e.g. spatial counters in a
+    // static-vs-delta comparison).
+    static const char* const series[] = {
+        "delta.cycles",
+        "delta.accounting.busy",
+        "delta.accounting.memWait",
+        "delta.accounting.nocWait",
+        "delta.accounting.idle",
+        "delta.critpath.boundCycles",
+        "delta.attrib.pipeline.overlapCycles",
+        "delta.attrib.multicast.dramLinesSaved",
+        "delta.attrib.steal.tasksStolen",
+        "delta.attrib.spatial.dramLinesSaved",
+        "delta.attrib.spatial.forwardWords",
+        "delta.spatial.forwards",
+        "delta.spatial.spills",
+    };
+    os << "Comparison (baseline = " << labels[0] << "):\n";
+    os << "  " << std::left << std::setw(38) << "series"
+       << std::right;
+    for (const std::string& l : labels)
+        os << std::setw(12) << (l.size() > 11 ? l.substr(0, 11) : l);
+    os << "\n";
+    for (const char* name : series) {
+        bool any = false;
+        for (const RunStats* r : runs)
+            any = any || r->has(name);
+        if (!any)
+            continue;
+        os << "  " << std::left << std::setw(38) << name
+           << std::right;
+        for (const RunStats* r : runs)
+            os << std::setw(12)
+               << (r->has(name) ? fmt(r->getOr(name)) : "-");
+        os << "\n";
+        if (std::string(name) == "delta.cycles") {
+            std::string ref = labels[0];
+            if (ref.size() > 24)
+                ref.resize(24);
+            os << "  " << std::left << std::setw(38)
+               << ("  speedup vs " + ref) << std::right;
+            for (const RunStats* r : runs) {
+                const double x =
+                    seriesSpeedup(*r, *runs[0], name, warn);
+                std::ostringstream cell;
+                if (x > 0)
+                    cell << std::fixed << std::setprecision(2) << x
+                         << "x";
+                else
+                    cell << "-";
+                os << std::setw(12) << cell.str();
+            }
+            os << "\n";
+        }
+    }
+    os << "\n";
 }
 
 void
@@ -522,11 +610,20 @@ printReport(std::ostream& os, const RunStats& s,
     printTaskTypes(os, s, opt.topk);
     if (opt.baseline != nullptr) {
         const double x = speedupVs(s, *opt.baseline);
-        os << "Speedup vs baseline: " << std::fixed
-           << std::setprecision(2) << x << "x ("
-           << fmt(s.getOr("delta.cycles")) << " vs "
-           << fmt(opt.baseline->getOr("delta.cycles"))
-           << " cycles)\n\n";
+        if (x > 0) {
+            os << "Speedup vs baseline: " << std::fixed
+               << std::setprecision(2) << x << "x ("
+               << fmt(s.getOr("delta.cycles")) << " vs "
+               << fmt(opt.baseline->getOr("delta.cycles"))
+               << " cycles)\n\n";
+        } else {
+            os << "Speedup vs baseline: skipped — series "
+                  "'delta.cycles' absent or zero in "
+               << (opt.baseline->getOr("delta.cycles") <= 0
+                       ? "the baseline"
+                       : "the run")
+               << "\n\n";
+        }
     }
     if (opt.trace != nullptr)
         printTraceSummary(os, *opt.trace);

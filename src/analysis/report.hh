@@ -86,6 +86,28 @@ std::vector<TaskTypeRow> slowestTaskTypes(const RunStats& s,
 /** baseline cycles / run cycles (0 when either is missing). */
 double speedupVs(const RunStats& run, const RunStats& baseline);
 
+/**
+ * baseline/run ratio for one named series.  When the series is
+ * absent (or zero) on either side the ratio is undefined; instead of
+ * propagating an inf/nan speedup, warn on @p warn naming the series
+ * and the missing side, and return 0.
+ */
+double seriesSpeedup(const RunStats& run, const RunStats& baseline,
+                     const std::string& name, std::ostream& warn);
+
+/**
+ * Side-by-side comparison of two or more runs (index 0 is the
+ * baseline): the headline series as rows, one column per run, plus a
+ * speedup-vs-baseline row under delta.cycles.  A series absent from
+ * every run is dropped; a cell absent from one run renders as "-";
+ * speedups go through seriesSpeedup, so an absent baseline series is
+ * warned about by name and skipped rather than rendered as inf/nan.
+ */
+void printComparison(std::ostream& os,
+                     const std::vector<const RunStats*>& runs,
+                     const std::vector<std::string>& labels,
+                     std::ostream& warn);
+
 /** Rendering options for printReport. */
 struct ReportOptions
 {

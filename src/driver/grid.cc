@@ -129,7 +129,8 @@ const GridKeyDef kGridKeys[] = {
          o.workloads = workloadsFromList(v);
      }},
     {"configs",
-     "comma list of: static, dyn, work, work-steal, pipe, delta",
+     "comma list of: static, dyn, work, work-steal, pipe, delta, "
+     "spatial",
      "accelerator-config axis (default: static,delta)",
      [](const std::string& v, RunOptions&, GridSettings& g) {
          g.configs = v;
@@ -161,6 +162,15 @@ const GridKeyDef kGridKeys[] = {
          if (!stealPolicyFromName(v, o.steal))
              fatal("grid key 'steal' must be none, steal-one, or "
                    "steal-half, got '", v, "'");
+     }},
+    {"sched", "static | dyncount | workaware | spatial",
+     "scheduling-policy override for every config "
+     "(cache-key relevant)",
+     [](const std::string& v, RunOptions& o, GridSettings&) {
+         if (!schedPolicyFromName(v, o.sched))
+             fatal("grid key 'sched' must be static, dyncount, "
+                   "workaware, or spatial, got '", v, "'");
+         o.schedSet = true;
      }},
     {"jobs", "positive integer", "host worker threads",
      [](const std::string& v, RunOptions& o, GridSettings&) {
@@ -310,6 +320,8 @@ buildSweepSpec(const RunOptions& opt, const GridSettings& grid)
     spec.hostProfile = opt.hostProfile;
     spec.shards = opt.shards;
     spec.steal = opt.steal;
+    spec.sched = opt.sched;
+    spec.schedSet = opt.schedSet;
     spec.cacheDir = grid.cacheDir;
     spec.cacheCapBytes = grid.cacheCapBytes;
     spec.noSnapshotFork = grid.noSnapshotFork;

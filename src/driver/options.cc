@@ -100,6 +100,18 @@ parseSteal(const std::string& s, const char* what)
     return p;
 }
 
+SchedPolicy
+parseSched(const std::string& s, const char* what)
+{
+    SchedPolicy p = SchedPolicy::WorkAware;
+    if (!schedPolicyFromName(s, p))
+        fatal(what,
+              " must be static, dyncount, workaware, or spatial, "
+              "got '",
+              s, "'");
+    return p;
+}
+
 } // namespace
 
 SuiteParams
@@ -124,6 +136,8 @@ RunOptions::applyTo(DeltaConfig cfg) const
         cfg.shards = shards;
     if (cfg.steal == StealPolicy::None)
         cfg.steal = steal;
+    if (schedSet)
+        cfg.policy = sched;
     if (cfg.timelineInterval == 0)
         cfg.timelineInterval = timelineInterval;
     if (cfg.timelineSeries.empty())
@@ -183,6 +197,10 @@ RunOptions::fromEnv()
     }
     if (const std::string s = env("TS_STEAL"); !s.empty())
         opt.steal = parseSteal(s, "TS_STEAL");
+    if (const std::string s = env("TS_SCHED"); !s.empty()) {
+        opt.sched = parseSched(s, "TS_SCHED");
+        opt.schedSet = true;
+    }
     if (const std::string s = env("TS_PROGRESS"); !s.empty())
         opt.progress = parseProgress(s, "TS_PROGRESS");
     if (const std::string s = env("TS_TIMELINE"); !s.empty())
@@ -218,6 +236,10 @@ optionsHelp()
         "                     none|steal-one|steal-half (behaviour-\n"
         "                     relevant: part of run-cache keys)\n"
         "                     [TS_STEAL]\n"
+        "  --sched P          scheduling policy override:\n"
+        "                     static|dyncount|workaware|spatial\n"
+        "                     (behaviour-relevant: part of run-cache\n"
+        "                     keys) [TS_SCHED]\n"
         "  --progress[=]MODE  sweep progress lines: auto|always|never\n"
         "                     (auto = only when stderr is a TTY)\n"
         "                     [TS_PROGRESS]\n"
@@ -283,6 +305,9 @@ parseCommandLine(int& argc, char** argv, bool strict)
             opt.shards = static_cast<std::uint32_t>(v);
         } else if (arg == "--steal") {
             opt.steal = parseSteal(value("--steal"), "--steal");
+        } else if (arg == "--sched") {
+            opt.sched = parseSched(value("--sched"), "--sched");
+            opt.schedSet = true;
         } else if (arg == "--progress") {
             opt.progress =
                 parseProgress(value("--progress"), "--progress");

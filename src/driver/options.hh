@@ -22,6 +22,9 @@
  *                                            naive per-cycle ticking
  *   --steal P               TS_STEAL         lane work stealing
  *                                            (none|steal-one|steal-half)
+ *   --sched P               TS_SCHED         scheduling policy
+ *                                            (static|dyncount|
+ *                                            workaware|spatial)
  *   -j N / --jobs N         (none)           host worker threads
  *
  * parseCommandLine() erases the flags it consumed from argv, so
@@ -76,6 +79,14 @@ struct RunOptions
      *  (none|steal-one|steal-half).  Behaviour-relevant: participates
      *  in canonicalConfig / cache keys.  --steal P / TS_STEAL. */
     StealPolicy steal = StealPolicy::None;
+
+    /** Scheduling policy override
+     *  (static|dyncount|workaware|spatial); only applied when
+     *  schedSet (presets keep their own policy otherwise).
+     *  Behaviour-relevant: participates in canonicalConfig / cache
+     *  keys.  --sched P / TS_SCHED. */
+    SchedPolicy sched = SchedPolicy::WorkAware;
+    bool schedSet = false; ///< --sched/TS_SCHED was given
 
     /** Host worker threads for sweep-style drivers (0 = pick
      *  hardware concurrency at use site). */

@@ -68,7 +68,8 @@ const std::vector<std::string>&
 sweepConfigNames()
 {
     static const std::vector<std::string> names = {
-        "static", "dyn", "work", "work-steal", "pipe", "delta"};
+        "static", "dyn",   "work",    "work-steal",
+        "pipe",   "delta", "spatial"};
     return names;
 }
 
@@ -98,6 +99,8 @@ sweepConfig(const std::string& name, std::uint32_t lanes)
         v.cfg.enableMulticast = false;
     } else if (name == "delta") {
         v.cfg = DeltaConfig::delta(lanes);
+    } else if (name == "spatial") {
+        v.cfg = DeltaConfig::spatial(lanes);
     } else {
         std::string valid;
         for (const std::string& n : sweepConfigNames())
@@ -188,6 +191,8 @@ canonicalConfig(const DeltaConfig& cfg)
        << "/" << cfg.mem.queueCapacity
        << " noc=" << cfg.nocLinks.channelCapacity << "/"
        << cfg.nocLinks.linkWords
+       << " spatialBuf=" << cfg.spatialBufferWords
+       << " spatialRemap=" << cfg.spatialRemapFactor
        << " maxCycles=" << cfg.maxCycles
        << " noFastForward=" << cfg.noFastForward
        << " timeline=" << cfg.timelineInterval << "/"
@@ -228,6 +233,10 @@ resolvePointConfig(const SweepSpec& spec, const RunPoint& point)
     // spec-level override changes every point's cache key.
     if (cfg.steal == StealPolicy::None)
         cfg.steal = spec.steal;
+    // Same for the scheduling policy (canonicalConfig covers
+    // cfg.policy).
+    if (spec.schedSet)
+        cfg.policy = spec.sched;
     return cfg;
 }
 
@@ -237,9 +246,9 @@ std::string
 canonicalCell(const SweepSpec& spec, const RunPoint& point)
 {
     std::ostringstream os;
-    // v2: dynamic-dependence engine + steal policies changed run
-    // behaviour and the canonical-config vocabulary.
-    os << "v2 wk=" << wkName(point.workload)
+    // v3: spatial scheduling extended the canonical-config
+    // vocabulary (policy=spatial, spatialBuf, spatialRemap).
+    os << "v3 wk=" << wkName(point.workload)
        << " config=" << point.config << " seed=" << point.seed
        << " scale=" << jsonNumber(point.scale) << " | "
        << canonicalConfig(resolvePointConfig(spec, point));

@@ -56,7 +56,8 @@ struct ConfigVariant
  *    work        + work-aware lane choice
  *    work-steal  work + NoC work stealing (steal-half)
  *    pipe        + pipelined inter-task dependence recovery
- *    delta       + shared-read multicast (full TaskStream)        */
+ *    delta       + shared-read multicast (full TaskStream)
+ *    spatial     AOT spatial mapping with lane-to-lane forwarding  */
 const std::vector<std::string>& sweepConfigNames();
 
 /** Build a named preset; fatal() on an unknown name, listing every
@@ -132,6 +133,13 @@ struct SweepSpec
      *  resolved policy lands in canonicalConfig and so in every
      *  point's cache key. */
     StealPolicy steal = StealPolicy::None;
+
+    /** Scheduling-policy override applied to every config when
+     *  schedSet (presets keep their own policy otherwise).
+     *  Behaviour-relevant like steal: the resolved policy lands in
+     *  canonicalConfig and so in every point's cache key. */
+    SchedPolicy sched = SchedPolicy::WorkAware;
+    bool schedSet = false; ///< sched override was requested
 
     /**
      * When non-empty, consult a content-addressed run cache rooted

@@ -30,6 +30,7 @@ enum class PktKind : std::uint8_t
     TaskComplete, ///< lane -> dispatcher: task finished
     TaskSpawn,    ///< lane -> dispatcher: running task submits successors
     PipeChunk,    ///< producer lane -> consumer lane forwarded data
+    SpatialChunk, ///< spatially mapped producer -> consumer landing
     SharedFill,   ///< multicast line fill into lane scratchpads
     StealRequest, ///< idle lane -> peer lane: probe for queued work
     StealGrant,   ///< victim lane -> thief lane: migrated tasks
@@ -50,6 +51,7 @@ pktKindName(PktKind k)
       case PktKind::TaskComplete: return "taskComplete";
       case PktKind::TaskSpawn: return "taskSpawn";
       case PktKind::PipeChunk: return "pipeChunk";
+      case PktKind::SpatialChunk: return "spatialChunk";
       case PktKind::SharedFill: return "sharedFill";
       case PktKind::StealRequest: return "stealRequest";
       case PktKind::StealGrant: return "stealGrant";

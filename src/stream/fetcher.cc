@@ -24,6 +24,30 @@ WordFetcher::pump(Tick now)
         return;
     }
 
+    if (landing_) {
+        // Spatially forwarded range: the words already landed in the
+        // lane's scratchpad landing zone, so serve them at SPM speed
+        // from the functional image.  No DRAM line requests; count
+        // the distinct lines a non-forwarded run would have fetched.
+        std::uint32_t issued = 0;
+        for (auto& slot : win_) {
+            if (issued >= cfg_.issuesPerCycle)
+                break;
+            if (slot.st != St::NeedFetch)
+                continue;
+            slot.val = img_.readWord(slot.addr);
+            slot.st = St::Ready;
+            ++landingWords_;
+            const Addr line = lineAlign(slot.addr);
+            if (line != lastLandingLine_) {
+                lastLandingLine_ = line;
+                ++landingLines_;
+            }
+            ++issued;
+        }
+        return;
+    }
+
     TS_ASSERT(mem_ != nullptr, "Dram fetch without a memory port");
     std::uint32_t issued = 0;
     while (issued < cfg_.issuesPerCycle &&

@@ -42,15 +42,24 @@ class WordFetcher
         : img_(img), spm_(spm), mem_(mem), cfg_(cfg)
     {}
 
-    /** Begin a new stream in the given space; invalidates callbacks
-     *  from prior streams via a generation counter. */
+    /**
+     * Begin a new stream in the given space; invalidates callbacks
+     * from prior streams via a generation counter.  @p landing marks
+     * a Dram stream whose range was spatially forwarded into the
+     * lane's landing zone: words are served at SPM speed from the
+     * functional image, without DRAM line requests (DESIGN.md §10).
+     */
     void
-    reset(Space space)
+    reset(Space space, bool landing = false)
     {
         TS_ASSERT(win_.empty() && outstanding_ == 0,
                   "fetcher reset while window live");
         TS_ASSERT(inflightLines_.empty());
+        TS_ASSERT(!landing || space == Space::Dram,
+                  "landing mode is for Dram streams");
         space_ = space;
+        landing_ = landing;
+        lastLandingLine_ = kNoLine;
         ++gen_;
     }
 
@@ -103,6 +112,13 @@ class WordFetcher
     std::uint64_t linesRequested() const { return linesRequested_; }
     std::uint64_t spmReads() const { return spmReads_; }
 
+    /** Words served from the spatial landing zone. */
+    std::uint64_t landingWords() const { return landingWords_; }
+
+    /** Distinct DRAM lines those words span — the line requests a
+     *  non-forwarded run would have issued (attribution). */
+    std::uint64_t landingLines() const { return landingLines_; }
+
   private:
     enum class St : std::uint8_t { NeedFetch, Requested, Ready };
 
@@ -131,6 +147,10 @@ class WordFetcher
         std::uint64_t gen = 0;
         std::uint64_t linesRequested = 0;
         std::uint64_t spmReads = 0;
+        bool landing = false;
+        Addr lastLandingLine = kNoLine;
+        std::uint64_t landingWords = 0;
+        std::uint64_t landingLines = 0;
     };
 
     State
@@ -144,6 +164,10 @@ class WordFetcher
         s.gen = gen_;
         s.linesRequested = linesRequested_;
         s.spmReads = spmReads_;
+        s.landing = landing_;
+        s.lastLandingLine = lastLandingLine_;
+        s.landingWords = landingWords_;
+        s.landingLines = landingLines_;
         return s;
     }
 
@@ -157,6 +181,10 @@ class WordFetcher
         gen_ = s.gen;
         linesRequested_ = s.linesRequested;
         spmReads_ = s.spmReads;
+        landing_ = s.landing;
+        lastLandingLine_ = s.lastLandingLine;
+        landingWords_ = s.landingWords;
+        landingLines_ = s.landingLines;
     }
 
   private:
@@ -173,6 +201,12 @@ class WordFetcher
 
     std::uint64_t linesRequested_ = 0;
     std::uint64_t spmReads_ = 0;
+
+    static constexpr Addr kNoLine = static_cast<Addr>(-1);
+    bool landing_ = false;
+    Addr lastLandingLine_ = kNoLine;
+    std::uint64_t landingWords_ = 0;
+    std::uint64_t landingLines_ = 0;
 };
 
 } // namespace ts

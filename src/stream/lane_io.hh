@@ -57,6 +57,28 @@ class PipeTxIf
      */
     virtual bool sendChunk(std::uint64_t dstMask, std::uint64_t pipeId,
                            const std::vector<Token>& toks) = 0;
+
+    /**
+     * Forward a spatially mapped chunk to a consumer lane's landing
+     * zone (timing-only; the words are already in the functional
+     * image).  Default accepts and drops the chunk so stream-layer
+     * unit tests need no NoC.
+     * @param dstNode consumer lane's NoC node.
+     * @param group landing-group identity ((consumer uid << 3)|port).
+     * @param words words in this chunk (0 for a pure done marker).
+     * @param done producer's end-of-stream marker for the group.
+     * @return false when the network rejects the packet (retry).
+     */
+    virtual bool sendSpatial(std::uint32_t dstNode,
+                             std::uint64_t group, std::uint32_t words,
+                             bool done)
+    {
+        (void)dstNode;
+        (void)group;
+        (void)words;
+        (void)done;
+        return true;
+    }
 };
 
 } // namespace ts

@@ -68,7 +68,11 @@ ReadEngine::program(const StreamDesc& d, TokenFifo* dest,
 
     ptrF_.reset(d.idxSpace);
     idxF_.reset(d.idxSpace);
-    dataF_.reset(d.dataSpace);
+    // Landing mode only ever applies to the Linear stride-1 Dram
+    // shapes the dispatcher marks (spatially forwarded ranges).
+    dataF_.reset(d.dataSpace,
+                 d.spatialLanding && d.dataSpace == Space::Dram &&
+                     d.kind == StreamDesc::Kind::Linear);
 
     if (trace::on()) {
         auto* t = trace::active();
@@ -412,6 +416,12 @@ ReadEngine::reportStats(StatSet& stats) const
               static_cast<double>(ptrF_.spmReads() + idxF_.spmReads() +
                                   dataF_.spmReads()));
     stats.set(name() + ".streams", static_cast<double>(streamsRun_));
+    if (dataF_.landingWords() > 0) {
+        stats.set(name() + ".landingWords",
+                  static_cast<double>(dataF_.landingWords()));
+        stats.set(name() + ".landingLines",
+                  static_cast<double>(dataF_.landingLines()));
+    }
 }
 
 std::unique_ptr<ComponentSnap>

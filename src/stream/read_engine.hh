@@ -66,6 +66,14 @@ class ReadEngine : public Ticked
     std::uint64_t tokensDelivered() const { return tokensDelivered_; }
     std::uint64_t linesRequested() const;
 
+    /** DRAM line fetches avoided by landing-zone reads (spatial
+     *  mapping attribution). */
+    std::uint64_t
+    landingLinesAvoided() const
+    {
+        return dataF_.landingLines();
+    }
+
     std::unique_ptr<ComponentSnap> saveState() const override;
     void restoreState(const ComponentSnap& snap) override;
 

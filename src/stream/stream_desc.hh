@@ -72,6 +72,16 @@ struct StreamDesc
 
     std::uint64_t pipeId = 0;     ///< PipeIn channel identity
 
+    /**
+     * Spatial mapping: this input's range was forwarded lane-to-lane
+     * into the consumer's scratchpad landing zone, so reads are
+     * served at SPM speed without DRAM line requests.  Functional
+     * data still comes from the global image (forwarding is
+     * timing-only); set by the dispatcher under SchedPolicy::Spatial
+     * for Linear stride-1 DRAM inputs only.
+     */
+    bool spatialLanding = false;
+
     // --- constructors -------------------------------------------------
 
     static StreamDesc linear(Space sp, Addr base, std::uint64_t n,
@@ -125,6 +135,26 @@ struct WriteDesc
     std::uint64_t pipeDstMask = 0;
     std::uint64_t pipeId = 0;
     std::uint32_t chunkWords = 16; ///< forwarding granularity
+
+    /** One spatially mapped consumer of this output stream. */
+    struct SpatialDst
+    {
+        std::uint32_t node = 0;  ///< consumer lane's NoC node
+        std::uint64_t group = 0; ///< (consumer uid << 3) | port
+    };
+
+    /** Spatial mapping: forward the stream lane-to-lane into these
+     *  consumers' landing zones (chunkWords granularity, final chunk
+     *  carries the done marker). */
+    std::vector<SpatialDst> spatialDsts;
+
+    /**
+     * Spatial mapping: every consumer of this range receives the
+     * stream by forwarding, so the DRAM write-back line traffic is
+     * suppressed (the functional image is still updated — see
+     * DESIGN.md §10 for the fidelity contract).
+     */
+    bool spatialSuppress = false;
 };
 
 /**

@@ -30,6 +30,8 @@ WriteEngine::program(const WriteDesc& d, TokenFifo* src)
     curLine_.reset();
     chunk_.clear();
     chunkPending_ = false;
+    spatialAccum_ = 0;
+    pendingSpatial_.clear();
     ++streamsRun_;
 
     if (trace::on()) {
@@ -43,6 +45,13 @@ WriteEngine::program(const WriteDesc& d, TokenFifo* src)
 void
 WriteEngine::queueLine(Addr line)
 {
+    // Spatially suppressed write-back: every consumer receives the
+    // stream by forwarding, so the line traffic never happens.  The
+    // count is what a non-forwarded run would have written.
+    if (d_.spatialSuppress) {
+        ++linesSuppressed_;
+        return;
+    }
     // Coalesce repeats of the most recent line.
     if (!pendingLines_.empty() && pendingLines_.back() == line)
         return;
@@ -67,6 +76,14 @@ WriteEngine::flushTraffic()
         chunkPending_ = false;
         ++chunksSent_;
     }
+    // Retry pending spatial forwards toward consumer landing zones.
+    while (!pendingSpatial_.empty()) {
+        const SpatialSend& s = pendingSpatial_.front();
+        if (!pipeTx_->sendSpatial(s.node, s.group, s.words, s.done))
+            return false;
+        pendingSpatial_.pop_front();
+        ++spatialChunksSent_;
+    }
     return true;
 }
 
@@ -86,6 +103,8 @@ WriteEngine::tick(Tick now)
         if (pendingLines_.size() >= cfg_.writeQueueDepth)
             break;
         if (chunkPending_)
+            break;
+        if (pendingSpatial_.size() >= cfg_.writeQueueDepth)
             break;
 
         // Scratchpad writes need a port this cycle.
@@ -118,6 +137,16 @@ WriteEngine::tick(Tick now)
             if (chunk_.size() >= d_.chunkWords || t.streamEnd())
                 chunkPending_ = true;
         }
+        if (!d_.spatialDsts.empty()) {
+            ++spatialAccum_;
+            if (spatialAccum_ >= d_.chunkWords || t.streamEnd()) {
+                for (const WriteDesc::SpatialDst& dst : d_.spatialDsts)
+                    pendingSpatial_.push_back(
+                        SpatialSend{dst.node, dst.group, spatialAccum_,
+                                    t.streamEnd()});
+                spatialAccum_ = 0;
+            }
+        }
         ++pos_;
         ++tokensWritten_;
         --budget;
@@ -147,6 +176,12 @@ WriteEngine::reportStats(StatSet& stats) const
     stats.set(name() + ".lines", static_cast<double>(linesWritten_));
     stats.set(name() + ".chunks", static_cast<double>(chunksSent_));
     stats.set(name() + ".streams", static_cast<double>(streamsRun_));
+    if (linesSuppressed_ > 0 || spatialChunksSent_ > 0) {
+        stats.set(name() + ".linesSuppressed",
+                  static_cast<double>(linesSuppressed_));
+        stats.set(name() + ".spatialChunks",
+                  static_cast<double>(spatialChunksSent_));
+    }
 }
 
 std::unique_ptr<ComponentSnap>
@@ -162,9 +197,13 @@ WriteEngine::saveState() const
     s->pendingLines = pendingLines_;
     s->chunk = chunk_;
     s->chunkPending = chunkPending_;
+    s->spatialAccum = spatialAccum_;
+    s->pendingSpatial = pendingSpatial_;
     s->tokensWritten = tokensWritten_;
     s->linesWritten = linesWritten_;
     s->chunksSent = chunksSent_;
+    s->linesSuppressed = linesSuppressed_;
+    s->spatialChunksSent = spatialChunksSent_;
     s->streamsRun = streamsRun_;
     return s;
 }
@@ -182,9 +221,13 @@ WriteEngine::restoreState(const ComponentSnap& snap)
     pendingLines_ = s.pendingLines;
     chunk_ = s.chunk;
     chunkPending_ = s.chunkPending;
+    spatialAccum_ = s.spatialAccum;
+    pendingSpatial_ = s.pendingSpatial;
     tokensWritten_ = s.tokensWritten;
     linesWritten_ = s.linesWritten;
     chunksSent_ = s.chunksSent;
+    linesSuppressed_ = s.linesSuppressed;
+    spatialChunksSent_ = s.spatialChunksSent;
     streamsRun_ = s.streamsRun;
 }
 

@@ -48,7 +48,11 @@ class WriteEngine : public Ticked
     }
 
     /** Cycle-accounting probe: pipe chunk awaiting NoC injection. */
-    bool blockedOnNoc() const { return active_ && chunkPending_; }
+    bool
+    blockedOnNoc() const
+    {
+        return active_ && (chunkPending_ || !pendingSpatial_.empty());
+    }
 
     void tick(Tick now) override;
     bool busy() const override { return active_; }
@@ -56,10 +60,29 @@ class WriteEngine : public Ticked
 
     std::uint64_t tokensWritten() const { return tokensWritten_; }
 
+    /** DRAM write-back lines suppressed because every consumer of
+     *  this stream receives it by spatial forwarding. */
+    std::uint64_t linesSuppressed() const { return linesSuppressed_; }
+
+    /** Spatial chunks injected toward consumer landing zones. */
+    std::uint64_t spatialChunksSent() const
+    {
+        return spatialChunksSent_;
+    }
+
     std::unique_ptr<ComponentSnap> saveState() const override;
     void restoreState(const ComponentSnap& snap) override;
 
   private:
+    /** One spatial chunk awaiting NoC injection. */
+    struct SpatialSend
+    {
+        std::uint32_t node = 0;
+        std::uint64_t group = 0;
+        std::uint32_t words = 0;
+        bool done = false;
+    };
+
     struct Snap final : ComponentSnap
     {
         WriteDesc d;
@@ -71,9 +94,13 @@ class WriteEngine : public Ticked
         std::deque<Addr> pendingLines;
         std::vector<Token> chunk;
         bool chunkPending = false;
+        std::uint32_t spatialAccum = 0;
+        std::deque<SpatialSend> pendingSpatial;
         std::uint64_t tokensWritten = 0;
         std::uint64_t linesWritten = 0;
         std::uint64_t chunksSent = 0;
+        std::uint64_t linesSuppressed = 0;
+        std::uint64_t spatialChunksSent = 0;
         std::uint64_t streamsRun = 0;
     };
 
@@ -96,10 +123,14 @@ class WriteEngine : public Ticked
     std::deque<Addr> pendingLines_;
     std::vector<Token> chunk_;
     bool chunkPending_ = false;
+    std::uint32_t spatialAccum_ = 0; ///< words since last spatial send
+    std::deque<SpatialSend> pendingSpatial_;
 
     std::uint64_t tokensWritten_ = 0;
     std::uint64_t linesWritten_ = 0;
     std::uint64_t chunksSent_ = 0;
+    std::uint64_t linesSuppressed_ = 0;
+    std::uint64_t spatialChunksSent_ = 0;
     std::uint64_t streamsRun_ = 0;
 };
 

@@ -9,6 +9,7 @@
 
 #include "sim/logging.hh"
 #include "sim/stats.hh"
+#include "spatial/spatial.hh"
 #include "trace/trace.hh"
 
 namespace ts
@@ -33,8 +34,19 @@ schedPolicyName(SchedPolicy p)
       case SchedPolicy::Static: return "static";
       case SchedPolicy::DynCount: return "dyncount";
       case SchedPolicy::WorkAware: return "workaware";
+      case SchedPolicy::Spatial: return "spatial";
     }
     return "?";
+}
+
+bool
+schedPolicyFromName(const std::string& s, SchedPolicy& out)
+{
+    if (s == "static") { out = SchedPolicy::Static; return true; }
+    if (s == "dyncount") { out = SchedPolicy::DynCount; return true; }
+    if (s == "workaware") { out = SchedPolicy::WorkAware; return true; }
+    if (s == "spatial") { out = SchedPolicy::Spatial; return true; }
+    return false;
 }
 
 Dispatcher::Dispatcher(Noc& noc, const MemImage& img,
@@ -51,6 +63,7 @@ Dispatcher::Dispatcher(Noc& noc, const MemImage& img,
     actualService_.assign(cfg_.laneNodes.size(), 0.0);
     shadowService_.assign(cfg_.laneNodes.size(), 0.0);
     stealShadowService_.assign(cfg_.laneNodes.size(), 0.0);
+    spatialLaneBufUsed_.assign(cfg_.laneNodes.size(), 0);
     noc_.eject(cfg_.selfNode).addObserver(this);
 }
 
@@ -197,6 +210,7 @@ Dispatcher::onComplete(const CompleteMsg& msg, Tick now)
     TS_ASSERT(laneQueued_[ts.lane] > 0);
     --laneQueued_[ts.lane];
     laneWork_[ts.lane] -= ts.workEst;
+    spatialRelease(msg.uid);
 
     for (std::size_t ei : ts.outEdges) {
         EdgeState& es = edges_[ei];
@@ -261,6 +275,11 @@ Dispatcher::onSpawn(const SpawnMsg& msg, Tick now)
         states_.push_back(std::move(ns));
     }
     tasksSpawned_ += set.tasks.size();
+    spatialPlanSpawned(msg.spawner, base, set.tasks.size(),
+                       set.transferTo != SpawnSet::kNoTransfer
+                           ? static_cast<std::int64_t>(
+                                 resolve(set.transferTo))
+                           : -1);
 
     for (const SpawnSet::Edge& e : set.edges) {
         const TaskId p = resolve(e.producer);
@@ -575,8 +594,216 @@ Dispatcher::pickLane(TaskId id,
         }
         return best;
       }
+      case SchedPolicy::Spatial: {
+        // Hard pinning: forwarding decisions already named this lane
+        // as the consumer's landing site, so the task waits for a
+        // queue slot rather than migrate.
+        const std::size_t l = spatialPlannedLane(id);
+        return available(l) ? static_cast<std::int32_t>(l) : -1;
+      }
     }
     return -1;
+}
+
+std::uint32_t
+Dispatcher::spatialPlannedLane(TaskId id) const
+{
+    if (id < plannedLane_.size() && plannedLane_[id] >= 0)
+        return static_cast<std::uint32_t>(plannedLane_[id]);
+    return id % static_cast<std::uint32_t>(cfg_.laneNodes.size());
+}
+
+void
+Dispatcher::spatialPlanSpawned(TaskId spawner, std::size_t base,
+                               std::size_t count, std::int64_t heir)
+{
+    if (cfg_.policy != SchedPolicy::Spatial || count == 0)
+        return;
+    if (plannedLane_.size() < base)
+        plannedLane_.resize(base, -1);
+    plannedLane_.resize(base + count, -1);
+
+    // The transfer heir inherits the spawner's planned lane: the AOT
+    // plan put the spawner where its (now transferred) successors
+    // want their producer, and sibling outputs forward into the heir
+    // over the NoC regardless of where the siblings land.  Escape
+    // hatch: when the inherited lane is overloaded relative to the
+    // mean, the heir moves to the least-loaded lane (lowest index
+    // wins, keeping the decision deterministic).
+    std::uint32_t inherit = spatialPlannedLane(spawner);
+    double mean = 0.0;
+    for (const double w : laneWork_)
+        mean += w;
+    mean /= static_cast<double>(laneWork_.size());
+    if (laneWork_[inherit] > cfg_.spatialRemapFactor * mean) {
+        std::uint32_t best = 0;
+        for (std::uint32_t l = 1; l < laneWork_.size(); ++l) {
+            if (laneWork_[l] < laneWork_[best])
+                best = l;
+        }
+        if (best != inherit) {
+            inherit = best;
+            ++spatialRemaps_;
+        }
+    }
+
+    // Non-heir siblings are fresh parallel work; serializing them on
+    // the spawner's lane would forfeit the recursion's parallelism.
+    // Spread them over the least-loaded lanes, tracking this call's
+    // own placements by estimated work (deterministic: laneWork_ and
+    // workEst are simulated state).
+    std::vector<double> load = laneWork_;
+    const bool heirLocal =
+        heir >= 0 && static_cast<std::size_t>(heir) >= base &&
+        static_cast<std::size_t>(heir) < base + count;
+    if (heirLocal) {
+        plannedLane_[static_cast<std::size_t>(heir)] =
+            static_cast<std::int32_t>(inherit);
+        load[inherit] +=
+            states_[static_cast<std::size_t>(heir)].workEst;
+    }
+    for (std::size_t k = 0; k < count; ++k) {
+        const std::size_t id = base + k;
+        if (heirLocal && static_cast<std::size_t>(heir) == id)
+            continue;
+        std::uint32_t best = 0;
+        for (std::uint32_t l = 1; l < load.size(); ++l) {
+            if (load[l] < load[best])
+                best = l;
+        }
+        plannedLane_[id] = static_cast<std::int32_t>(best);
+        load[best] += states_[id].workEst;
+    }
+}
+
+void
+Dispatcher::spatialResolveProducer(TaskId id, DispatchMsg& pm)
+{
+    const TaskState& ps = states_[id];
+    const bool builtin =
+        registry_.type(ps.inst.type).isBuiltin();
+    for (std::size_t oi = 0; oi < pm.outputs.size(); ++oi) {
+        WriteDesc& out = pm.outputs[oi];
+        if (!spatial::forwardableOutput(out))
+            continue;
+        // Builtin bodies only stream outputs[0] through the timed
+        // write path (see TaskUnit::BuiltinWrite).
+        if (builtin && oi != 0)
+            continue;
+
+        // Forward to every successor whose eligible input covers this
+        // output; suppress the DRAM write-back only when *all*
+        // successors that touch the range were forwarded (an
+        // un-analyzable reader keeps the round-trip).
+        bool touched = false;
+        bool forwardedAll = true;
+        std::vector<std::uint64_t> fwdGroups; // dedupe multi-edges
+        for (std::size_t ei : ps.outEdges) {
+            const TaskId c = edges_[ei].e.consumer;
+            const TaskState& cs = states_[c];
+            if (cs.dispatched || cs.completed)
+                continue;
+            for (std::size_t p = 0; p < cs.inst.inputs.size(); ++p) {
+                const StreamDesc& in = cs.inst.inputs[p];
+                if (in.dataSpace != Space::Dram)
+                    continue;
+                const bool eligible =
+                    spatial::landingEligibleInput(in) &&
+                    cs.inst.inputGroup[p] == kNoGroup;
+                if (!eligible) {
+                    // Gather/CSR reads have no statically known
+                    // range: assume they may touch this output.
+                    if (in.kind != StreamDesc::Kind::Linear ||
+                        spatial::outputFeedsInput(out, in)) {
+                        touched = true;
+                        forwardedAll = false;
+                    }
+                    continue;
+                }
+                if (!spatial::outputFeedsInput(out, in))
+                    continue;
+                touched = true;
+                const std::uint64_t g = spatial::landingGroup(
+                    c, static_cast<std::uint8_t>(p));
+                if (std::find(fwdGroups.begin(), fwdGroups.end(),
+                              g) != fwdGroups.end()) {
+                    continue;
+                }
+                auto it = spatialGroups_.find(g);
+                if (it == spatialGroups_.end()) {
+                    SpatialGroup sg;
+                    sg.consumer = c;
+                    sg.port = static_cast<std::uint8_t>(p);
+                    sg.lane = static_cast<std::int32_t>(
+                        spatialPlannedLane(c));
+                    sg.bufWords = spatial::landingBufWords(in);
+                    if (spatialLaneBufUsed_[sg.lane] + sg.bufWords >
+                        cfg_.spatialBufferWords) {
+                        sg.spilled = true;
+                        ++spatialSpills_;
+                    } else {
+                        spatialLaneBufUsed_[sg.lane] += sg.bufWords;
+                        sg.allocated = true;
+                        ++spatialGroupsAllocated_;
+                        spatialBufPeak_ =
+                            std::max(spatialBufPeak_,
+                                     spatialLaneBufUsed_[sg.lane]);
+                    }
+                    it = spatialGroups_.emplace(g, sg).first;
+                }
+                if (it->second.spilled) {
+                    forwardedAll = false;
+                    continue;
+                }
+                out.spatialDsts.push_back(WriteDesc::SpatialDst{
+                    cfg_.laneNodes[it->second.lane], g});
+                ++it->second.expectedDones;
+                ++spatialForwards_;
+                fwdGroups.push_back(g);
+                if (trace::on()) {
+                    auto* t = trace::active();
+                    t->instant(t->track(name()), "spatialForward",
+                               trace::args("producer", id, "consumer",
+                                           c));
+                }
+            }
+        }
+        if (touched && forwardedAll && !out.spatialDsts.empty())
+            out.spatialSuppress = true;
+    }
+}
+
+void
+Dispatcher::spatialRewriteConsumer(TaskId id, DispatchMsg& m)
+{
+    for (std::size_t p = 0; p < m.inputs.size(); ++p) {
+        const std::uint64_t g = spatial::landingGroup(
+            id, static_cast<std::uint8_t>(p));
+        const auto it = spatialGroups_.find(g);
+        if (it == spatialGroups_.end() || it->second.spilled ||
+            it->second.expectedDones == 0) {
+            continue;
+        }
+        m.inputs[p].spatialLanding = true;
+        m.waitSpatial.push_back(
+            SpatialWait{g, it->second.expectedDones});
+    }
+}
+
+void
+Dispatcher::spatialRelease(TaskId uid)
+{
+    const std::uint64_t lo = static_cast<std::uint64_t>(uid) << 3;
+    auto it = spatialGroups_.lower_bound(lo);
+    while (it != spatialGroups_.end() && it->first <= (lo | 7)) {
+        if (it->second.allocated) {
+            TS_ASSERT(spatialLaneBufUsed_[it->second.lane] >=
+                      it->second.bufWords);
+            spatialLaneBufUsed_[it->second.lane] -=
+                it->second.bufWords;
+        }
+        it = spatialGroups_.erase(it);
+    }
 }
 
 void
@@ -693,9 +920,12 @@ Dispatcher::tryDispatchHead(Tick now)
     }
 
     // 1. Pipeline closure (TaskStream) or the single task (baseline).
+    // Spatial dispatch is always solo: forwarding happens through
+    // landing zones, not co-dispatched pipe batches.
     std::vector<TaskId> closure =
-        cfg_.enablePipeline ? pipelineClosure(root)
-                            : std::vector<TaskId>{root};
+        (cfg_.enablePipeline && cfg_.policy != SchedPolicy::Spatial)
+            ? pipelineClosure(root)
+            : std::vector<TaskId>{root};
 
     // Cap the batch at the total free queue slots (members may share
     // lanes; intra-batch uid order keeps per-lane queues topological,
@@ -730,7 +960,8 @@ Dispatcher::tryDispatchHead(Tick now)
     const bool withinHold =
         (allLanesBusy && waited < cfg_.pipelineHoldCycles) ||
         waited < cfg_.pipelineGraceCycles;
-    if (cfg_.enablePipeline && withinHold) {
+    if (cfg_.enablePipeline && cfg_.policy != SchedPolicy::Spatial &&
+        withinHold) {
         for (const TaskId member : closure) {
             for (std::size_t ei : states_[member].outEdges) {
                 const EdgeState& es = edges_[ei];
@@ -787,8 +1018,10 @@ Dispatcher::tryDispatchHead(Tick now)
         m.dispatchedAt = now;
         // Solo dispatches are migratable between lanes: no pipeline
         // co-dispatch batch whose intra-lane uid order must survive.
+        // Spatial tasks never migrate — the plan pinned their lane.
         m.stealable = cfg_.steal != StealPolicy::None &&
-                      placed.size() == 1;
+                      placed.size() == 1 &&
+                      cfg_.policy != SchedPolicy::Spatial;
         msgs.emplace(id, std::move(m));
     }
 
@@ -880,6 +1113,16 @@ Dispatcher::tryDispatchHead(Tick now)
                           "a task may subscribe to one group");
                 mm.waitGroup = gId;
             }
+        }
+    }
+
+    // 4.5 Spatial rewrites: gate the consumer side on forwarded
+    // streams already decided by its producers' dispatches, then
+    // make this batch's own producer-side forwarding decisions.
+    if (cfg_.policy == SchedPolicy::Spatial) {
+        for (TaskId id : placed) {
+            spatialRewriteConsumer(id, msgs.at(id));
+            spatialResolveProducer(id, msgs.at(id));
         }
     }
 
@@ -1038,6 +1281,18 @@ Dispatcher::reportStats(StatSet& stats) const
               stealShadowMaxServiceCycles());
     stats.set("dispatcher.attrib.steal.imbalanceCyclesRecovered",
               stealImbalanceCyclesRecovered());
+    if (cfg_.policy == SchedPolicy::Spatial) {
+        stats.set("dispatcher.spatial.forwards",
+                  static_cast<double>(spatialForwards_));
+        stats.set("dispatcher.spatial.spills",
+                  static_cast<double>(spatialSpills_));
+        stats.set("dispatcher.spatial.remaps",
+                  static_cast<double>(spatialRemaps_));
+        stats.set("dispatcher.spatial.groups",
+                  static_cast<double>(spatialGroupsAllocated_));
+        stats.set("dispatcher.spatial.bufPeakWords",
+                  static_cast<double>(spatialBufPeak_));
+    }
     for (std::size_t l = 0; l < laneDispatched_.size(); ++l) {
         stats.set("dispatcher.lane" + std::to_string(l) + ".dispatched",
                   static_cast<double>(laneDispatched_[l]));
@@ -1075,6 +1330,14 @@ struct Dispatcher::Snap final : ComponentSnap
     std::uint64_t tasksSpawned = 0;
     std::uint64_t tasksStolen = 0;
     std::uint64_t stealHops = 0;
+    std::vector<std::int32_t> plannedLane;
+    std::map<std::uint64_t, SpatialGroup> spatialGroups;
+    std::vector<std::uint64_t> spatialLaneBufUsed;
+    std::uint64_t spatialBufPeak = 0;
+    std::uint64_t spatialForwards = 0;
+    std::uint64_t spatialSpills = 0;
+    std::uint64_t spatialRemaps = 0;
+    std::uint64_t spatialGroupsAllocated = 0;
 };
 
 std::unique_ptr<ComponentSnap>
@@ -1107,6 +1370,14 @@ Dispatcher::saveState() const
     s->tasksSpawned = tasksSpawned_;
     s->tasksStolen = tasksStolen_;
     s->stealHops = stealHops_;
+    s->plannedLane = plannedLane_;
+    s->spatialGroups = spatialGroups_;
+    s->spatialLaneBufUsed = spatialLaneBufUsed_;
+    s->spatialBufPeak = spatialBufPeak_;
+    s->spatialForwards = spatialForwards_;
+    s->spatialSpills = spatialSpills_;
+    s->spatialRemaps = spatialRemaps_;
+    s->spatialGroupsAllocated = spatialGroupsAllocated_;
     return s;
 }
 
@@ -1140,6 +1411,14 @@ Dispatcher::restoreState(const ComponentSnap& snap)
     tasksSpawned_ = s.tasksSpawned;
     tasksStolen_ = s.tasksStolen;
     stealHops_ = s.stealHops;
+    plannedLane_ = s.plannedLane;
+    spatialGroups_ = s.spatialGroups;
+    spatialLaneBufUsed_ = s.spatialLaneBufUsed;
+    spatialBufPeak_ = s.spatialBufPeak;
+    spatialForwards_ = s.spatialForwards;
+    spatialSpills_ = s.spatialSpills;
+    spatialRemaps_ = s.spatialRemaps;
+    spatialGroupsAllocated_ = s.spatialGroupsAllocated;
 }
 
 } // namespace ts

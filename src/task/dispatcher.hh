@@ -26,7 +26,9 @@
 #define TS_TASK_DISPATCHER_HH
 
 #include <deque>
+#include <map>
 #include <optional>
+#include <string>
 
 #include "noc/noc.hh"
 #include "task/messages.hh"
@@ -40,11 +42,19 @@ enum class SchedPolicy : std::uint8_t
 {
     Static,   ///< owner-compute: lane = uid % lanes (baseline)
     DynCount, ///< least queued task count
-    WorkAware ///< least outstanding estimated work (TaskStream)
+    WorkAware, ///< least outstanding estimated work (TaskStream)
+    /** Ahead-of-time spatial plan: tasks pin to mapper-assigned
+     *  lanes; producer outputs stream lane-to-lane into consumer
+     *  landing zones instead of round-tripping through DRAM. */
+    Spatial
 };
 
 /** Human-readable policy name. */
 const char* schedPolicyName(SchedPolicy p);
+
+/** Parse a policy name ("static", "dyncount", "workaware",
+ *  "spatial"); returns false on unknown names. */
+bool schedPolicyFromName(const std::string& s, SchedPolicy& out);
 
 /** Dispatcher configuration. */
 struct DispatcherConfig
@@ -70,6 +80,14 @@ struct DispatcherConfig
     Tick pipelineGraceCycles = 768;
     std::uint64_t spmLandingWords = 1u << 16; ///< shared-copy budget
 
+    /** Spatial: per-lane landing-buffer budget (words).  A forwarded
+     *  group whose buffer does not fit spills permanently to the
+     *  DRAM round-trip. */
+    std::uint64_t spatialBufferWords = 1u << 15;
+    /** Spatial: a spawned task escapes its inherited lane when that
+     *  lane's outstanding work exceeds this multiple of the mean. */
+    double spatialRemapFactor = 1.5;
+
     std::uint32_t selfNode = 0;
     std::uint32_t memNode = 0;
     std::vector<std::uint32_t> laneNodes;
@@ -85,6 +103,16 @@ class Dispatcher : public Ticked
 
     /** Load a whole task graph (host enqueue). */
     void loadGraph(const TaskGraph& graph);
+
+    /**
+     * Install the AOT spatial plan (per-uid lanes) before loadGraph.
+     * Under SchedPolicy::Spatial, tasks pin to their planned lane;
+     * uids beyond the plan (or planned -1) fall back to uid % lanes.
+     */
+    void setSpatialPlan(std::vector<std::int32_t> lanes)
+    {
+        plannedLane_ = std::move(lanes);
+    }
 
     /** All loaded *and dynamically spawned* tasks have completed. */
     bool allComplete() const
@@ -158,6 +186,32 @@ class Dispatcher : public Ticked
     /** NoC hops the stolen tasks traveled victim -> thief. */
     std::uint64_t stealHopsTraveled() const { return stealHops_; }
 
+    // -- Spatial-mapping attribution --
+
+    /** Forwarding decisions made (producer output -> consumer
+     *  landing zone). */
+    std::uint64_t spatialForwards() const { return spatialForwards_; }
+
+    /** Landing groups that fell back to the DRAM round-trip because
+     *  the consumer lane's buffer budget was exhausted. */
+    std::uint64_t spatialSpills() const { return spatialSpills_; }
+
+    /** Spawned tasks that escaped their inherited lane (imbalance
+     *  remap). */
+    std::uint64_t spatialRemaps() const { return spatialRemaps_; }
+
+    /** Landing groups ever allocated buffer space. */
+    std::uint64_t spatialGroups() const
+    {
+        return spatialGroupsAllocated_;
+    }
+
+    /** High-water mark of any one lane's landing-buffer occupancy. */
+    std::uint64_t spatialBufPeakWords() const
+    {
+        return spatialBufPeak_;
+    }
+
     /** Max per-lane service cycles charged to the *dispatch-time*
      *  lane assignment (what the run would have cost had nothing
      *  been stolen), analogous to shadowStaticMaxServiceCycles. */
@@ -210,6 +264,24 @@ class Dispatcher : public Ticked
         std::uint64_t landingOffset = 0;
     };
 
+    /**
+     * One spatial landing group: a consumer input port receiving
+     * forwarded producer streams.  Created at the *first* forwarding
+     * producer's dispatch; the buffer-fit (spill) decision is made
+     * once, then is permanent — which is what keeps spills
+     * AOT-deterministic across host parallelism and sharding.
+     */
+    struct SpatialGroup
+    {
+        TaskId consumer = 0;
+        std::uint8_t port = 0;
+        std::int32_t lane = -1;       ///< consumer's pinned lane
+        std::uint64_t bufWords = 0;   ///< lines-rounded port extent
+        std::uint32_t expectedDones = 0; ///< forwarding producers
+        bool spilled = false;
+        bool allocated = false;
+    };
+
     void processInbox(Tick now);
     void onComplete(const CompleteMsg& msg, Tick now);
     void onSpawn(const SpawnMsg& msg, Tick now);
@@ -230,6 +302,21 @@ class Dispatcher : public Ticked
                           const std::vector<double>& extraWork) const;
     void enqueueDispatch(TaskId id, DispatchMsg msg);
     void fireGroup(std::uint32_t groupId);
+
+    /** The lane uid will be pinned to under SchedPolicy::Spatial. */
+    std::uint32_t spatialPlannedLane(TaskId id) const;
+    /** Assign planned lanes to tasks spawned by @p spawner
+     *  (inheritance plus the imbalance-remap escape hatch). */
+    void spatialPlanSpawned(TaskId spawner, std::size_t base,
+                            std::size_t count, std::int64_t heir);
+    /** Producer-dispatch-time forwarding decisions: rewrite @p pm's
+     *  outputs with spatial destinations / suppression. */
+    void spatialResolveProducer(TaskId id, DispatchMsg& pm);
+    /** Consumer-dispatch-time rewrites: landing-mode inputs plus the
+     *  waitSpatial gate snapshot. */
+    void spatialRewriteConsumer(TaskId id, DispatchMsg& m);
+    /** Free @p uid's landing-buffer reservations on completion. */
+    void spatialRelease(TaskId uid);
 
     Noc& noc_;
     const MemImage& img_;
@@ -272,6 +359,20 @@ class Dispatcher : public Ticked
     std::uint64_t tasksSpawned_ = 0;
     std::uint64_t tasksStolen_ = 0;
     std::uint64_t stealHops_ = 0;
+
+    // -- Spatial-mapping state (SchedPolicy::Spatial only) --
+
+    /** AOT plan: lane per uid; spawned tasks extend it at spawn. */
+    std::vector<std::int32_t> plannedLane_;
+    /** Landing groups keyed by (consumer uid << 3) | port — ordered,
+     *  so a consumer's groups are a contiguous key range. */
+    std::map<std::uint64_t, SpatialGroup> spatialGroups_;
+    std::vector<std::uint64_t> spatialLaneBufUsed_;
+    std::uint64_t spatialBufPeak_ = 0;
+    std::uint64_t spatialForwards_ = 0;
+    std::uint64_t spatialSpills_ = 0;
+    std::uint64_t spatialRemaps_ = 0;
+    std::uint64_t spatialGroupsAllocated_ = 0;
 };
 
 } // namespace ts

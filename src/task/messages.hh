@@ -53,6 +53,31 @@ stealPolicyFromName(const std::string& s, StealPolicy& out)
     return false;
 }
 
+/**
+ * One spatial-landing gate of a dispatch: the consumer must see
+ * @p dones end-of-stream markers for @p group before it may start
+ * (barrier semantics over forwarded producer streams, DESIGN.md §10).
+ * The same list names the groups to release on task completion.
+ */
+struct SpatialWait
+{
+    std::uint64_t group = 0; ///< (consumer uid << 3) | input port
+    std::uint32_t dones = 0; ///< forwarding producers to wait for
+};
+
+/**
+ * Producer lane -> consumer lane: a spatially forwarded stream
+ * chunk.  Timing-only — the functional words are already in the
+ * global memory image; the consumer reads them from its landing zone
+ * at scratchpad speed once the group's done markers are in.
+ */
+struct SpatialChunkMsg
+{
+    std::uint64_t group = 0;
+    std::uint32_t words = 0; ///< may be 0 (pure done marker)
+    bool done = false;       ///< producer's stream end for this group
+};
+
 /** Registration of a shared-read group at a member lane. */
 struct GroupSetupMsg
 {
@@ -80,6 +105,10 @@ struct DispatchMsg
 
     /** Pipe buffers to release when the task completes. */
     std::vector<std::uint64_t> releasePipes;
+
+    /** Spatial-landing groups gating task start (and released at
+     *  completion); empty outside SchedPolicy::Spatial. */
+    std::vector<SpatialWait> waitSpatial;
 
     /** Whether a peer lane may steal this task while it queues.  Set
      *  by the dispatcher only for solo dispatches (no pipeline

@@ -341,6 +341,14 @@ TaskUnit::step(Tick now)
             ++waitFillCycles_;
             return;
         }
+        // Spatial gates: every forwarding producer's done marker must
+        // have landed before the inputs read at landing speed.
+        for (const SpatialWait& w : cur_.waitSpatial) {
+            if (!ports_.spatialLanding->complete(w.group, w.dones)) {
+                ++waitFillCycles_;
+                return;
+            }
+        }
         beginTask(now);
         return;
 
@@ -425,6 +433,8 @@ TaskUnit::step(Tick now)
             type.builtin->outputWords(*ports_.image, view), lineWords);
         builtinWriteCursor_ =
             cur_.outputs.empty() ? 0 : lineAlign(cur_.outputs[0].base);
+        builtinFwdAccum_ = 0;
+        builtinFwdDoneSent_ = false;
         phase_ = Phase::BuiltinCompute;
         return;
       }
@@ -436,9 +446,19 @@ TaskUnit::step(Tick now)
         [[fallthrough]];
 
       case Phase::BuiltinWrite: {
+        // Builtin bodies stream outputs[0] only; under spatial
+        // mapping the same stream may be suppressed (every consumer
+        // forwarded) and/or forwarded as chunks through the unit's
+        // send queue (whose FIFO order puts them ahead of our
+        // CompleteMsg injection).
+        const WriteDesc* out =
+            cur_.outputs.empty() ? nullptr : &cur_.outputs[0];
         std::uint32_t budget = 2;
         while (budget > 0 && builtinLinesLeft_ > 0) {
-            if (!ports_.memPort->writeLine(builtinWriteCursor_)) {
+            if (out != nullptr && out->spatialSuppress) {
+                ++spatialLinesSuppressed_;
+            } else if (!ports_.memPort->writeLine(
+                           builtinWriteCursor_)) {
                 builtinWriteBlocked_ = true;
                 return;
             }
@@ -446,10 +466,40 @@ TaskUnit::step(Tick now)
             builtinWriteCursor_ += lineBytes;
             --builtinLinesLeft_;
             --budget;
+            if (out != nullptr && !out->spatialDsts.empty()) {
+                builtinFwdAccum_ += lineWords;
+                const bool last = builtinLinesLeft_ == 0;
+                if (builtinFwdAccum_ >= out->chunkWords || last) {
+                    for (const WriteDesc::SpatialDst& dst :
+                         out->spatialDsts) {
+                        queueMsgTo(
+                            dst.node, PktKind::SpatialChunk,
+                            SpatialChunkMsg{dst.group,
+                                            builtinFwdAccum_, last},
+                            builtinFwdAccum_ + 1);
+                        ++spatialChunksSent_;
+                    }
+                    if (last)
+                        builtinFwdDoneSent_ = true;
+                    builtinFwdAccum_ = 0;
+                }
+            }
         }
         if (builtinLinesLeft_ > 0)
             return;
         builtinWriteBlocked_ = false;
+        // A zero-output producer (e.g. an internal sort that spawns
+        // its subtree and transfers successors) still owes its
+        // consumers a done marker on each forwarded group.
+        if (out != nullptr && !out->spatialDsts.empty() &&
+            !builtinFwdDoneSent_) {
+            for (const WriteDesc::SpatialDst& dst : out->spatialDsts) {
+                queueMsgTo(dst.node, PktKind::SpatialChunk,
+                           SpatialChunkMsg{dst.group, 0, true}, 1);
+                ++spatialChunksSent_;
+            }
+            builtinFwdDoneSent_ = true;
+        }
         phase_ = Phase::Finish;
         return;
       }
@@ -457,6 +507,8 @@ TaskUnit::step(Tick now)
       case Phase::Finish:
         for (std::uint64_t pid : cur_.releasePipes)
             ports_.pipes->release(pid);
+        for (const SpatialWait& w : cur_.waitSpatial)
+            ports_.spatialLanding->release(w.group);
         queueMsg(PktKind::TaskComplete,
                  CompleteMsg{cur_.uid, ports_.laneIndex}, 1);
         ++tasksRun_;
@@ -522,6 +574,10 @@ struct TaskUnit::Snap final : ComponentSnap
     Tick computeUntil = 0;
     std::uint64_t builtinLinesLeft = 0;
     Addr builtinWriteCursor = 0;
+    std::uint32_t builtinFwdAccum = 0;
+    bool builtinFwdDoneSent = false;
+    std::uint64_t spatialLinesSuppressed = 0;
+    std::uint64_t spatialChunksSent = 0;
     std::uint64_t tasksRun = 0;
     std::uint64_t busyCycles = 0;
     std::uint64_t waitFillCycles = 0;
@@ -557,6 +613,10 @@ TaskUnit::saveState() const
     s->computeUntil = computeUntil_;
     s->builtinLinesLeft = builtinLinesLeft_;
     s->builtinWriteCursor = builtinWriteCursor_;
+    s->builtinFwdAccum = builtinFwdAccum_;
+    s->builtinFwdDoneSent = builtinFwdDoneSent_;
+    s->spatialLinesSuppressed = spatialLinesSuppressed_;
+    s->spatialChunksSent = spatialChunksSent_;
     s->tasksRun = tasksRun_;
     s->busyCycles = busyCycles_;
     s->waitFillCycles = waitFillCycles_;
@@ -593,6 +653,10 @@ TaskUnit::restoreState(const ComponentSnap& snap)
     computeUntil_ = s.computeUntil;
     builtinLinesLeft_ = s.builtinLinesLeft;
     builtinWriteCursor_ = s.builtinWriteCursor;
+    builtinFwdAccum_ = s.builtinFwdAccum;
+    builtinFwdDoneSent_ = s.builtinFwdDoneSent;
+    spatialLinesSuppressed_ = s.spatialLinesSuppressed;
+    spatialChunksSent_ = s.spatialChunksSent;
     tasksRun_ = s.tasksRun;
     busyCycles_ = s.busyCycles;
     waitFillCycles_ = s.waitFillCycles;

@@ -15,6 +15,7 @@
 
 #include "cgra/fabric.hh"
 #include "noc/packet.hh"
+#include "spatial/spatial.hh"
 #include "stream/pipe_set.hh"
 #include "stream/read_engine.hh"
 #include "stream/write_engine.hh"
@@ -33,6 +34,9 @@ struct TaskUnitPorts
     std::vector<WriteEngine*> writeEngines;
     PipeSet* pipes = nullptr;
     SharedLanding* landing = nullptr;
+    /** Spatial landing tracker (only dereferenced when a dispatch
+     *  carries waitSpatial gates; may be null in bare-unit tests). */
+    spatial::LandingTracker* spatialLanding = nullptr;
     MemPortIf* memPort = nullptr; ///< builtin output traffic
     MemImage* image = nullptr;    ///< builtin functional effects
 
@@ -91,6 +95,18 @@ class TaskUnit : public Ticked
     /** Cycles this lane spent with a task in flight. */
     std::uint64_t busyCycles() const { return busyCycles_; }
 
+    /** Builtin-output DRAM lines suppressed by spatial forwarding. */
+    std::uint64_t spatialLinesSuppressed() const
+    {
+        return spatialLinesSuppressed_;
+    }
+
+    /** Spatial chunks this unit's builtin outputs sent. */
+    std::uint64_t spatialChunksSent() const
+    {
+        return spatialChunksSent_;
+    }
+
     /** Top-down cycle accounting (buckets sum to cycles ticked). */
     const CycleBuckets& cycleBuckets() const { return buckets_; }
 
@@ -145,11 +161,18 @@ class TaskUnit : public Ticked
     Tick computeUntil_ = 0;
     std::uint64_t builtinLinesLeft_ = 0;
     Addr builtinWriteCursor_ = 0;
+    /** Builtin spatial forwarding: words accumulated toward the next
+     *  chunk, and whether the done marker went out (zero-output
+     *  producers still owe one). */
+    std::uint32_t builtinFwdAccum_ = 0;
+    bool builtinFwdDoneSent_ = false;
 
     std::uint64_t tasksRun_ = 0;
     std::uint64_t busyCycles_ = 0;
     std::uint64_t waitFillCycles_ = 0;
     std::uint64_t configWaitCycles_ = 0;
+    std::uint64_t spatialLinesSuppressed_ = 0;
+    std::uint64_t spatialChunksSent_ = 0;
 
     /** Steal probe state machine: which victim to ask next, whether a
      *  reply is outstanding, and whether a whole round came back

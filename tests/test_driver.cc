@@ -266,6 +266,12 @@ TEST(SweepConfigTest, PresetsFormTheAblationLadder)
     EXPECT_TRUE(full.cfg.enableMulticast);
     EXPECT_EQ(full.cfg.lanes, 16u);
 
+    const ConfigVariant spat = sweepConfig("spatial", 8);
+    EXPECT_EQ(spat.cfg.policy, SchedPolicy::Spatial);
+    EXPECT_FALSE(spat.cfg.enablePipeline);
+    EXPECT_TRUE(spat.cfg.enableMulticast);
+    EXPECT_FALSE(spat.cfg.bulkSynchronous);
+
     const auto defaults = sweepConfigsFromList("");
     ASSERT_EQ(defaults.size(), 2u);
     EXPECT_EQ(defaults[0].name, "static");
@@ -543,6 +549,10 @@ TEST(CanonicalConfigTest, EveryBehaviourFieldParticipates)
     TS_EXPECT_CANONICAL(nocLinks.channelCapacity,
                         c.nocLinks.channelCapacity = 99);
     TS_EXPECT_CANONICAL(nocLinks.linkWords, c.nocLinks.linkWords = 9);
+    TS_EXPECT_CANONICAL(spatialBufferWords,
+                        c.spatialBufferWords = 4096);
+    TS_EXPECT_CANONICAL(spatialRemapFactor,
+                        c.spatialRemapFactor = 2.25);
     TS_EXPECT_CANONICAL(maxCycles, c.maxCycles = 1234);
     TS_EXPECT_CANONICAL(noFastForward, c.noFastForward = true);
     TS_EXPECT_CANONICAL(timelineInterval, c.timelineInterval = 100);

@@ -63,6 +63,123 @@ TEST(TaskGraph, ValidateRejectsEmptyGroups)
     EXPECT_THROW(g.validate(), PanicError);
 }
 
+// --- critical path on dynamic graph shapes --------------------------------
+//
+// The spatial mapper uses criticalPath() as its cost model, so it
+// must stay correct on the shapes the dynamic-dependence machinery
+// produces: transferred successors, spawned subgraphs whose edges
+// point against uid order, and edges from already-completed
+// producers (unmeasured tasks weigh zero).
+
+namespace
+{
+
+TaskHandle
+addPlainTask(TaskGraph& g, TaskTypeId ty, Addr outBase = 1024)
+{
+    WriteDesc out;
+    out.base = outBase;
+    return g.addTask(ty, {StreamDesc::linear(Space::Dram, 64, 8)},
+                     {out});
+}
+
+TaskSpan
+span(TaskId uid, Tick start, Tick end)
+{
+    TaskSpan s;
+    s.uid = uid;
+    s.start = start;
+    s.end = end;
+    return s;
+}
+
+} // namespace
+
+TEST(TaskGraphCritPath, TransferredSuccessorsRehangThePath)
+{
+    TaskTypeRegistry reg(FabricGeometry{});
+    const auto ty = addScaleType(reg);
+    TaskGraph g;
+    const auto a = addPlainTask(g, ty);
+    const auto b = addPlainTask(g, ty);
+    const auto c = addPlainTask(g, ty);
+    g.addPipeline(a, 0, b, 0);
+    // a finishes early and hands its pending successors to c; the
+    // pipeline edge degrades to a barrier across the transfer.
+    g.transferSuccessors(a, c);
+    ASSERT_EQ(g.edges().size(), 1u);
+    EXPECT_EQ(g.edges()[0].producer, c.id());
+    EXPECT_EQ(g.edges()[0].consumer, b.id());
+    EXPECT_EQ(g.edges()[0].kind, DepKind::Barrier);
+
+    const std::vector<TaskSpan> spans = {
+        span(a, 0, 10), span(b, 0, 100), span(c, 0, 5)};
+    const CritPathResult r = g.criticalPath(spans);
+    EXPECT_EQ(r.serialCycles, 115u);
+    EXPECT_EQ(r.criticalPathCycles, 105u);
+    ASSERT_EQ(r.path.size(), 2u);
+    EXPECT_EQ(r.path[0], c.id());
+    EXPECT_EQ(r.path[1], b.id());
+}
+
+TEST(TaskGraphCritPath, SpawnedSubgraphEdgesAgainstUidOrder)
+{
+    // The post-spawn shape: the join task exists before the spawned
+    // children, so the children's edges into it run against uid
+    // order.  criticalPath must still finalize in topological order.
+    TaskTypeRegistry reg(FabricGeometry{});
+    const auto ty = addScaleType(reg);
+    TaskGraph g;
+    const auto root = addPlainTask(g, ty);
+    const auto join = addPlainTask(g, ty);
+    const auto s1 = addPlainTask(g, ty);
+    const auto s2 = addPlainTask(g, ty);
+    g.addBarrier(root, s1);
+    g.addBarrier(root, s2);
+    g.addBarrier(s1, join); // producer uid > consumer uid
+    g.addBarrier(s2, join);
+
+    const std::vector<TaskSpan> spans = {
+        span(root, 0, 10), span(join, 0, 7), span(s1, 0, 30),
+        span(s2, 0, 50)};
+    const CritPathResult r = g.criticalPath(spans);
+    EXPECT_EQ(r.serialCycles, 97u);
+    // root -> s2 -> join dominates: 10 + 50 + 7.
+    EXPECT_EQ(r.criticalPathCycles, 67u);
+    ASSERT_EQ(r.path.size(), 3u);
+    EXPECT_EQ(r.path[0], root.id());
+    EXPECT_EQ(r.path[1], s2.id());
+    EXPECT_EQ(r.path[2], join.id());
+    // The 2-lane bound is the path (67 > ceil(97/2)).
+    EXPECT_EQ(r.boundCycles(2), 67u);
+}
+
+TEST(TaskGraphCritPath, EdgesFromCompletedProducersWeighZero)
+{
+    // Edges from producers that completed before measurement began
+    // (no span recorded) are legal and contribute zero weight; the
+    // path and the serial sum must only count measured tasks.
+    TaskTypeRegistry reg(FabricGeometry{});
+    const auto ty = addScaleType(reg);
+    TaskGraph g;
+    const auto done = addPlainTask(g, ty);
+    const auto mid = addPlainTask(g, ty);
+    const auto tail = addPlainTask(g, ty);
+    g.addBarrier(done, mid);
+    g.addBarrier(mid, tail);
+
+    const std::vector<TaskSpan> spans = {span(mid, 100, 140),
+                                         span(tail, 140, 200)};
+    const CritPathResult r = g.criticalPath(spans);
+    EXPECT_EQ(r.serialCycles, 100u);
+    EXPECT_EQ(r.criticalPathCycles, 100u);
+    // The unmeasured producer may or may not appear at the head of
+    // the path; the measured suffix must be mid -> tail.
+    ASSERT_GE(r.path.size(), 2u);
+    EXPECT_EQ(r.path[r.path.size() - 2], mid.id());
+    EXPECT_EQ(r.path.back(), tail.id());
+}
+
 // --- work estimation -------------------------------------------------------
 
 TEST(TaskTypes, DefaultWorkEstimateSumsStreamElements)

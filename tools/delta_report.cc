@@ -8,12 +8,18 @@
  * bound, and the slowest task types with latency percentiles.
  *
  * Usage:
- *   delta-report RUN.json [options]
+ *   delta-report RUN.json [MORE.json ...] [options]
  *     --baseline FILE.json     compare against another run (speedup)
  *     --trace TRACE.json       summarize a Perfetto trace alongside
  *     --topk N                 task-type rows to print (default 5)
  *     --assert-speedup-min X   exit 1 unless speedup >= X (CI gates;
  *                              requires --baseline)
+ *
+ * With more than one positional run (e.g. the static, delta, and
+ * spatial bench dumps of one workload) the full report covers the
+ * first run and a side-by-side comparison table follows, using
+ * --baseline as the reference column when given and the first
+ * positional otherwise.
  */
 
 #include <cstdlib>
@@ -21,6 +27,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "analysis/report.hh"
 #include "sim/logging.hh"
@@ -32,7 +39,10 @@ namespace
 usage(const char* argv0)
 {
     std::cerr
-        << "usage: " << argv0 << " RUN.json [options]\n"
+        << "usage: " << argv0 << " RUN.json [MORE.json ...] [options]\n"
+        << "  (several runs print a side-by-side comparison table;\n"
+        << "   the baseline column is --baseline when given, else\n"
+        << "   the first run)\n"
         << "  --baseline FILE.json     compare against another run\n"
         << "  --trace TRACE.json       summarize a Perfetto trace\n"
         << "  --timeline               render the delta.timeline.*\n"
@@ -51,7 +61,7 @@ main(int argc, char** argv)
     using namespace ts;
     using namespace ts::analysis;
 
-    std::string runPath;
+    std::vector<std::string> runPaths;
     std::string baselinePath;
     std::string tracePath;
     std::size_t topk = 5;
@@ -81,21 +91,30 @@ main(int argc, char** argv)
         } else if (!arg.empty() && arg[0] == '-') {
             std::cerr << "unknown option '" << arg << "'\n";
             usage(argv[0]);
-        } else if (runPath.empty()) {
-            runPath = arg;
         } else {
-            usage(argv[0]);
+            runPaths.push_back(arg);
         }
     }
-    if (runPath.empty())
+    if (runPaths.empty())
         usage(argv[0]);
     if (speedupMin >= 0 && baselinePath.empty()) {
         std::cerr << "--assert-speedup-min requires --baseline\n";
         return 2;
     }
 
+    auto label = [](const RunStats& s, const std::string& path) {
+        if (!s.policy.empty())
+            return s.policy;
+        const std::size_t slash = path.find_last_of('/');
+        return slash == std::string::npos ? path
+                                          : path.substr(slash + 1);
+    };
+
     try {
-        const RunStats run = loadStats(runPath);
+        std::vector<RunStats> runs;
+        for (const std::string& p : runPaths)
+            runs.push_back(loadStats(p));
+        const RunStats& run = runs.front();
 
         RunStats baseline;
         Json trace;
@@ -119,8 +138,30 @@ main(int argc, char** argv)
 
         printReport(std::cout, run, opt);
 
+        if (runs.size() > 1 || (opt.baseline != nullptr && !runs.empty())) {
+            std::vector<const RunStats*> cols;
+            std::vector<std::string> labels;
+            if (opt.baseline != nullptr) {
+                cols.push_back(opt.baseline);
+                labels.push_back(label(baseline, baselinePath));
+            }
+            for (std::size_t i = 0; i < runs.size(); ++i) {
+                cols.push_back(&runs[i]);
+                labels.push_back(label(runs[i], runPaths[i]));
+            }
+            if (cols.size() > 1)
+                printComparison(std::cout, cols, labels, std::cerr);
+        }
+
         if (speedupMin >= 0) {
-            const double x = speedupVs(run, baseline);
+            const double x =
+                seriesSpeedup(run, baseline, "delta.cycles",
+                              std::cerr);
+            if (x <= 0) {
+                std::cerr << "FAIL: cannot score speedup gate: "
+                             "series 'delta.cycles' missing\n";
+                return 1;
+            }
             if (x < speedupMin) {
                 std::cerr << "FAIL: speedup " << x
                           << "x below required minimum " << speedupMin

@@ -59,7 +59,7 @@ usage(int code)
         "grid options:\n"
         "  --configs LIST    comma-separated presets (default\n"
         "                    'static,delta'; valid: static, dyn,\n"
-        "                    work, work-steal, pipe, delta)\n"
+        "                    work, work-steal, pipe, delta, spatial)\n"
         "  --seeds LIST      comma-separated seeds (default: --seed)\n"
         "  --scales LIST     comma-separated scales (default: --scale)\n"
         "  --lanes N         lanes for every config (default 8)\n"
